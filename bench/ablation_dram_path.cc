@@ -1,0 +1,40 @@
+// §3.7 ablation: the early DRAM-direct design. Ports DMA packets straight
+// to/from DRAM, bypassing the FIFOs — four memory accesses per byte of a
+// minimal packet. The paper's early implementation saturated DRAM while
+// forwarding 2.69 Mpps (vs 3.47 Mpps for the FIFO design).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace npr;
+  using namespace npr::bench;
+
+  Title("§3.7 ablation — FIFO staging vs DRAM-direct port transfers");
+  RowHeader();
+
+  const double fifo = RunRate(InfiniteFifoConfig());
+
+  double direct = 0;
+  double dram_util = 0;
+  {
+    RouterConfig cfg = InfiniteFifoConfig();
+    cfg.dram_direct_path = true;
+    Router router(std::move(cfg));
+    AddDefaultRoutes(router);
+    router.Start();
+    router.RunForMs(2.0);
+    router.StartMeasurement();
+    const SimTime t0 = router.engine().now();
+    router.RunForMs(10.0);
+    direct = router.ForwardingRateMpps();
+    dram_util = router.chip().memory().dram().Utilization(t0);
+  }
+
+  Row("FIFO-staged design (the paper's router)", 3.47, fifo);
+  Row("DRAM-direct design (early implementation)", 2.69, direct);
+  std::printf("  DRAM utilization in direct mode: %.0f%% (the saturated resource)\n",
+              dram_util * 100);
+  Note("the direct design moves every byte through DRAM four times; the FIFO");
+  Note("design halves the DRAM traffic for 64-byte packets (§3.7).");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the reproduction benches: canonical configurations,
+// measurement runs, and paper-vs-measured table formatting.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/router.h"
+#include "src/net/traffic_gen.h"
+
+namespace npr {
+namespace bench {
+
+// The §3.5.1 measurement setup: FIFO-recycling "infinitely fast ports",
+// MicroEngines only.
+inline RouterConfig InfiniteFifoConfig() {
+  RouterConfig cfg;
+  cfg.port_mode = PortMode::kInfiniteFifo;
+  cfg.enable_pentium = false;
+  cfg.enable_strongarm = false;
+  return cfg;
+}
+
+inline void AddDefaultRoutes(Router& router) {
+  for (int p = 0; p < router.num_ports(); ++p) {
+    router.AddRoute("10." + std::to_string(p) + ".0.0/16", static_cast<uint8_t>(p));
+  }
+  router.WarmRouteCache(8);
+}
+
+// Runs warmup + measurement; returns the forwarding rate in Mpps.
+inline double MeasureMpps(Router& router, double warm_ms = 2.0, double measure_ms = 10.0) {
+  router.RunForMs(warm_ms);
+  router.StartMeasurement();
+  router.RunForMs(measure_ms);
+  return router.ForwardingRateMpps();
+}
+
+// Builds, routes, starts, and measures one configuration.
+inline double RunRate(RouterConfig cfg, double warm_ms = 2.0, double measure_ms = 10.0) {
+  Router router(std::move(cfg));
+  AddDefaultRoutes(router);
+  router.Start();
+  return MeasureMpps(router, warm_ms, measure_ms);
+}
+
+// --- output formatting ---
+
+inline void Title(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void RowHeader() {
+  std::printf("%-44s %12s %12s %8s\n", "configuration", "paper", "measured", "delta");
+  std::printf("%-44s %12s %12s %8s\n", "--------------------------------------------",
+              "-----------", "-----------", "-------");
+}
+
+inline void Row(const std::string& label, double paper, double measured,
+                const char* unit = "Mpps") {
+  const double delta = paper != 0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("%-44s %8.3f %-4s %8.3f %-4s %+6.1f%%\n", label.c_str(), paper, unit, measured,
+              unit, delta);
+}
+
+inline void Note(const std::string& text) { std::printf("  note: %s\n", text.c_str()); }
+
+}  // namespace bench
+}  // namespace npr
+
+#endif  // BENCH_BENCH_UTIL_H_

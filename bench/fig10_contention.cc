@@ -1,0 +1,59 @@
+// Figure 10: forwarding-time breakdown under maximal output-port
+// contention (all traffic bound for one protected queue), versus VRP blocks
+// per packet. The paper's point: time otherwise lost to lock contention is
+// reclaimed as useful VRP processing — beyond enough blocks, contention
+// overhead is unmeasurable.
+
+#include "bench/bench_util.h"
+
+namespace npr {
+namespace {
+
+// Per-packet forwarding time (ns) for the input process with all packets
+// aimed at a single protected queue (max contention) or spread uniformly
+// (no contention).
+double NsPerPacket(int blocks, bool contended) {
+  RouterConfig cfg = bench::InfiniteFifoConfig();
+  cfg.output_contexts_override = 0;
+  cfg.magic_drain = true;
+  cfg.synthetic_single_dst = contended;
+  cfg.vrp_blocks_reg = static_cast<uint32_t>(blocks);
+  cfg.vrp_blocks_sram = static_cast<uint32_t>(blocks);
+  const double mpps = bench::RunRate(std::move(cfg), 2.0, 8.0);
+  return 1000.0 / mpps;
+}
+
+}  // namespace
+}  // namespace npr
+
+int main() {
+  using namespace npr;
+  using namespace npr::bench;
+
+  Title("Figure 10 — forwarding time under maximal contention (ns/packet)");
+  std::printf("%8s %14s %14s %16s\n", "blocks", "no contention", "max contention",
+              "overhead (ns)");
+  double overhead_at_0 = 0;
+  double overhead_at_64 = 0;
+  for (int blocks : {0, 8, 16, 24, 32, 48, 64}) {
+    const double base = NsPerPacket(blocks, false);
+    const double contended = NsPerPacket(blocks, true);
+    const double overhead = contended - base;
+    if (blocks == 0) {
+      overhead_at_0 = overhead;
+    }
+    if (blocks == 64) {
+      overhead_at_64 = overhead;
+    }
+    std::printf("%8d %14.1f %14.1f %16.1f\n", blocks, base, contended, overhead);
+  }
+
+  Title("Shape check (§4.2)");
+  RowHeader();
+  Row("contention overhead at 0 blocks", 312, overhead_at_0, "ns");
+  Row("contention overhead at 64 blocks", 0, overhead_at_64, "ns");
+  Note("the reclaimable-overhead effect: once VRP processing paces the input");
+  Note("below the serialized enqueue rate, lock contention costs nothing —");
+  Note("'these resources can be reclaimed by increasing the VRP budget'.");
+  return 0;
+}

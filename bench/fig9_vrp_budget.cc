@@ -1,0 +1,47 @@
+// Figure 9: number of VRP code blocks that can run at different line
+// speeds. Three block flavors, as in the paper: 10 register instructions,
+// one 4-byte SRAM read, or both combined. The paper's calibration point:
+// at 1 Mpps the VRP affords ~32 combined blocks.
+
+#include "bench/bench_util.h"
+
+namespace npr {
+namespace {
+
+double RateWithBlocks(uint32_t reg_blocks, uint32_t sram_blocks) {
+  RouterConfig cfg = bench::InfiniteFifoConfig();
+  cfg.output_contexts_override = 0;  // input-side budget experiment
+  cfg.magic_drain = true;
+  cfg.vrp_blocks_reg = reg_blocks;
+  cfg.vrp_blocks_sram = sram_blocks;
+  return bench::RunRate(std::move(cfg), 2.0, 8.0);
+}
+
+}  // namespace
+}  // namespace npr
+
+int main() {
+  using namespace npr;
+  using namespace npr::bench;
+
+  Title("Figure 9 — supportable line speed vs VRP blocks per MP (Mpps)");
+  std::printf("%8s %16s %16s %16s\n", "blocks", "10 reg instr", "4B SRAM read", "combined");
+  double combined_at_32 = 0;
+  for (int blocks : {0, 4, 8, 16, 24, 32, 48, 64}) {
+    const double reg = RateWithBlocks(static_cast<uint32_t>(blocks), 0);
+    const double sram = RateWithBlocks(0, static_cast<uint32_t>(blocks));
+    const double both =
+        RateWithBlocks(static_cast<uint32_t>(blocks), static_cast<uint32_t>(blocks));
+    if (blocks == 32) {
+      combined_at_32 = both;
+    }
+    std::printf("%8d %16.3f %16.3f %16.3f\n", blocks, reg, sram, both);
+  }
+
+  Title("Calibration point (§4.2)");
+  RowHeader();
+  Row("rate at 32 combined blocks", 1.0, combined_at_32);
+  Note("the paper reads Figure 9 as: 'at an aggregate forwarding rate of");
+  Note("1 Mpps, the VRP has a budget of 32 blocks' of 10 reg ops + 4 B SRAM.");
+  return 0;
+}

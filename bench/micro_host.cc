@@ -1,0 +1,121 @@
+// Host-side micro-benchmarks (google-benchmark): real wall-clock costs of
+// the library's hot algorithms, independent of the simulation clock.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/packet_queue.h"
+#include "src/ixp/hash_unit.h"
+#include "src/net/checksum.h"
+#include "src/net/packet.h"
+#include "src/route/route_table.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/vrp/interpreter.h"
+
+#include "src/forwarders/vrp_programs.h"
+
+namespace npr {
+namespace {
+
+void BM_CpeLookup(benchmark::State& state) {
+  RouteTable table;
+  Rng rng(1);
+  const int prefixes = static_cast<int>(state.range(0));
+  for (int i = 0; i < prefixes; ++i) {
+    table.AddRoute(Prefix::Make(static_cast<uint32_t>(rng.Next()),
+                                static_cast<uint8_t>(rng.Range(8, 28))),
+                   RouteEntry{static_cast<uint8_t>(i % 8), PortMac(0)});
+  }
+  uint32_t ip = 0;
+  for (auto _ : state) {
+    ip = ip * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(table.Lookup(ip));
+  }
+}
+BENCHMARK(BM_CpeLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_InetChecksum(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InetChecksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InetChecksum)->Arg(20)->Arg(64)->Arg(1500);
+
+void BM_IncrementalTtlUpdate(benchmark::State& state) {
+  Ipv4Header h;
+  h.ttl = 200;
+  uint8_t buf[20];
+  h.Write(buf);
+  for (auto _ : state) {
+    buf[8] = 200;
+    benchmark::DoNotOptimize(DecrementTtlInPlace(buf));
+  }
+}
+BENCHMARK(BM_IncrementalTtlUpdate);
+
+void BM_BuildPacket(benchmark::State& state) {
+  PacketSpec spec;
+  spec.protocol = kIpProtoTcp;
+  spec.frame_bytes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPacket(spec));
+  }
+}
+BENCHMARK(BM_BuildPacket)->Arg(64)->Arg(1500);
+
+void BM_HardwareHash(benchmark::State& state) {
+  HashUnit hash;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    v = hash.Hash64(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_HardwareHash);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.Schedule(i * 10, [] {});
+    }
+    q.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_VrpInterpreter(benchmark::State& state) {
+  BackingStore sram("sram", 4096);
+  HashUnit hash;
+  VrpInterpreter interp(sram, hash);
+  const VrpProgram program = BuildAckMonitor();
+  PacketSpec spec;
+  spec.protocol = kIpProtoTcp;
+  spec.tcp_flags = 0x10;
+  Packet p = BuildPacket(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Run(program, p.bytes().first(64), 256, nullptr));
+  }
+}
+BENCHMARK(BM_VrpInterpreter);
+
+void BM_PacketQueuePushPop(benchmark::State& state) {
+  BackingStore sram("sram", 1 << 16);
+  BackingStore scratch("scratch", 64);
+  PacketQueue queue(sram, scratch, 0, 0, 1024, 0, 0, 2048);
+  PacketDescriptor d;
+  d.buffer_addr = 2048;
+  for (auto _ : state) {
+    queue.Push(d);
+    benchmark::DoNotOptimize(queue.Pop());
+  }
+}
+BENCHMARK(BM_PacketQueuePushPop);
+
+}  // namespace
+}  // namespace npr
+
+BENCHMARK_MAIN();

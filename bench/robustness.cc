@@ -1,0 +1,157 @@
+// §4.7 robustness experiments.
+//
+// Experiment 1: with a forwarder suite using the full VRP budget, an
+// increasing share of the 1.128 Mpps line-rate load is routed through the
+// Pentium. The paper found up to 310 Kpps flows through the Pentium with no
+// drops anywhere, each packet receiving 1510 cycles of service.
+//
+// Experiment 2: an increasing percentage of packets is treated as
+// exceptional (a simulated control-packet flood). Regular forwarding is
+// unaffected until the StrongARM itself saturates.
+
+#include "bench/bench_util.h"
+#include "src/forwarders/native.h"
+#include "src/forwarders/vrp_programs.h"
+
+namespace npr {
+namespace {
+
+struct PentiumPoint {
+  double offered_frac;
+  double pentium_kpps;
+  double fast_path_mpps;
+  uint64_t regular_drops;
+  uint64_t pentium_path_drops;
+};
+
+PentiumPoint RunPentiumShare(double fraction) {
+  RouterConfig cfg;  // real ports at line rate
+  cfg.synthetic_pentium_fraction = fraction;
+  Router router(std::move(cfg));
+  bench::AddDefaultRoutes(router);
+  router.WarmRouteCache(64);
+
+  // The VRP suite (§4.7: "a synthetic suite of forwarders based on the
+  // examples given in Section 4.4" using the full budget).
+  for (auto builder : {BuildSynMonitor, BuildAckMonitor}) {
+    VrpProgram program = builder();
+    InstallRequest req;
+    req.key = FlowKey::All();
+    req.where = Where::kMicroEngine;
+    req.program = &program;
+    (void)router.Install(req);
+  }
+  // The Pentium service: 1510 cycles per packet.
+  const int idx = router.pe_forwarders().Register(
+      std::make_unique<FixedCostForwarder>("service-1510", 1510));
+  InstallRequest pe;
+  pe.key = FlowKey::All();
+  pe.where = Where::kPentium;
+  pe.native_index = idx;
+  // Reserve a rate admission accepts; the experiment then offers more than
+  // the reservation (the paper had no admission control and simply pushed
+  // load until packets dropped).
+  pe.expected_pps = std::min(fraction * 1.128e6, 250e3);
+  pe.expected_cpp = 1510;
+  auto pe_outcome = router.Install(pe);
+  if (!pe_outcome.ok) {
+    std::fprintf(stderr, "pentium service install failed: %s\n", pe_outcome.error.c_str());
+  }
+  router.Start();
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  for (int p = 0; p < 8; ++p) {
+    TrafficSpec spec;
+    spec.rate_pps = 141'000;
+    gens.push_back(std::make_unique<TrafficGen>(router.engine(), router.port(p), spec,
+                                                static_cast<uint64_t>(p + 31)));
+    gens.back()->Start(40 * kPsPerMs);
+  }
+  router.RunForMs(5.0);
+  router.StartMeasurement();
+  const uint64_t pe_before = router.stats().pentium_processed;
+  const SimTime t0 = router.engine().now();
+  router.RunForMs(30.0);
+  const double seconds =
+      static_cast<double>(router.engine().now() - t0) / static_cast<double>(kPsPerSec);
+
+  PentiumPoint point;
+  point.offered_frac = fraction;
+  point.pentium_kpps =
+      static_cast<double>(router.stats().pentium_processed - pe_before) / seconds / 1e3;
+  point.fast_path_mpps = router.ForwardingRateMpps();
+  point.regular_drops = router.queues().TotalDrops();
+  point.pentium_path_drops = router.stats().dropped_queue_full - point.regular_drops;
+  return point;
+}
+
+struct FloodPoint {
+  double exceptional_frac;
+  double regular_mpps;
+  double sa_kpps;
+  uint64_t regular_drops;
+};
+
+FloodPoint RunExceptionalFlood(double fraction) {
+  // Base infrastructure at maximum rate, no VRP (§4.7 experiment 2),
+  // with `fraction` of packets treated as exceptional.
+  RouterConfig cfg = bench::InfiniteFifoConfig();
+  cfg.enable_strongarm = true;
+  cfg.synthetic_exceptional_fraction = fraction;
+  Router router(std::move(cfg));
+  bench::AddDefaultRoutes(router);
+  router.Start();
+  router.RunForMs(2.0);
+  router.StartMeasurement();
+  const uint64_t sa_before = router.stats().sa_local_processed;
+  const SimTime t0 = router.engine().now();
+  router.RunForMs(10.0);
+  const double seconds =
+      static_cast<double>(router.engine().now() - t0) / static_cast<double>(kPsPerSec);
+
+  FloodPoint point;
+  point.exceptional_frac = fraction;
+  point.regular_mpps = router.ForwardingRateMpps();
+  point.sa_kpps =
+      static_cast<double>(router.stats().sa_local_processed - sa_before) / seconds / 1e3;
+  point.regular_drops = router.queues().TotalDrops();
+  return point;
+}
+
+}  // namespace
+}  // namespace npr
+
+int main() {
+  using namespace npr;
+  using namespace npr::bench;
+
+  Title("§4.7 experiment 1 — load routed through the Pentium (line rate 1.128 Mpps)");
+  std::printf("%10s %14s %14s %14s %14s\n", "fraction", "pentium Kpps", "fast Mpps",
+              "reg. drops", "pe-path drops");
+  double max_lossless_kpps = 0;
+  for (double f : {0.05, 0.10, 0.20, 0.275, 0.35, 0.45}) {
+    auto p = RunPentiumShare(f);
+    std::printf("%10.3f %14.1f %14.3f %14llu %14llu\n", p.offered_frac, p.pentium_kpps,
+                p.fast_path_mpps, static_cast<unsigned long long>(p.regular_drops),
+                static_cast<unsigned long long>(p.pentium_path_drops));
+    if (p.regular_drops == 0 && p.pentium_path_drops == 0) {
+      max_lossless_kpps = std::max(max_lossless_kpps, p.pentium_kpps);
+    }
+  }
+  RowHeader();
+  Row("max lossless Pentium throughput", 310, max_lossless_kpps, "Kpps");
+  Note("each such packet receives 1510 cycles of Pentium service on top of");
+  Note("the bridge cost — which is precisely what saturates 733 MHz at ~310 Kpps.");
+
+  Title("§4.7 experiment 2 — exceptional-packet flood (base infrastructure, max rate)");
+  std::printf("%12s %14s %14s %14s\n", "exceptional", "regular Mpps", "SA Kpps", "reg. drops");
+  for (double f : {0.0, 0.05, 0.10, 0.25, 0.50}) {
+    auto p = RunExceptionalFlood(f);
+    std::printf("%12.2f %14.3f %14.1f %14llu\n", p.exceptional_frac, p.regular_mpps, p.sa_kpps,
+                static_cast<unsigned long long>(p.regular_drops));
+  }
+  Note("regular packets are never dropped: the MicroEngines budget enough");
+  Note("resources to classify and enqueue every packet at line speed; only the");
+  Note("exceptional stream is clipped once the StrongARM saturates (§4.7).");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table 3: MicroEngine cycle times to transfer common-sized data blocks
+// into and out of the three memories, measured from an idle system by a
+// probe context (round trip, as the paper's microbenchmark saw it).
+
+#include "bench/bench_util.h"
+#include "src/ixp/ixp1200.h"
+
+namespace npr {
+namespace {
+
+struct Probe {
+  SimTime start = 0;
+  SimTime done = 0;
+};
+
+Task MeasureOne(HwContext* ctx, MemoryChannel* ch, uint32_t bytes, bool write, Probe* probe,
+                EventQueue* engine) {
+  probe->start = engine->now();
+  if (write) {
+    co_await ctx->Write(*ch, bytes);
+  } else {
+    co_await ctx->Read(*ch, bytes);
+  }
+  probe->done = engine->now();
+}
+
+double MeasureCycles(const char* memory, uint32_t bytes, bool write) {
+  EventQueue engine;
+  Ixp1200 chip(engine, HwConfig::Default());
+  MemoryChannel* ch = nullptr;
+  if (std::string(memory) == "dram") {
+    ch = &chip.memory().dram();
+  } else if (std::string(memory) == "sram") {
+    ch = &chip.memory().sram();
+  } else {
+    ch = &chip.memory().scratch();
+  }
+  Probe probe;
+  chip.me(0).context(0).Install(
+      MeasureOne(&chip.me(0).context(0), ch, bytes, write, &probe, &engine));
+  engine.RunAll();
+  return static_cast<double>(kIxpClock.ToCycles(probe.done - probe.start));
+}
+
+}  // namespace
+}  // namespace npr
+
+int main() {
+  using namespace npr;
+  using namespace npr::bench;
+
+  Title("Table 3 — memory transfer latencies (MicroEngine cycles, 5 ns each)");
+  RowHeader();
+  Row("DRAM  32 B read", 52, MeasureCycles("dram", 32, false), "cy");
+  Row("DRAM  32 B write", 40, MeasureCycles("dram", 32, true), "cy");
+  Row("SRAM   4 B read", 22, MeasureCycles("sram", 4, false), "cy");
+  Row("SRAM   4 B write", 22, MeasureCycles("sram", 4, true), "cy");
+  Row("Scratch 4 B read", 16, MeasureCycles("scratch", 4, false), "cy");
+  Row("Scratch 4 B write", 20, MeasureCycles("scratch", 4, true), "cy");
+
+  Title("Peak bandwidths (datasheet cross-check, §2.2)");
+  RowHeader();
+  {
+    EventQueue engine;
+    Ixp1200 chip(engine, HwConfig::Default());
+    for (int i = 0; i < 20000; ++i) {
+      chip.memory().dram().Issue(64, true, [] {});
+    }
+    engine.RunAll();
+    const double gbps = static_cast<double>(chip.memory().dram().bytes_moved()) * 8 /
+                        (static_cast<double>(engine.now()) / kPsPerSec) / 1e9;
+    Row("DRAM sustained (64-bit x 100 MHz)", 6.4, gbps, "Gbps");
+  }
+  {
+    EventQueue engine;
+    Ixp1200 chip(engine, HwConfig::Default());
+    for (int i = 0; i < 50000; ++i) {
+      chip.memory().sram().Issue(4, true, [] {});
+    }
+    engine.RunAll();
+    const double gbps = static_cast<double>(chip.memory().sram().bytes_moved()) * 8 /
+                        (static_cast<double>(engine.now()) / kPsPerSec) / 1e9;
+    Row("SRAM sustained (32-bit x 100 MHz)", 3.2, gbps, "Gbps");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 5: cycle, memory, and register requirements of the example data
+// forwarders (§4.4), from static analysis of the actual VRP programs the
+// admission controller would inspect.
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/forwarders/vrp_programs.h"
+#include "src/vrp/verifier.h"
+
+namespace npr {
+namespace {
+
+struct Analysis {
+  uint32_t state_bytes_touched = 0;  // Table 5's "SRAM Read/Write (bytes)"
+  uint32_t register_ops = 0;         // Table 5's "Register Operations"
+  VrpCost worst;
+  uint32_t instructions = 0;
+};
+
+Analysis Analyze(const VrpProgram& program) {
+  Analysis a;
+  std::set<int32_t> state_offsets;
+  for (const VrpInstr& in : program.code) {
+    if (in.op == VrpOp::kLdSram || in.op == VrpOp::kStSram) {
+      state_offsets.insert(in.imm);
+    } else {
+      ++a.register_ops;
+    }
+  }
+  a.state_bytes_touched = static_cast<uint32_t>(state_offsets.size()) * 4;
+  auto v = VerifyProgram(program);
+  a.worst = v.worst_case;
+  a.instructions = v.instructions;
+  return a;
+}
+
+void Report(const std::string& name, const VrpProgram& program, double paper_bytes,
+            double paper_ops) {
+  Analysis a = Analyze(program);
+  bench::Row(name + ": SRAM read/write", paper_bytes, a.state_bytes_touched, "B");
+  bench::Row(name + ": register operations", paper_ops, a.register_ops, "ops");
+  std::printf("%-44s worst case: %u cycles, %u SRAM transfers, %u hashes, %u ISTORE slots\n",
+              "", a.worst.cycles, a.worst.sram_transfers(), a.worst.hashes, a.instructions);
+}
+
+}  // namespace
+}  // namespace npr
+
+int main() {
+  using namespace npr;
+  using namespace npr::bench;
+
+  Title("Table 5 — requirements of example data forwarders (static analysis)");
+  RowHeader();
+  Report("TCP splicer", BuildTcpSplicer(), 24, 45);
+  Report("Wavelet dropper", BuildWaveletDropper(), 8, 28);
+  Report("ACK monitor", BuildAckMonitor(), 12, 15);
+  Report("SYN monitor", BuildSynMonitor(), 4, 5);  // +protocol guard (see EXPERIMENTS.md)
+  Report("Port filter", BuildPortFilter(), 20, 26);
+  Report("IP (minimal)", BuildIpMinimal(), 24, 32);
+  Note("'SRAM bytes' = distinct flow-state words the program touches;");
+  Note("'register ops' = non-SRAM instructions. All fit the 240-cycle /");
+  Note("24-transfer / 3-hash VRP budget and the 650-slot ISTORE region (§4.3).");
+
+  Title("Admission check against the prototype VRP budget");
+  const VrpBudget budget = VrpBudget::Prototype();
+  for (auto [name, program] :
+       std::vector<std::pair<std::string, VrpProgram>>{{"tcp-splicer", BuildTcpSplicer()},
+                                                       {"wavelet", BuildWaveletDropper()},
+                                                       {"ack-monitor", BuildAckMonitor()},
+                                                       {"syn-monitor", BuildSynMonitor()},
+                                                       {"port-filter", BuildPortFilter()},
+                                                       {"ip-minimal", BuildIpMinimal()}}) {
+    auto v = VerifyProgram(program);
+    std::printf("  %-14s %s (worst %3u cy / %2u transfers)\n", name.c_str(),
+                v.ok && budget.Admits(v.worst_case) ? "ADMITTED" : "REJECTED",
+                v.worst_case.cycles, v.worst_case.sram_transfers());
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// vrpasm — assemble, verify, and cost a VRP forwarder from the command line.
+//
+//   vrpasm <file.vrp> [--budget-mpps <rate>] [--disasm]
+//   vrpasm --builtin <name> [--disasm]      (splicer|wavelet|ack|syn|filter|ip|dscp|limiter)
+//
+// Prints what admission control would decide: worst-case cycles, SRAM
+// transfers, hashes, ISTORE slots, and the verdict against the VRP budget
+// for the given line rate (default: the prototype's 1.128 Mpps budget).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/forwarders/vrp_programs.h"
+#include "src/vrp/assembler.h"
+#include "src/vrp/budget.h"
+#include "src/vrp/verifier.h"
+
+using namespace npr;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vrpasm <file.vrp> [--budget-mpps <rate>] [--disasm]\n"
+               "       vrpasm --builtin <name> [--disasm]\n"
+               "builtins: splicer wavelet ack syn filter ip dscp limiter\n");
+  return 2;
+}
+
+bool Builtin(const std::string& name, VrpProgram* out) {
+  if (name == "splicer") {
+    *out = BuildTcpSplicer();
+  } else if (name == "wavelet") {
+    *out = BuildWaveletDropper();
+  } else if (name == "ack") {
+    *out = BuildAckMonitor();
+  } else if (name == "syn") {
+    *out = BuildSynMonitor();
+  } else if (name == "filter") {
+    *out = BuildPortFilter();
+  } else if (name == "ip") {
+    *out = BuildIpMinimal();
+  } else if (name == "dscp") {
+    *out = BuildDscpTagger();
+  } else if (name == "limiter") {
+    *out = BuildRateLimiter();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+
+  VrpProgram program;
+  bool disasm = false;
+  double budget_mpps = 0;  // 0 = prototype budget
+
+  int arg = 1;
+  if (std::strcmp(argv[arg], "--builtin") == 0) {
+    if (arg + 1 >= argc || !Builtin(argv[arg + 1], &program)) {
+      return Usage();
+    }
+    arg += 2;
+  } else {
+    std::ifstream in(argv[arg]);
+    if (!in) {
+      std::fprintf(stderr, "vrpasm: cannot open %s\n", argv[arg]);
+      return 1;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+    auto result = Assemble(argv[arg], source.str());
+    if (!result.ok) {
+      std::fprintf(stderr, "vrpasm: %s: %s\n", argv[arg], result.error.c_str());
+      return 1;
+    }
+    program = std::move(result.program);
+    ++arg;
+  }
+  for (; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--disasm") == 0) {
+      disasm = true;
+    } else if (std::strcmp(argv[arg], "--budget-mpps") == 0 && arg + 1 < argc) {
+      budget_mpps = std::atof(argv[++arg]);
+    } else {
+      return Usage();
+    }
+  }
+
+  auto verdict = VerifyProgram(program);
+  std::printf("program: %s\n", program.name.c_str());
+  std::printf("  instructions:     %zu (+%d ISTORE slot for per-flow indirection)\n",
+              program.instructions(), 1);
+  std::printf("  flow state:       %u bytes of SRAM\n", program.flow_state_bytes);
+  if (!verdict.ok) {
+    std::printf("  verification:     REJECTED — %s\n", verdict.error.c_str());
+    return 1;
+  }
+  std::printf("  worst-case cost:  %u cycles, %u SRAM transfers (%u bytes), %u hashes\n",
+              verdict.worst_case.cycles, verdict.worst_case.sram_transfers(),
+              verdict.worst_case.sram_bytes(), verdict.worst_case.hashes);
+
+  const VrpBudget budget =
+      budget_mpps > 0 ? VrpBudget::ForForwardingRate(budget_mpps) : VrpBudget::Prototype();
+  std::printf("  budget:           %s%s\n", budget.ToString().c_str(),
+              budget_mpps > 0 ? (" (for " + std::to_string(budget_mpps) + " Mpps)").c_str()
+                              : " (prototype, 8 x 100 Mbps)");
+  std::printf("  admission:        %s\n",
+              budget.Admits(verdict.worst_case) ? "ADMITTED" : "REJECTED (over budget)");
+  if (disasm) {
+    std::printf("\n%s", Disassemble(program).c_str());
+  }
+  return budget.Admits(verdict.worst_case) ? 0 : 1;
+}

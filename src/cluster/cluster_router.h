@@ -1,0 +1,104 @@
+// Multi-chassis router: the paper's stated next step (§6).
+//
+// "We next plan to construct a router from four Pentium/IXP pairs connected
+// by a Gigabit Ethernet switch. The main difference ... is that we will
+// need to budget RI capacity to service packets arriving on the 'internal'
+// link, leaving fewer cycles for the VRP."
+//
+// Each node is a complete Router (Pentium + IXP1200). One port of every
+// node (by default the last) is its internal gigabit link into a learning
+// switch fabric. Routes are arranged so each node owns the prefixes behind
+// its external ports and reaches every other node's prefixes through the
+// fabric, addressed by the peer's internal MAC. A cross-node packet is
+// therefore forwarded twice — once at the ingress node, once at the egress
+// node — exactly as in a real multi-chassis system.
+
+#ifndef SRC_CLUSTER_CLUSTER_ROUTER_H_
+#define SRC_CLUSTER_CLUSTER_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/router.h"
+
+namespace npr {
+
+// A functional N-port full-duplex Ethernet switch: frames are delivered to
+// the member whose attachment MAC equals the frame's destination. Pacing
+// and drops are handled by the attached MacPorts themselves (the fabric is
+// non-blocking, as a real gigabit switch effectively is at this scale).
+class SwitchFabric {
+ public:
+  // Attaches `port` under `mac`. Frames the port transmits enter the
+  // fabric; frames addressed to `mac` are injected into the port's wire.
+  void Attach(const MacAddr& mac, MacPort& port);
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t unknown_destination() const { return unknown_; }
+
+ private:
+  void Deliver(Packet&& packet);
+
+  std::map<MacAddr, MacPort*> members_;
+  uint64_t forwarded_ = 0;
+  uint64_t unknown_ = 0;
+};
+
+// The internal MAC of node `k` (distinct from the per-port convention).
+MacAddr ClusterNodeMac(int node);
+
+struct ClusterConfig {
+  int nodes = 4;
+  // Per-node router configuration; the last port becomes the internal link
+  // and is re-rated to 1 Gbps.
+  RouterConfig node_config;
+  double internal_link_bps = 1e9;
+};
+
+class ClusterRouter {
+ public:
+  explicit ClusterRouter(ClusterConfig config);
+
+  // Installs the cluster-wide address plan: destination 10.<g>.0.0/16 is
+  // served by external port (g % ports_per_node) of node (g / ports_per_node),
+  // where g ranges over all external ports; remote prefixes route through
+  // the internal link with the owning node's MAC as next hop.
+  void InstallClusterRoutes();
+
+  void Start();
+  void RunForMs(double ms) { engine_.RunFor(static_cast<SimTime>(ms * kPsPerMs)); }
+  void StartMeasurement();
+
+  EventQueue& engine() { return engine_; }
+  Router& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int internal_port() const { return internal_port_; }
+  int external_ports_per_node() const { return internal_port_; }
+  SwitchFabric& fabric() { return fabric_; }
+
+  // Global external prefix index `g` -> (node, port) and its CIDR string.
+  std::pair<int, int> LocateExternal(int g) const;
+  std::string ExternalCidr(int g) const;
+  uint32_t ExternalDstIp(int g, uint16_t low = 1) const;
+  int num_external_ports() const { return num_nodes() * external_ports_per_node(); }
+
+  // Aggregate statistics across the cluster.
+  uint64_t TotalForwarded() const;
+  uint64_t TotalDrops() const;
+  double AggregateRateMpps() const;
+
+  ~ClusterRouter();
+
+ private:
+  EventQueue engine_;
+  ClusterConfig config_;
+  int internal_port_ = 0;
+  std::vector<std::unique_ptr<Router>> nodes_;
+  SwitchFabric fabric_;
+  SimTime window_start_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CLUSTER_CLUSTER_ROUTER_H_

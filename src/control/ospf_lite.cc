@@ -1,0 +1,190 @@
+#include "src/control/ospf_lite.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/net/ipv4.h"
+#include "src/net/wire.h"
+
+namespace npr {
+namespace {
+
+constexpr uint8_t kOspfLiteVersion = 1;
+constexpr uint8_t kTypeLsa = 1;
+constexpr size_t kLsaHeaderBytes = 16;
+constexpr size_t kLinkBytes = 12;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeLsa(const Lsa& lsa) {
+  std::vector<uint8_t> out(kLsaHeaderBytes + lsa.links.size() * kLinkBytes, 0);
+  out[0] = kOspfLiteVersion;
+  out[1] = kTypeLsa;
+  WriteBe16(out, 2, static_cast<uint16_t>(out.size()));
+  WriteBe32(out, 4, lsa.origin);
+  WriteBe32(out, 8, lsa.seq);
+  WriteBe16(out, 12, static_cast<uint16_t>(lsa.links.size()));
+  size_t off = kLsaHeaderBytes;
+  for (const OspfLink& link : lsa.links) {
+    WriteBe32(out, off, link.neighbor_id);
+    WriteBe32(out, off + 4, link.prefix_addr);
+    out[off + 8] = link.prefix_len;
+    out[off + 9] = link.cost;
+    WriteBe16(out, off + 10, link.port_hint);
+    off += kLinkBytes;
+  }
+  return out;
+}
+
+std::optional<Lsa> DecodeLsa(std::span<const uint8_t> payload) {
+  if (payload.size() < kLsaHeaderBytes || payload[0] != kOspfLiteVersion ||
+      payload[1] != kTypeLsa) {
+    return std::nullopt;
+  }
+  Lsa lsa;
+  lsa.origin = ReadBe32(payload, 4);
+  lsa.seq = ReadBe32(payload, 8);
+  const uint16_t num_links = ReadBe16(payload, 12);
+  if (payload.size() < kLsaHeaderBytes + static_cast<size_t>(num_links) * kLinkBytes) {
+    return std::nullopt;
+  }
+  size_t off = kLsaHeaderBytes;
+  for (uint16_t i = 0; i < num_links; ++i) {
+    OspfLink link;
+    link.neighbor_id = ReadBe32(payload, off);
+    link.prefix_addr = ReadBe32(payload, off + 4);
+    link.prefix_len = payload[off + 8];
+    link.cost = payload[off + 9];
+    link.port_hint = ReadBe16(payload, off + 10);
+    lsa.links.push_back(link);
+    off += kLinkBytes;
+  }
+  return lsa;
+}
+
+Packet BuildLsaPacket(const Lsa& lsa, uint32_t src_ip, uint32_t dst_ip, uint8_t arrival_port) {
+  const auto payload = EncodeLsa(lsa);
+  PacketSpec spec;
+  spec.protocol = kIpProtoOspfLite;
+  spec.src_ip = src_ip;
+  spec.dst_ip = dst_ip;
+  spec.frame_bytes =
+      std::max<size_t>(kEthMinFrame, kEthHeaderBytes + kIpv4MinHeaderBytes + payload.size());
+  Packet packet = BuildPacket(spec);
+  // Splice the LSA into the IP payload and refresh the header (BuildPacket
+  // wrote a filler payload).
+  auto l3 = packet.l3();
+  auto ip = Ipv4Header::Parse(l3);
+  std::copy(payload.begin(), payload.end(), l3.begin() + static_cast<long>(ip->header_bytes()));
+  ip->Write(l3);
+  packet.set_arrival_port(arrival_port);
+  return packet;
+}
+
+void OspfLite::AddLocalLink(const OspfLink& link) {
+  self_links_.push_back(link);
+  Lsa self;
+  self.origin = self_id_;
+  self.seq = db_.count(self_id_) ? db_[self_id_].seq + 1 : 1;
+  self.links = self_links_;
+  db_[self_id_] = std::move(self);
+}
+
+bool OspfLite::ProcessLsa(const Lsa& lsa) {
+  auto it = db_.find(lsa.origin);
+  if (it != db_.end() && it->second.seq >= lsa.seq) {
+    return false;  // stale
+  }
+  db_[lsa.origin] = lsa;
+  return true;
+}
+
+int OspfLite::ComputeRoutes(RouteTable& table, int* spf_work) {
+  // Dijkstra over the router graph.
+  std::map<uint32_t, uint32_t> dist;       // router id -> cost
+  std::map<uint32_t, uint16_t> first_port; // router id -> local egress port
+  using Item = std::pair<uint32_t, uint32_t>;  // (cost, id)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  int work = 0;
+
+  dist[self_id_] = 0;
+  heap.push({0, self_id_});
+  while (!heap.empty()) {
+    auto [cost, id] = heap.top();
+    heap.pop();
+    if (dist.count(id) && cost > dist[id]) {
+      continue;
+    }
+    ++work;
+    auto lsa = db_.find(id);
+    if (lsa == db_.end()) {
+      continue;
+    }
+    for (const OspfLink& link : lsa->second.links) {
+      if (link.neighbor_id == 0) {
+        continue;  // stub
+      }
+      ++work;
+      const uint32_t next_cost = cost + link.cost;
+      if (!dist.count(link.neighbor_id) || next_cost < dist[link.neighbor_id]) {
+        dist[link.neighbor_id] = next_cost;
+        // First hop: for self links, the link's own port; otherwise inherit.
+        first_port[link.neighbor_id] =
+            id == self_id_ ? link.port_hint : first_port[id];
+        heap.push({next_cost, link.neighbor_id});
+      }
+    }
+  }
+
+  // Install one route per advertised prefix of every reachable router.
+  int installed = 0;
+  for (const auto& [origin, lsa] : db_) {
+    for (const OspfLink& link : lsa.links) {
+      if (link.prefix_len == 0) {
+        continue;
+      }
+      uint16_t port;
+      if (origin == self_id_) {
+        port = link.port_hint;  // directly attached
+      } else if (first_port.count(origin)) {
+        port = first_port[origin];
+      } else {
+        continue;  // unreachable
+      }
+      RouteEntry entry;
+      entry.out_port = static_cast<uint8_t>(port);
+      entry.next_hop_mac = PortMac(static_cast<uint8_t>(port));
+      table.AddRoute(Prefix::Make(link.prefix_addr, link.prefix_len), entry);
+      ++installed;
+    }
+  }
+  if (spf_work != nullptr) {
+    *spf_work = work;
+  }
+  return installed;
+}
+
+NativeAction OspfForwarder::Process(NativeContext& ctx) {
+  auto l3 = ctx.packet->l3();
+  auto ip = Ipv4Header::Parse(l3);
+  if (!ip || ip->protocol != kIpProtoOspfLite) {
+    return NativeAction::kForward;  // not ours
+  }
+  auto lsa = DecodeLsa(l3.subspan(ip->header_bytes()));
+  if (!lsa) {
+    return NativeAction::kDrop;
+  }
+  ++lsas_;
+  if (protocol_.ProcessLsa(*lsa)) {
+    int work = 0;
+    protocol_.ComputeRoutes(*ctx.routes, &work);
+    // SPF is the paper's canonical compute-heavy control operation; charge
+    // it proportionally to the graph walked.
+    ctx.extra_cycles += static_cast<uint32_t>(work) * 120;
+    ++spf_runs_;
+  }
+  return NativeAction::kConsume;
+}
+
+}  // namespace npr

@@ -1,0 +1,96 @@
+// OSPF-lite: a small link-state routing protocol for the control plane.
+//
+// The paper's control plane runs OSPF on the Pentium, isolated from data
+// traffic by its own queue and a guaranteed scheduler share (§4.1). This is
+// a self-contained link-state protocol in that role: routers flood LSAs
+// (IP protocol 89), each LSA carries the origin's links and the prefixes it
+// can deliver, and Dijkstra over the collected database yields the routing
+// table — installed via RouteTable, which bumps the epoch and thereby
+// invalidates the MicroEngines' route cache.
+
+#ifndef SRC_CONTROL_OSPF_LITE_H_
+#define SRC_CONTROL_OSPF_LITE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/forwarder.h"
+#include "src/net/packet.h"
+#include "src/route/route_table.h"
+
+namespace npr {
+
+struct OspfLink {
+  uint32_t neighbor_id = 0;  // 0 = stub network (prefix only)
+  uint32_t prefix_addr = 0;
+  uint8_t prefix_len = 0;
+  uint8_t cost = 1;
+  // For the origin's own links: the local port reaching this neighbor.
+  uint16_t port_hint = 0;
+};
+
+struct Lsa {
+  uint32_t origin = 0;
+  uint32_t seq = 0;
+  std::vector<OspfLink> links;
+};
+
+// Wire codec (payload of IP proto 89).
+std::vector<uint8_t> EncodeLsa(const Lsa& lsa);
+std::optional<Lsa> DecodeLsa(std::span<const uint8_t> payload);
+
+// Builds a complete Ethernet+IP frame carrying the LSA.
+Packet BuildLsaPacket(const Lsa& lsa, uint32_t src_ip, uint32_t dst_ip,
+                      uint8_t arrival_port = 0);
+
+class OspfLite {
+ public:
+  explicit OspfLite(uint32_t self_id) : self_id_(self_id) {}
+
+  // Declares one of this router's own links (fills the self LSA).
+  void AddLocalLink(const OspfLink& link);
+
+  // Floods-in one LSA. Returns true if the database changed (newer seq).
+  bool ProcessLsa(const Lsa& lsa);
+
+  // Runs Dijkstra and installs one route per reachable advertised prefix.
+  // Returns the number of routes installed. `spf_work` (out, optional)
+  // reports nodes+edges relaxed, used for cycle charging.
+  int ComputeRoutes(RouteTable& table, int* spf_work = nullptr);
+
+  size_t database_size() const { return db_.size(); }
+  uint32_t self_id() const { return self_id_; }
+  const std::vector<OspfLink>& local_links() const { return self_links_; }
+
+ private:
+  uint32_t self_id_;
+  std::vector<OspfLink> self_links_;
+  std::map<uint32_t, Lsa> db_;  // origin -> newest LSA
+};
+
+// The Pentium-level control forwarder: consumes LSA packets, updates the
+// database, recomputes routes on change.
+class OspfForwarder : public NativeForwarder {
+ public:
+  explicit OspfForwarder(OspfLite& protocol) : protocol_(protocol) {}
+
+  const std::string& name() const override { return name_; }
+  uint32_t cycles_per_packet() const override { return 2000; }  // LSA parse + flood
+  NativeAction Process(NativeContext& ctx) override;
+
+  uint64_t lsas_processed() const { return lsas_; }
+  uint64_t spf_runs() const { return spf_runs_; }
+
+ private:
+  std::string name_ = "ospf-lite";
+  OspfLite& protocol_;
+  uint64_t lsas_ = 0;
+  uint64_t spf_runs_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CONTROL_OSPF_LITE_H_

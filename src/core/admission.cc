@@ -1,0 +1,167 @@
+#include "src/core/admission.h"
+
+#include <algorithm>
+
+#include "src/sim/time.h"
+
+namespace npr {
+namespace {
+
+VrpCost Sum(const VrpCost& a, const VrpCost& b) {
+  VrpCost s;
+  s.cycles = a.cycles + b.cycles;
+  s.sram_reads = a.sram_reads + b.sram_reads;
+  s.sram_writes = a.sram_writes + b.sram_writes;
+  s.hashes = a.hashes + b.hashes;
+  return s;
+}
+
+}  // namespace
+
+AdmissionControl::AdmissionControl(const RouterConfig& config, IStoreLayout& istore)
+    : config_(config), istore_(istore) {}
+
+VrpCost AdmissionControl::max_per_flow_cost() const {
+  VrpCost max_cost;
+  for (const auto& [handle, entry] : me_committed_) {
+    if (!entry.second) {  // per-flow
+      max_cost.cycles = std::max(max_cost.cycles, entry.first.cycles);
+      max_cost.sram_reads = std::max(max_cost.sram_reads, entry.first.sram_reads);
+      max_cost.sram_writes = std::max(max_cost.sram_writes, entry.first.sram_writes);
+      max_cost.hashes = std::max(max_cost.hashes, entry.first.hashes);
+    }
+  }
+  return max_cost;
+}
+
+AdmissionResult AdmissionControl::CheckMicroEngine(const VrpProgram& program,
+                                                   bool general) const {
+  // Inspect the code (§4.6): the verifier rejects loops and computes the
+  // exact worst-case cost.
+  VerifyResult verify = VerifyProgram(program);
+  if (!verify.ok) {
+    return AdmissionResult::Deny("verification failed: " + verify.error);
+  }
+
+  const uint32_t slots_needed = verify.instructions + (general ? 0 : 1);
+  if (slots_needed > istore_.free_slots()) {
+    return AdmissionResult::Deny("ISTORE full: need " + std::to_string(slots_needed) +
+                                 " slots, " + std::to_string(istore_.free_slots()) + " free");
+  }
+
+  // General forwarders run serially (sum); per-flow forwarders logically in
+  // parallel (only the most expensive applies to any one packet).
+  VrpCost total = Sum(sum_generals_, max_per_flow_cost());
+  if (general) {
+    total = Sum(total, verify.worst_case);
+  } else {
+    VrpCost max_pf = max_per_flow_cost();
+    VrpCost candidate = verify.worst_case;
+    max_pf.cycles = std::max(max_pf.cycles, candidate.cycles);
+    max_pf.sram_reads = std::max(max_pf.sram_reads, candidate.sram_reads);
+    max_pf.sram_writes = std::max(max_pf.sram_writes, candidate.sram_writes);
+    max_pf.hashes = std::max(max_pf.hashes, candidate.hashes);
+    total = Sum(sum_generals_, max_pf);
+  }
+  if (!config_.budget.Admits(total)) {
+    return AdmissionResult::Deny("VRP budget exceeded: need {cycles=" +
+                                 std::to_string(total.cycles) + " sram=" +
+                                 std::to_string(total.sram_transfers()) + " hashes=" +
+                                 std::to_string(total.hashes) + "} budget " +
+                                 config_.budget.ToString());
+  }
+  return AdmissionResult::Allow(verify.worst_case);
+}
+
+void AdmissionControl::CommitMicroEngine(uint32_t handle, const VrpCost& cost, bool general) {
+  me_committed_[handle] = {cost, general};
+  if (general) {
+    sum_generals_ = Sum(sum_generals_, cost);
+  }
+}
+
+void AdmissionControl::ReleaseMicroEngine(uint32_t handle) {
+  auto it = me_committed_.find(handle);
+  if (it == me_committed_.end()) {
+    return;
+  }
+  if (it->second.second) {
+    sum_generals_.cycles -= it->second.first.cycles;
+    sum_generals_.sram_reads -= it->second.first.sram_reads;
+    sum_generals_.sram_writes -= it->second.first.sram_writes;
+    sum_generals_.hashes -= it->second.first.hashes;
+  }
+  me_committed_.erase(it);
+}
+
+AdmissionResult AdmissionControl::CheckStrongArm(const NativeForwarder& forwarder,
+                                                 double expected_pps) const {
+  const double capacity = kIxpClock.FrequencyHz();
+  const double available = capacity * (1.0 - sa_bridge_reserve);
+  const double needed = expected_pps * static_cast<double>(forwarder.cycles_per_packet());
+  if (sa_cycle_rate_ + needed > available) {
+    return AdmissionResult::Deny("StrongARM capacity: bridge reserve leaves " +
+                                 std::to_string(available) + " cycles/s, committed " +
+                                 std::to_string(sa_cycle_rate_) + ", requested " +
+                                 std::to_string(needed));
+  }
+  return AdmissionResult::Allow();
+}
+
+void AdmissionControl::CommitStrongArm(uint32_t fid, double cycle_rate) {
+  sa_committed_[fid] = cycle_rate;
+  sa_cycle_rate_ += cycle_rate;
+}
+
+void AdmissionControl::ReleaseStrongArm(uint32_t fid) {
+  auto it = sa_committed_.find(fid);
+  if (it != sa_committed_.end()) {
+    sa_cycle_rate_ -= it->second;
+    sa_committed_.erase(it);
+  }
+}
+
+AdmissionResult AdmissionControl::CheckPentium(double expected_pps,
+                                               double cycles_per_packet) const {
+  const double capacity = kPentiumClock.FrequencyHz();
+  // Each packet also costs the bridge path: software I2O in and out.
+  const double bridge_cpp =
+      static_cast<double>(config_.hw.pentium_fixed_cycles) * 1.5 +
+      config_.hw.pentium_per_byte_cycles * 72.0;
+  const double needed = expected_pps * (cycles_per_packet + bridge_cpp);
+  if (pe_cycle_rate_ + needed > capacity) {
+    return AdmissionResult::Deny("Pentium cycle budget: capacity " + std::to_string(capacity) +
+                                 ", committed " + std::to_string(pe_cycle_rate_) +
+                                 ", requested " + std::to_string(needed));
+  }
+  if (pe_packet_rate_ + expected_pps > pentium_max_pps) {
+    return AdmissionResult::Deny("Pentium packet rate: max " + std::to_string(pentium_max_pps) +
+                                 " pps, committed " + std::to_string(pe_packet_rate_));
+  }
+  return AdmissionResult::Allow();
+}
+
+void AdmissionControl::CommitPentium(uint32_t fid, double expected_pps,
+                                     double cycles_per_packet) {
+  pe_committed_[fid] = {expected_pps, cycles_per_packet};
+  const double bridge_cpp =
+      static_cast<double>(config_.hw.pentium_fixed_cycles) * 1.5 +
+      config_.hw.pentium_per_byte_cycles * 72.0;
+  pe_cycle_rate_ += expected_pps * (cycles_per_packet + bridge_cpp);
+  pe_packet_rate_ += expected_pps;
+}
+
+void AdmissionControl::ReleasePentium(uint32_t fid) {
+  auto it = pe_committed_.find(fid);
+  if (it == pe_committed_.end()) {
+    return;
+  }
+  const double bridge_cpp =
+      static_cast<double>(config_.hw.pentium_fixed_cycles) * 1.5 +
+      config_.hw.pentium_per_byte_cycles * 72.0;
+  pe_cycle_rate_ -= it->second.first * (it->second.second + bridge_cpp);
+  pe_packet_rate_ -= it->second.first;
+  pe_committed_.erase(it);
+}
+
+}  // namespace npr

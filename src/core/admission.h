@@ -1,0 +1,92 @@
+// Admission control (§4.6).
+//
+// Decides which forwarders may be installed at each level of the processor
+// hierarchy, which is what makes extensibility safe:
+//  * MicroEngine forwarders are statically verified (no loops -> exact
+//    worst-case cost) and must fit the VRP budget — general forwarders run
+//    serially (their costs sum), per-flow forwarders logically in parallel
+//    (only the most expensive one counts) — plus ISTORE space.
+//  * StrongARM forwarders must leave the bridge's reserved capacity intact.
+//  * Pentium forwarders declare (expected packet rate, cycles per packet);
+//    the product must fit the remaining cycle budget and the total packet
+//    rate must stay below what the PCI path sustains.
+
+#ifndef SRC_CORE_ADMISSION_H_
+#define SRC_CORE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/core/forwarder.h"
+#include "src/core/router_config.h"
+#include "src/vrp/istore_layout.h"
+#include "src/vrp/verifier.h"
+
+namespace npr {
+
+struct AdmissionResult {
+  bool admitted = false;
+  std::string reason;   // populated on rejection
+  VrpCost worst_case;   // ME checks: the verified worst-case cost
+
+  static AdmissionResult Deny(std::string why) {
+    AdmissionResult r;
+    r.reason = std::move(why);
+    return r;
+  }
+  static AdmissionResult Allow(VrpCost cost = {}) {
+    AdmissionResult r;
+    r.admitted = true;
+    r.worst_case = cost;
+    return r;
+  }
+};
+
+class AdmissionControl {
+ public:
+  AdmissionControl(const RouterConfig& config, IStoreLayout& istore);
+
+  // --- MicroEngine level ---
+  AdmissionResult CheckMicroEngine(const VrpProgram& program, bool general) const;
+  void CommitMicroEngine(uint32_t handle, const VrpCost& cost, bool general);
+  void ReleaseMicroEngine(uint32_t handle);
+
+  // --- StrongARM level ---
+  AdmissionResult CheckStrongArm(const NativeForwarder& forwarder, double expected_pps) const;
+  void CommitStrongArm(uint32_t fid, double cycle_rate);
+  void ReleaseStrongArm(uint32_t fid);
+
+  // --- Pentium level ---
+  AdmissionResult CheckPentium(double expected_pps, double cycles_per_packet) const;
+  void CommitPentium(uint32_t fid, double expected_pps, double cycles_per_packet);
+  void ReleasePentium(uint32_t fid);
+
+  // Introspection for tests and diagnostics.
+  VrpCost general_chain_cost() const { return sum_generals_; }
+  VrpCost max_per_flow_cost() const;
+  double pentium_committed_cycle_rate() const { return pe_cycle_rate_; }
+  double pentium_committed_packet_rate() const { return pe_packet_rate_; }
+
+  // Fraction of the StrongARM reserved for bridging (the paper's prototype
+  // reserves all of it; we default to 80% so SA extensions are testable).
+  double sa_bridge_reserve = 0.8;
+  // Maximum sustained Pentium-path packet rate (Table 4).
+  double pentium_max_pps = 534'000;
+
+ private:
+  const RouterConfig& config_;
+  IStoreLayout& istore_;
+
+  VrpCost sum_generals_;
+  std::map<uint32_t, std::pair<VrpCost, bool>> me_committed_;  // handle -> (cost, general)
+  std::map<uint32_t, double> sa_committed_;                    // fid -> cycle rate
+  std::map<uint32_t, std::pair<double, double>> pe_committed_; // fid -> (pps, cpp)
+  double sa_cycle_rate_ = 0;
+  double pe_cycle_rate_ = 0;
+  double pe_packet_rate_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_ADMISSION_H_

@@ -1,0 +1,74 @@
+#include "src/core/buffer_allocator.h"
+
+#include <cassert>
+
+namespace npr {
+
+CircularBufferAllocator::CircularBufferAllocator(uint32_t dram_base, uint32_t buffer_bytes,
+                                                 uint32_t num_buffers)
+    : dram_base_(dram_base),
+      buffer_bytes_(buffer_bytes),
+      num_buffers_(num_buffers),
+      meta_(num_buffers),
+      generation_(num_buffers, 0) {}
+
+uint32_t CircularBufferAllocator::Allocate(const BufferMeta& meta) {
+  const uint32_t index = next_;
+  next_ = (next_ + 1) % num_buffers_;
+  ++allocations_;
+  meta_[index] = meta;
+  meta_[index].generation = allocations_;  // unique, monotonically increasing
+  generation_[index] = allocations_;
+  return AddressOf(index);
+}
+
+uint32_t CircularBufferAllocator::IndexOf(uint32_t addr) const {
+  assert(addr >= dram_base_);
+  const uint32_t index = (addr - dram_base_) / buffer_bytes_;
+  assert(index < num_buffers_);
+  return index;
+}
+
+bool CircularBufferAllocator::StillValid(uint32_t addr, uint64_t generation) const {
+  return generation_[IndexOf(addr)] == generation;
+}
+
+const BufferMeta& CircularBufferAllocator::MetaFor(uint32_t addr) const {
+  return meta_[IndexOf(addr)];
+}
+
+StackBufferPool::StackBufferPool(uint32_t dram_base, uint32_t buffer_bytes, uint32_t num_buffers)
+    : dram_base_(dram_base),
+      buffer_bytes_(buffer_bytes),
+      num_buffers_(num_buffers),
+      meta_(num_buffers) {
+  free_.reserve(num_buffers);
+  for (uint32_t i = 0; i < num_buffers; ++i) {
+    free_.push_back(num_buffers - 1 - i);
+  }
+}
+
+std::optional<uint32_t> StackBufferPool::Allocate(const BufferMeta& meta) {
+  if (free_.empty()) {
+    ++failures_;
+    return std::nullopt;
+  }
+  const uint32_t index = free_.back();
+  free_.pop_back();
+  meta_[index] = meta;
+  return dram_base_ + index * buffer_bytes_;
+}
+
+void StackBufferPool::Free(uint32_t addr) {
+  assert(addr >= dram_base_);
+  const uint32_t index = (addr - dram_base_) / buffer_bytes_;
+  assert(index < num_buffers_);
+  free_.push_back(index);
+}
+
+const BufferMeta& StackBufferPool::MetaFor(uint32_t addr) const {
+  const uint32_t index = (addr - dram_base_) / buffer_bytes_;
+  return meta_[index];
+}
+
+}  // namespace npr

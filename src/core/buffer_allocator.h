@@ -1,0 +1,90 @@
+// Packet buffer allocation in DRAM (§3.2.3).
+//
+// 16 MB of DRAM is divided into 8192 buffers of 2 KB (each large enough for
+// a maximal 1518-octet frame), consumed circularly as packets arrive. The
+// paper's deliberate design quirk is preserved: a buffer is valid for one
+// lap of the ring; if the output side has not drained it by the time the
+// allocator wraps around, the packet is silently overwritten ("effectively
+// lost"). Lap detection statistics expose when that happens.
+//
+// The per-port stack pool the paper describes but chose not to build
+// (hardware push/pop support) is also provided for the ablation bench.
+
+#ifndef SRC_CORE_BUFFER_ALLOCATOR_H_
+#define SRC_CORE_BUFFER_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace npr {
+
+// Simulator-side sidecar metadata for the packet occupying a buffer (not
+// hardware state; used for end-to-end verification and latency accounting).
+struct BufferMeta {
+  uint32_t packet_id = 0;
+  uint8_t arrival_port = 0;
+  SimTime ingress_time = 0;
+  uint64_t generation = 0;  // allocator lap when this buffer was issued
+};
+
+class CircularBufferAllocator {
+ public:
+  CircularBufferAllocator(uint32_t dram_base, uint32_t buffer_bytes, uint32_t num_buffers);
+
+  // Issues the next buffer in ring order; never fails (old contents are
+  // overwritten). Returns the DRAM byte address.
+  uint32_t Allocate(const BufferMeta& meta);
+
+  // True if the buffer at `addr` still belongs to generation `generation`
+  // (i.e. the allocator has not lapped it). The output stage checks this to
+  // detect overwritten packets.
+  bool StillValid(uint32_t addr, uint64_t generation) const;
+
+  const BufferMeta& MetaFor(uint32_t addr) const;
+  uint32_t IndexOf(uint32_t addr) const;
+  uint32_t AddressOf(uint32_t index) const { return dram_base_ + index * buffer_bytes_; }
+
+  uint32_t buffer_bytes() const { return buffer_bytes_; }
+  uint32_t num_buffers() const { return num_buffers_; }
+  uint64_t allocations() const { return allocations_; }
+  uint64_t laps() const { return allocations_ / num_buffers_; }
+
+ private:
+  const uint32_t dram_base_;
+  const uint32_t buffer_bytes_;
+  const uint32_t num_buffers_;
+  uint32_t next_ = 0;
+  uint64_t allocations_ = 0;
+  std::vector<BufferMeta> meta_;
+  std::vector<uint64_t> generation_;
+};
+
+// The alternative the paper sketches: a stack of free buffers per output
+// port, so lifetime is explicit and no packet can be overwritten. Costs an
+// extra push/pop (SRAM) per packet — measured in bench/ablation.
+class StackBufferPool {
+ public:
+  StackBufferPool(uint32_t dram_base, uint32_t buffer_bytes, uint32_t num_buffers);
+
+  std::optional<uint32_t> Allocate(const BufferMeta& meta);
+  void Free(uint32_t addr);
+
+  const BufferMeta& MetaFor(uint32_t addr) const;
+  uint32_t free_count() const { return static_cast<uint32_t>(free_.size()); }
+  uint64_t failed_allocations() const { return failures_; }
+
+ private:
+  const uint32_t dram_base_;
+  const uint32_t buffer_bytes_;
+  const uint32_t num_buffers_;
+  std::vector<uint32_t> free_;  // stack of buffer indexes
+  std::vector<BufferMeta> meta_;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_BUFFER_ALLOCATOR_H_

@@ -1,0 +1,108 @@
+#include "src/core/classifier.h"
+
+#include "src/net/ethernet.h"
+#include "src/net/ipv4.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/net/wire.h"
+
+namespace npr {
+
+ClassifyOutcome Classifier::Classify(std::span<const uint8_t> frame_head) {
+  ClassifyOutcome out;
+
+  auto eth = EthernetHeader::Parse(frame_head);
+  if (!eth || eth->ethertype != kEtherTypeIpv4) {
+    out.target = ClassifyOutcome::Target::kDrop;
+    out.reason = "non-ip";
+    return out;
+  }
+  const auto ip_bytes = frame_head.subspan(kEthHeaderBytes);
+  // Header validation is the classifier's job (§4.4). With a 64-byte head
+  // the full IP header (sans long options) is present.
+  if (!Ipv4Header::Validate(ip_bytes)) {
+    out.target = ClassifyOutcome::Target::kDrop;
+    out.reason = "bad-ip-header";
+    return out;
+  }
+  auto ip = Ipv4Header::Parse(ip_bytes);
+
+  // Exceptional conditions handled above the MicroEngines (§3.2).
+  if (ip->ttl <= 1) {
+    out.target = ClassifyOutcome::Target::kStrongArmLocal;
+    out.reason = "ttl-expired";
+    return out;
+  }
+  if (ip->has_options()) {
+    out.target = ClassifyOutcome::Target::kStrongArmLocal;
+    out.reason = "ip-options";
+    return out;
+  }
+
+  // Control protocols ride to the Pentium's control forwarders, isolated
+  // from data traffic by their own queue (§4.1).
+  if (ip->protocol == kIpProtoOspfLite) {
+    out.target = ClassifyOutcome::Target::kPentium;
+    out.reason = "control";
+    return out;
+  }
+
+  // Full classifier: hash IP and TCP headers separately, combine, and look
+  // up flow metadata (§4.5).
+  if (mode_ == ClassifierMode::kFlowTable) {
+    uint16_t sport = 0;
+    uint16_t dport = 0;
+    const auto l4 = ip_bytes.subspan(ip->header_bytes());
+    if ((ip->protocol == kIpProtoTcp || ip->protocol == kIpProtoUdp) && l4.size() >= 4) {
+      sport = ReadBe16(l4, 0);
+      dport = ReadBe16(l4, 2);
+    }
+    const uint64_t ip_hash = hash_.Hash64(static_cast<uint64_t>(ip->src) << 32 | ip->dst);
+    const uint64_t l4_hash = hash_.Hash64(static_cast<uint64_t>(sport) << 16 | dport);
+    (void)hash_.Combine(ip_hash, l4_hash);  // table index in hardware
+
+    const FlowMeta* flow = flows_.LookupTuple(FlowKey::Tuple(ip->src, ip->dst, sport, dport));
+    if (flow != nullptr) {
+      out.flow = flow;
+      switch (flow->where) {
+        case Where::kStrongArm:
+          out.target = ClassifyOutcome::Target::kStrongArmLocal;
+          out.reason = "sa-flow";
+          return out;
+        case Where::kPentium:
+          out.target = ClassifyOutcome::Target::kPentium;
+          out.reason = "pe-flow";
+          return out;
+        case Where::kMicroEngine:
+          break;  // per-flow VRP program runs in the input stage
+      }
+    }
+  } else {
+    // Fast path: one-cycle hash of the destination address (§3.5.1).
+    (void)hash_.Hash32(ip->dst);
+  }
+
+  auto cached = cache_.Lookup(ip->dst, routes_.epoch());
+  if (!cached) {
+    out.target = ClassifyOutcome::Target::kStrongArmLocal;
+    out.reason = "route-miss";
+    return out;
+  }
+  out.target = ClassifyOutcome::Target::kPort;
+  out.out_port = cached->out_port;
+  out.route = *cached;
+  out.route_found = true;
+  return out;
+}
+
+int Classifier::SlowPathResolve(uint32_t dst_ip, RouteEntry* out) {
+  auto result = routes_.Lookup(dst_ip);
+  if (!result.entry) {
+    return result.memory_accesses;
+  }
+  cache_.Insert(dst_ip, *result.entry, routes_.epoch());
+  *out = *result.entry;
+  return result.memory_accesses;
+}
+
+}  // namespace npr

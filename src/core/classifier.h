@@ -1,0 +1,67 @@
+// Packet classification (§2.1, §4.5).
+//
+// The classifier runs inside protocol_processing on the first MP of each
+// packet. The fast path (§3.5.1) validates the IP header and hashes the
+// destination address into the route cache; the full classifier also hashes
+// the IP and TCP headers separately, combines them, and looks up flow
+// metadata installed through the install() interface. Exceptional packets
+// (options, TTL expiry, cache misses) divert to the StrongARM; flow-bound
+// packets may divert to the StrongARM or Pentium.
+
+#ifndef SRC_CORE_CLASSIFIER_H_
+#define SRC_CORE_CLASSIFIER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/flow_table.h"
+#include "src/core/router_config.h"
+#include "src/ixp/hash_unit.h"
+#include "src/route/route_cache.h"
+#include "src/route/route_table.h"
+
+namespace npr {
+
+struct ClassifyOutcome {
+  enum class Target : uint8_t {
+    kPort,           // fast path: forward out `out_port`
+    kStrongArmLocal, // exceptional or SA-bound flow
+    kPentium,        // Pentium-bound flow or control protocol
+    kDrop,           // invalid packet
+  };
+
+  Target target = Target::kDrop;
+  uint8_t out_port = 0;
+  uint32_t priority = 0;
+  const FlowMeta* flow = nullptr;  // matched per-flow metadata (any level)
+  RouteEntry route;                // valid when a route was found
+  bool route_found = false;
+  const char* reason = "";         // why exceptional / dropped (accounting)
+};
+
+class Classifier {
+ public:
+  Classifier(ClassifierMode mode, RouteTable& routes, RouteCache& cache, FlowTable& flows,
+             HashUnit& hash)
+      : mode_(mode), routes_(routes), cache_(cache), flows_(flows), hash_(hash) {}
+
+  // Classifies from the packet's first bytes (Ethernet + IP [+ TCP/UDP]
+  // headers; the first MP is enough, §4.3). Purely functional — the input
+  // stage charges the cycles and SRAM accesses.
+  ClassifyOutcome Classify(std::span<const uint8_t> frame_head);
+
+  // Resolves a route the slow way (CPE walk) and refreshes the cache; used
+  // by the StrongARM on cache misses. Returns accesses walked.
+  int SlowPathResolve(uint32_t dst_ip, RouteEntry* out);
+
+ private:
+  ClassifierMode mode_;
+  RouteTable& routes_;
+  RouteCache& cache_;
+  FlowTable& flows_;
+  HashUnit& hash_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_CLASSIFIER_H_

@@ -1,0 +1,88 @@
+// Native forwarder interface for code that runs on the StrongARM or the
+// Pentium (§4.1, §4.4).
+//
+// ME-level data forwarders are VRP programs (src/vrp); forwarders too
+// expensive for the VRP budget — full IP with options, TCP proxies, control
+// protocols — are native C++ with a *declared* per-packet cycle cost that
+// admission control checks and the simulated processor charges.
+
+#ifndef SRC_CORE_FORWARDER_H_
+#define SRC_CORE_FORWARDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/backing_store.h"
+#include "src/net/packet.h"
+#include "src/route/route_table.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+enum class NativeAction : uint8_t {
+  kForward,  // send to out_port chosen in the context
+  kDrop,
+  kConsume,  // control packet absorbed (e.g. routing update)
+};
+
+struct NativeContext {
+  Packet* packet = nullptr;
+  // Flow state window in simulated SRAM.
+  BackingStore* sram = nullptr;
+  uint32_t state_addr = 0;
+  uint32_t state_bytes = 0;
+  RouteTable* routes = nullptr;
+  SimTime now = 0;
+  // In/out: destination port (pre-set from classification; forwarder may
+  // override).
+  uint8_t out_port = 0;
+  // Out: extra cycles beyond the declared cost actually consumed this
+  // packet (e.g. a route-table walk whose length is data dependent).
+  uint32_t extra_cycles = 0;
+};
+
+class NativeForwarder {
+ public:
+  virtual ~NativeForwarder() = default;
+
+  virtual const std::string& name() const = 0;
+  // Declared worst-case cycles per packet (admission input; also what the
+  // hosting processor is charged, plus NativeContext::extra_cycles).
+  virtual uint32_t cycles_per_packet() const = 0;
+  // Bytes of per-flow state required.
+  virtual uint32_t state_bytes() const { return 0; }
+  // True if the forwarder reads/writes the packet body (the bridge must
+  // then move the whole packet over PCI, §3.7).
+  virtual bool needs_packet_body() const { return false; }
+
+  virtual NativeAction Process(NativeContext& ctx) = 0;
+};
+
+// A processor's jump table (§4.5: "the StrongARM boots with a fixed set of
+// forwarders"; the Pentium has an analogous table).
+class ForwarderRegistry {
+ public:
+  // Returns the jump-table index.
+  int Register(std::unique_ptr<NativeForwarder> forwarder) {
+    table_.push_back(std::move(forwarder));
+    return static_cast<int>(table_.size()) - 1;
+  }
+
+  NativeForwarder* Get(int index) {
+    if (index < 0 || index >= static_cast<int>(table_.size())) {
+      return nullptr;
+    }
+    return table_[static_cast<size_t>(index)].get();
+  }
+
+  int size() const { return static_cast<int>(table_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<NativeForwarder>> table_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_FORWARDER_H_

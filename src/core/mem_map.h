@@ -1,0 +1,36 @@
+// Simple bump allocators for laying out simulated SRAM and Scratch.
+
+#ifndef SRC_CORE_MEM_MAP_H_
+#define SRC_CORE_MEM_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace npr {
+
+class Arena {
+ public:
+  Arena(uint32_t base, uint32_t size) : base_(base), size_(size), next_(base) {}
+
+  // Allocates `bytes` aligned to `align`; asserts on exhaustion (layout is
+  // static and sized at construction — running out is a configuration bug).
+  uint32_t Alloc(uint32_t bytes, uint32_t align = 4) {
+    next_ = (next_ + align - 1) / align * align;
+    const uint32_t addr = next_;
+    next_ += bytes;
+    assert(next_ <= base_ + size_ && "arena exhausted");
+    return addr;
+  }
+
+  uint32_t remaining() const { return base_ + size_ - next_; }
+  uint32_t used() const { return next_ - base_; }
+
+ private:
+  const uint32_t base_;
+  const uint32_t size_;
+  uint32_t next_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_MEM_MAP_H_

@@ -1,0 +1,61 @@
+// Output pipeline stage (§3.3, Figure 6).
+//
+// Output contexts are statically assigned whole ports and FIFO slots; a
+// token ring identical to the input side serializes them so the strictly
+// ordered transmit FIFO is consumed correctly. Each iteration the context
+// either continues streaming the MPs of its current packet or selects the
+// next non-empty queue per the configured servicing discipline (O.1
+// batching / O.2 per-packet head checks / O.3 readiness indirection).
+
+#ifndef SRC_CORE_OUTPUT_STAGE_H_
+#define SRC_CORE_OUTPUT_STAGE_H_
+
+#include <vector>
+
+#include "src/core/router_core.h"
+#include "src/ixp/token_ring.h"
+#include "src/sim/task.h"
+
+namespace npr {
+
+class OutputStage {
+ public:
+  explicit OutputStage(RouterCore& core);
+
+  // Installs and starts the context programs. Call once.
+  void Start();
+
+  TokenRing& token_ring() { return ring_; }
+  int num_contexts() const { return static_cast<int>(members_.size()); }
+
+  // Completes a packet on behalf of the StrongARM/Pentium return path
+  // (those processors hand packets back to ordinary output queues; the
+  // output stage transmits them like any other packet).
+  void DeliverMpToPort(uint8_t port, const Mp& mp);
+
+ private:
+  struct Streaming {
+    bool active = false;
+    PacketDescriptor desc;
+    uint16_t next_mp = 0;
+    PacketQueue* queue = nullptr;
+    uint32_t batch_remaining = 0;
+    uint32_t pops_since_burst = 0;
+  };
+
+  Task ContextLoop(HwContext& ctx, int member, int out_ctx_index);
+  void CompletePacket(const PacketDescriptor& desc);
+
+  RouterCore& core_;
+  TokenRing ring_;
+  std::vector<HwContext*> members_;
+  std::vector<Streaming> streaming_;  // per output context
+  // output_fake_data mode: the eternal descriptor served when queues are
+  // empty (see RouterConfig).
+  PacketDescriptor fake_desc_;
+  bool fake_ready_ = false;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_OUTPUT_STAGE_H_

@@ -1,0 +1,81 @@
+#include "src/core/packet_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace npr {
+
+uint32_t PacketDescriptor::Encode(uint32_t dram_base, uint32_t buffer_bytes) const {
+  const uint32_t index = (buffer_addr - dram_base) / buffer_bytes;
+  return (index & 0x1fff) | (static_cast<uint32_t>(mp_count) & 0x3f) << 13 |
+         (static_cast<uint32_t>(out_port) & 0xf) << 19 | (exceptional ? 1u << 23 : 0);
+}
+
+PacketDescriptor PacketDescriptor::Decode(uint32_t word, uint32_t dram_base,
+                                          uint32_t buffer_bytes) {
+  PacketDescriptor d;
+  d.buffer_addr = dram_base + (word & 0x1fff) * buffer_bytes;
+  d.mp_count = static_cast<uint16_t>((word >> 13) & 0x3f);
+  d.out_port = static_cast<uint8_t>((word >> 19) & 0xf);
+  d.exceptional = (word >> 23 & 1) != 0;
+  return d;
+}
+
+PacketQueue::PacketQueue(BackingStore& sram, BackingStore& scratch, uint32_t sram_base,
+                         uint32_t scratch_base, uint32_t capacity, int id, uint32_t dram_base,
+                         uint32_t buffer_bytes)
+    : sram_(sram),
+      scratch_(scratch),
+      sram_base_(sram_base),
+      scratch_base_(scratch_base),
+      capacity_(capacity),
+      id_(id),
+      dram_base_(dram_base),
+      buffer_bytes_(buffer_bytes),
+      sidecar_(capacity) {
+  scratch_.WriteU32(head_scratch_addr(), 0);
+  scratch_.WriteU32(tail_scratch_addr(), 0);
+}
+
+uint32_t PacketQueue::size() const {
+  const uint32_t head = scratch_.ReadU32(head_scratch_addr());
+  const uint32_t tail = scratch_.ReadU32(tail_scratch_addr());
+  return head - tail;  // monotonically increasing indexes; wrap via modulo below
+}
+
+bool PacketQueue::Push(const PacketDescriptor& d) {
+  const uint32_t head = scratch_.ReadU32(head_scratch_addr());
+  const uint32_t tail = scratch_.ReadU32(tail_scratch_addr());
+  if (head - tail >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  const uint32_t slot = head % capacity_;
+  sram_.WriteU32(entry_sram_addr(slot), d.Encode(dram_base_, buffer_bytes_));
+  sidecar_[slot] = d;
+  scratch_.WriteU32(head_scratch_addr(), head + 1);
+  ++pushes_;
+  max_depth_ = std::max(max_depth_, head + 1 - tail);
+  return true;
+}
+
+std::optional<PacketDescriptor> PacketQueue::Pop() {
+  const uint32_t head = scratch_.ReadU32(head_scratch_addr());
+  const uint32_t tail = scratch_.ReadU32(tail_scratch_addr());
+  if (head == tail) {
+    return std::nullopt;
+  }
+  const uint32_t slot = tail % capacity_;
+  const uint32_t word = sram_.ReadU32(entry_sram_addr(slot));
+  PacketDescriptor d = PacketDescriptor::Decode(word, dram_base_, buffer_bytes_);
+  // The hardware word is authoritative; sidecar carries what it cannot.
+  d.generation = sidecar_[slot].generation;
+  d.flow_handle = sidecar_[slot].flow_handle;
+  d.frame_bytes = sidecar_[slot].frame_bytes;
+  assert(d.buffer_addr == sidecar_[slot].buffer_addr && "sidecar out of sync with SRAM ring");
+  scratch_.WriteU32(tail_scratch_addr(), tail + 1);
+  ++pops_;
+  return d;
+}
+
+}  // namespace npr

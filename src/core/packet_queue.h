@@ -1,0 +1,89 @@
+// Packet queues (§3.4).
+//
+// A queue is a contiguous circular array of 32-bit descriptors in SRAM;
+// head and tail indexes live in Scratch memory. Descriptors are inserted at
+// the head and removed at the tail. The functional state (descriptor words,
+// head/tail) is kept in the simulated backing stores — the pointers the
+// output stage follows are the real ones the input stage wrote. The *cost*
+// of each access is charged by the pipeline stages against the memory
+// channels.
+
+#ifndef SRC_CORE_PACKET_QUEUE_H_
+#define SRC_CORE_PACKET_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/mem/backing_store.h"
+
+namespace npr {
+
+// What the 32-bit queue entry encodes, plus simulator sidecar (generation
+// for buffer-lap detection; ids for verification).
+struct PacketDescriptor {
+  uint32_t buffer_addr = 0;  // DRAM byte address, 2 KB aligned
+  uint16_t mp_count = 1;
+  uint8_t out_port = 0;
+  bool exceptional = false;
+  uint64_t generation = 0;   // sidecar: allocator generation at enqueue
+  uint32_t flow_handle = 0;  // sidecar: classifier metadata handle (0 = none)
+  uint16_t frame_bytes = 64; // sidecar: total frame length
+
+  // Hardware encoding: buffer index (13 bits) | mp_count (6) | port (4) |
+  // exceptional flag (1).
+  uint32_t Encode(uint32_t dram_base, uint32_t buffer_bytes) const;
+  static PacketDescriptor Decode(uint32_t word, uint32_t dram_base, uint32_t buffer_bytes);
+};
+
+class PacketQueue {
+ public:
+  // `sram_base`: byte address of the descriptor array (capacity * 4 bytes).
+  // `scratch_base`: byte address of the head/tail pair (8 bytes).
+  PacketQueue(BackingStore& sram, BackingStore& scratch, uint32_t sram_base,
+              uint32_t scratch_base, uint32_t capacity, int id, uint32_t dram_base,
+              uint32_t buffer_bytes);
+
+  // Inserts at the head. Returns false (and counts a drop) when full.
+  bool Push(const PacketDescriptor& d);
+
+  // Removes from the tail; nullopt when empty.
+  std::optional<PacketDescriptor> Pop();
+
+  uint32_t size() const;
+  bool empty() const { return size() == 0; }
+  uint32_t capacity() const { return capacity_; }
+  int id() const { return id_; }
+
+  uint64_t pushes() const { return pushes_; }
+  uint64_t pops() const { return pops_; }
+  uint64_t drops() const { return drops_; }
+  uint32_t max_depth() const { return max_depth_; }
+
+  // Addresses, so pipeline stages charge the right channels.
+  uint32_t head_scratch_addr() const { return scratch_base_; }
+  uint32_t tail_scratch_addr() const { return scratch_base_ + 4; }
+  uint32_t entry_sram_addr(uint32_t index) const { return sram_base_ + index * 4; }
+
+ private:
+  BackingStore& sram_;
+  BackingStore& scratch_;
+  const uint32_t sram_base_;
+  const uint32_t scratch_base_;
+  const uint32_t capacity_;
+  const int id_;
+  const uint32_t dram_base_;
+  const uint32_t buffer_bytes_;
+
+  // Sidecar metadata, indexed like the SRAM ring.
+  std::vector<PacketDescriptor> sidecar_;
+
+  uint64_t pushes_ = 0;
+  uint64_t pops_ = 0;
+  uint64_t drops_ = 0;
+  uint32_t max_depth_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_PACKET_QUEUE_H_

@@ -1,0 +1,60 @@
+// Pentium host processor (§3.7, §4.1).
+//
+// The Pentium runs the control plane and the forwarders too expensive for
+// the lower levels. Packets arrive over PCI through (software-simulated)
+// I2O queue pairs, are sorted into per-flow backlogs, and are served by a
+// proportional-share scheduler so control traffic and reserved flows keep
+// their cycle shares under any load. Processed packets return over PCI and
+// re-enter ordinary output queues via the StrongARM.
+
+#ifndef SRC_CORE_PENTIUM_HOST_H_
+#define SRC_CORE_PENTIUM_HOST_H_
+
+#include <cstdint>
+
+#include "src/core/prop_share.h"
+#include "src/core/router_core.h"
+#include "src/sim/task.h"
+
+namespace npr {
+
+class StrongArmBridge;
+
+class PentiumHost {
+ public:
+  PentiumHost(RouterCore& core, StrongArmBridge& bridge);
+
+  void Start();
+
+  // I2O doorbell.
+  void Notify();
+
+  PropShareScheduler& scheduler() { return sched_; }
+
+  uint64_t processed() const { return processed_; }
+  uint64_t control_processed() const { return control_processed_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  Task PeLoop();
+
+  // Intake stalls when the software backlog reaches this bound, pushing
+  // backpressure down the I2O free list to the StrongARM and ultimately to
+  // the MicroEngines' Pentium-bound queue (where overload becomes visible
+  // drops, as in §4.7).
+  static constexpr size_t kMaxBacklog = 128;
+
+  RouterCore& core_;
+  StrongArmBridge& bridge_;
+  PropShareScheduler sched_;
+  uint64_t processed_ = 0;
+  uint64_t control_processed_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Wakes the Pentium if it is blocked on the I2O doorbell.
+void NotifyPentium(PentiumHost& host);
+
+}  // namespace npr
+
+#endif  // SRC_CORE_PENTIUM_HOST_H_

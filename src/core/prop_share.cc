@@ -1,0 +1,65 @@
+#include "src/core/prop_share.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace npr {
+
+void PropShareScheduler::ConfigureFlow(uint32_t fid, double tickets) {
+  Flow& f = flows_[fid];
+  f.tickets = std::max(tickets, 1e-6);
+  // Joining flows start at the global pass so they cannot sweep the
+  // scheduler with accumulated credit.
+  f.pass = std::max(f.pass, global_pass_);
+}
+
+void PropShareScheduler::RemoveFlow(uint32_t fid) {
+  auto it = flows_.find(fid);
+  if (it != flows_.end()) {
+    backlog_ -= it->second.queue.size();
+    flows_.erase(it);
+  }
+}
+
+void PropShareScheduler::Enqueue(uint32_t fid, HostPacket packet) {
+  auto it = flows_.find(fid);
+  if (it == flows_.end()) {
+    ConfigureFlow(fid, 1.0);
+    it = flows_.find(fid);
+  }
+  // A flow waking from idle resumes at the current global pass.
+  if (it->second.queue.empty()) {
+    it->second.pass = std::max(it->second.pass, global_pass_);
+  }
+  it->second.queue.push_back(std::move(packet));
+  ++backlog_;
+}
+
+std::optional<HostPacket> PropShareScheduler::Next() {
+  Flow* best = nullptr;
+  for (auto& [fid, flow] : flows_) {
+    if (flow.queue.empty()) {
+      continue;
+    }
+    if (best == nullptr || flow.pass < best->pass) {
+      best = &flow;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  HostPacket packet = std::move(best->queue.front());
+  best->queue.pop_front();
+  --backlog_;
+  best->pass += kStrideScale / best->tickets;
+  global_pass_ = best->pass;
+  ++best->served;
+  return packet;
+}
+
+uint64_t PropShareScheduler::served(uint32_t fid) const {
+  auto it = flows_.find(fid);
+  return it == flows_.end() ? 0 : it->second.served;
+}
+
+}  // namespace npr

@@ -1,0 +1,63 @@
+// Proportional-share packet scheduler for the Pentium (§4.1).
+//
+// The paper runs a proportional-share scheduler on the Pentium so control
+// protocols (OSPF) keep their cycle reservation no matter how hot a
+// forwarder flow runs, and per-flow services reserve both a packet rate and
+// a cycle rate [19]. Implemented as stride scheduling: each flow has
+// tickets proportional to its share; the flow with the minimum pass is
+// served and its pass advances by stride = K / tickets.
+
+#ifndef SRC_CORE_PROP_SHARE_H_
+#define SRC_CORE_PROP_SHARE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "src/core/packet_queue.h"
+
+namespace npr {
+
+// A packet as the Pentium sees it: the descriptor plus how many bytes have
+// crossed PCI (the head, or the whole frame for body-reading forwarders).
+struct HostPacket {
+  PacketDescriptor desc;
+  uint32_t bytes_moved = 0;
+};
+
+class PropShareScheduler {
+ public:
+  // Registers (or re-registers) a flow with `tickets` proportional share.
+  // Flow 0 is the control-traffic flow.
+  void ConfigureFlow(uint32_t fid, double tickets);
+  void RemoveFlow(uint32_t fid);
+
+  // Enqueues onto the flow's backlog. Unregistered flows are auto-added
+  // with 1 ticket.
+  void Enqueue(uint32_t fid, HostPacket packet);
+
+  // Serves the backlogged flow with minimum pass. Nullopt when idle.
+  std::optional<HostPacket> Next();
+
+  size_t backlog() const { return backlog_; }
+  uint64_t served(uint32_t fid) const;
+
+ private:
+  struct Flow {
+    double tickets = 1.0;
+    double pass = 0.0;
+    uint64_t served = 0;
+    std::deque<HostPacket> queue;
+  };
+
+  static constexpr double kStrideScale = 1e6;
+
+  std::map<uint32_t, Flow> flows_;
+  double global_pass_ = 0.0;
+  size_t backlog_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_PROP_SHARE_H_

@@ -1,0 +1,325 @@
+#include "src/core/router.h"
+
+#include <cassert>
+
+#include "src/net/traffic_gen.h"
+#include "src/sim/log.h"
+
+namespace npr {
+namespace {
+
+// SRAM layout: queues and flow state share the 2 MB SRAM; Scratch holds
+// head/tail pairs and readiness words within its 4 KB.
+constexpr uint32_t kSramArenaBase = 0;
+constexpr uint32_t kScratchArenaBase = 0;
+
+}  // namespace
+
+Router::Router(RouterConfig config)
+    : Router(std::move(config), nullptr) {}
+
+Router::Router(RouterConfig config, EventQueue& shared_engine)
+    : Router(std::move(config), &shared_engine) {}
+
+Router::Router(RouterConfig config, EventQueue* shared_engine)
+    : config_(std::move(config)),
+      owned_engine_(shared_engine == nullptr ? std::make_unique<EventQueue>() : nullptr),
+      engine_(shared_engine != nullptr ? *shared_engine : *owned_engine_),
+      chip_(engine_, config_.hw),
+      host_(engine_, config_.hw),
+      sram_arena_(kSramArenaBase, static_cast<uint32_t>(chip_.memory().sram_store().size())),
+      scratch_arena_(kScratchArenaBase,
+                     static_cast<uint32_t>(chip_.memory().scratch_store().size())),
+      buffers_(/*dram_base=*/0, config_.hw.buffer_bytes, config_.hw.num_buffers),
+      istore_(config_.hw),
+      vrp_(chip_.memory().sram_store(), chip_.hash()),
+      admission_(config_, istore_),
+      classifier_(config_.classifier, route_table_, route_cache_, flow_table_, chip_.hash()) {
+  // MAC ports exist in both modes (routes target them); they only source
+  // traffic in kReal mode.
+  ports_.reserve(static_cast<size_t>(config_.num_ports()));
+  for (int p = 0; p < config_.num_ports(); ++p) {
+    ports_.push_back(std::make_unique<MacPort>(engine_, static_cast<uint8_t>(p),
+                                               config_.port_rates_bps[static_cast<size_t>(p)]));
+  }
+
+  queues_ = std::make_unique<QueuePlan>(engine_, chip_.memory(), config_, sram_arena_,
+                                        scratch_arena_, config_.input_contexts(),
+                                        std::max(1, config_.output_contexts()));
+
+  // Exception queues (§3.6): local service and Pentium-bound.
+  sa_local_queue_ = std::make_unique<PacketQueue>(
+      chip_.memory().sram_store(), chip_.memory().scratch_store(),
+      sram_arena_.Alloc(config_.queue_capacity * 4), scratch_arena_.Alloc(8),
+      config_.queue_capacity, /*id=*/-1, /*dram_base=*/0, config_.hw.buffer_bytes);
+  sa_pentium_queue_ = std::make_unique<PacketQueue>(
+      chip_.memory().sram_store(), chip_.memory().scratch_store(),
+      sram_arena_.Alloc(config_.queue_capacity * 4), scratch_arena_.Alloc(8),
+      config_.queue_capacity, /*id=*/-2, /*dram_base=*/0, config_.hw.buffer_bytes);
+
+  if (config_.use_stack_buffer_pool) {
+    stack_pool_ = std::make_unique<StackBufferPool>(/*dram_base=*/0, config_.hw.buffer_bytes,
+                                                    config_.hw.num_buffers);
+  }
+
+  core_.config = &config_;
+  core_.engine = &engine_;
+  core_.chip = &chip_;
+  core_.host = &host_;
+  core_.buffers = &buffers_;
+  core_.stack_pool = stack_pool_.get();
+  core_.queues = queues_.get();
+  core_.route_table = &route_table_;
+  core_.route_cache = &route_cache_;
+  core_.flow_table = &flow_table_;
+  core_.istore = &istore_;
+  core_.vrp = &vrp_;
+  core_.sa_local_queue = sa_local_queue_.get();
+  core_.sa_pentium_queue = sa_pentium_queue_.get();
+  core_.sa_forwarders = &sa_forwarders_;
+  core_.pe_forwarders = &pe_forwarders_;
+  for (auto& port : ports_) {
+    core_.ports.push_back(port.get());
+  }
+  core_.stats = &stats_;
+
+  input_ = std::make_unique<InputStage>(core_, classifier_);
+  output_ = std::make_unique<OutputStage>(core_);
+  bridge_ = std::make_unique<StrongArmBridge>(core_, classifier_);
+  pentium_ = std::make_unique<PentiumHost>(core_, *bridge_);
+  core_.bridge = bridge_.get();
+  core_.pentium = pentium_.get();
+}
+
+Router::~Router() {
+  // Drop pending events before the coroutine frames die so nothing can
+  // resume into freed state. A shared engine belongs to the cluster, which
+  // clears it before destroying its member routers.
+  if (owned_engine_ != nullptr) {
+    owned_engine_->Clear();
+  }
+}
+
+void Router::Start() {
+  assert(!started_ && "Router::Start called twice");
+  started_ = true;
+  if (config_.output_contexts() > 0) {
+    output_->Start();
+  }
+  if (config_.input_contexts() > 0) {
+    input_->Start();
+  }
+  if (config_.enable_strongarm) {
+    bridge_->Start();
+  }
+  if (config_.enable_pentium) {
+    pentium_->Start();
+  }
+  if (config_.magic_drain) {
+    DrainOnce();
+  }
+}
+
+void Router::DrainOnce() {
+  // Zero-cost simulated drain (Table 1 / Figure 7 input-only isolation):
+  // completed packets are counted as forwarded the instant they are
+  // enqueued.
+  for (const auto& q : queues_->all_queues()) {
+    while (auto d = q->Pop()) {
+      stats_.forwarded += 1;
+      stats_.forward_rate.Record(engine_.now());
+    }
+  }
+  while (sa_local_queue_->Pop()) {
+  }
+  while (sa_pentium_queue_->Pop()) {
+  }
+  engine_.ScheduleIn(kPsPerUs, [this] { DrainOnce(); });
+}
+
+InstallOutcome Router::Install(const InstallRequest& request) {
+  InstallOutcome outcome;
+
+  FlowMeta meta;
+  meta.key = request.key;
+  meta.where = request.where;
+
+  uint32_t state_bytes = request.state_bytes;
+  switch (request.where) {
+    case Where::kMicroEngine: {
+      if (request.program == nullptr) {
+        outcome.error = "ME install requires a VRP program";
+        return outcome;
+      }
+      if (state_bytes == 0) {
+        state_bytes = request.program->flow_state_bytes;
+      }
+      const bool general = request.key.all;
+      AdmissionResult admit = admission_.CheckMicroEngine(*request.program, general);
+      if (!admit.admitted) {
+        outcome.error = admit.reason;
+        return outcome;
+      }
+      // Allocate and zero the flow state (§4.5).
+      meta.state_bytes = state_bytes;
+      meta.state_addr = state_bytes > 0 ? sram_arena_.Alloc(state_bytes) : 0;
+      if (state_bytes > 0) {
+        chip_.memory().sram_store().Zero(meta.state_addr, state_bytes);
+      }
+      auto handle = general ? istore_.InstallGeneral(*request.program, meta.state_addr)
+                            : istore_.InstallPerFlow(*request.program);
+      if (!handle) {
+        outcome.error = "ISTORE allocation failed";
+        return outcome;
+      }
+      admission_.CommitMicroEngine(*handle, admit.worst_case, general);
+      meta.me_program_id = *handle;
+      break;
+    }
+    case Where::kStrongArm: {
+      NativeForwarder* fw = sa_forwarders_.Get(request.native_index);
+      if (fw == nullptr) {
+        outcome.error = "unknown StrongARM jump-table index";
+        return outcome;
+      }
+      AdmissionResult admit = admission_.CheckStrongArm(*fw, request.expected_pps);
+      if (!admit.admitted) {
+        outcome.error = admit.reason;
+        return outcome;
+      }
+      if (state_bytes == 0) {
+        state_bytes = fw->state_bytes();
+      }
+      meta.state_bytes = state_bytes;
+      meta.state_addr = state_bytes > 0 ? sram_arena_.Alloc(state_bytes) : 0;
+      if (state_bytes > 0) {
+        chip_.memory().sram_store().Zero(meta.state_addr, state_bytes);
+      }
+      meta.native_index = request.native_index;
+      break;
+    }
+    case Where::kPentium: {
+      NativeForwarder* fw = pe_forwarders_.Get(request.native_index);
+      if (fw == nullptr) {
+        outcome.error = "unknown Pentium jump-table index";
+        return outcome;
+      }
+      const double cpp = request.expected_cpp > 0
+                             ? request.expected_cpp
+                             : static_cast<double>(fw->cycles_per_packet());
+      AdmissionResult admit = admission_.CheckPentium(request.expected_pps, cpp);
+      if (!admit.admitted) {
+        outcome.error = admit.reason;
+        return outcome;
+      }
+      if (state_bytes == 0) {
+        state_bytes = fw->state_bytes();
+      }
+      meta.state_bytes = state_bytes;
+      meta.state_addr = state_bytes > 0 ? sram_arena_.Alloc(state_bytes) : 0;
+      if (state_bytes > 0) {
+        chip_.memory().sram_store().Zero(meta.state_addr, state_bytes);
+      }
+      meta.native_index = request.native_index;
+      meta.reserved_pps = request.expected_pps;
+      meta.reserved_cpp = cpp;
+      break;
+    }
+  }
+
+  const uint32_t fid = flow_table_.Insert(meta);
+  switch (request.where) {
+    case Where::kMicroEngine:
+      break;  // committed above under the istore handle
+    case Where::kStrongArm:
+      admission_.CommitStrongArm(
+          fid, request.expected_pps *
+                   static_cast<double>(sa_forwarders_.Get(request.native_index)
+                                           ->cycles_per_packet()));
+      break;
+    case Where::kPentium: {
+      const FlowMeta* installed = flow_table_.Get(fid);
+      admission_.CommitPentium(fid, installed->reserved_pps, installed->reserved_cpp);
+      // Tickets proportional to the reserved cycle rate.
+      pentium_->scheduler().ConfigureFlow(
+          fid, std::max(1.0, installed->reserved_pps * installed->reserved_cpp / 1e4));
+      break;
+    }
+  }
+
+  outcome.ok = true;
+  outcome.fid = fid;
+  return outcome;
+}
+
+bool Router::Remove(uint32_t fid) {
+  const FlowMeta* meta = flow_table_.Get(fid);
+  if (meta == nullptr) {
+    return false;
+  }
+  switch (meta->where) {
+    case Where::kMicroEngine:
+      istore_.Remove(meta->me_program_id);
+      admission_.ReleaseMicroEngine(meta->me_program_id);
+      break;
+    case Where::kStrongArm:
+      admission_.ReleaseStrongArm(fid);
+      break;
+    case Where::kPentium:
+      admission_.ReleasePentium(fid);
+      pentium_->scheduler().RemoveFlow(fid);
+      break;
+  }
+  return flow_table_.Remove(fid);
+}
+
+std::vector<uint8_t> Router::GetData(uint32_t fid) {
+  const FlowMeta* meta = flow_table_.Get(fid);
+  if (meta == nullptr || meta->state_bytes == 0) {
+    return {};
+  }
+  std::vector<uint8_t> data(meta->state_bytes);
+  chip_.memory().sram_store().Read(meta->state_addr, data);
+  return data;
+}
+
+bool Router::SetData(uint32_t fid, std::span<const uint8_t> data) {
+  const FlowMeta* meta = flow_table_.Get(fid);
+  if (meta == nullptr || data.size() > meta->state_bytes) {
+    return false;
+  }
+  chip_.memory().sram_store().Write(meta->state_addr, data);
+  return true;
+}
+
+void Router::SetExceptionHandler(std::unique_ptr<NativeForwarder> handler) {
+  exception_handler_ = std::move(handler);
+  core_.sa_exception_handler = exception_handler_.get();
+}
+
+bool Router::AddRoute(const std::string& cidr, uint8_t out_port) {
+  return route_table_.AddRoute(cidr, out_port);
+}
+
+void Router::WarmRouteCache(int spread) {
+  for (int p = 0; p < config_.num_ports(); ++p) {
+    for (int low = 1; low <= spread; ++low) {
+      const uint32_t dst = DstIpForPort(static_cast<uint8_t>(p), static_cast<uint16_t>(low));
+      auto result = route_table_.Lookup(dst);
+      if (result.entry) {
+        route_cache_.Insert(dst, *result.entry, route_table_.epoch());
+      }
+    }
+  }
+}
+
+void Router::StartMeasurement() {
+  stats_.StartWindow(engine_.now());
+  chip_.memory().ResetStats();
+  chip_.strongarm().ResetStats();
+  host_.pentium().ResetStats();
+}
+
+double Router::ForwardingRateMpps() const { return stats_.forward_rate.RatePerSec() / 1e6; }
+
+}  // namespace npr

@@ -1,0 +1,153 @@
+// The router facade: assembles the simulated hardware, the fixed
+// infrastructure (Sections 2-3), and the extensibility machinery
+// (Section 4), and exposes the paper's install/remove/getdata/setdata
+// interface plus experiment plumbing.
+
+#ifndef SRC_CORE_ROUTER_H_
+#define SRC_CORE_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/admission.h"
+#include "src/core/classifier.h"
+#include "src/core/input_stage.h"
+#include "src/core/mem_map.h"
+#include "src/core/output_stage.h"
+#include "src/core/pentium_host.h"
+#include "src/core/router_config.h"
+#include "src/core/router_core.h"
+#include "src/core/strongarm_bridge.h"
+
+namespace npr {
+
+// A request through the §4.5 interface:
+//   fid = install(key, fwdr, size, where)
+struct InstallRequest {
+  FlowKey key;                    // 4-tuple, or FlowKey::All()
+  Where where = Where::kMicroEngine;
+  // where == ME: the VRP program to verify and load (copied).
+  const VrpProgram* program = nullptr;
+  // where == SA/PE: index into that processor's jump table (§4.5: the
+  // StrongARM boots with a fixed set; install binds one of them).
+  int native_index = -1;
+  // Flow-state bytes; defaults to the program's .state / the native
+  // forwarder's declared requirement.
+  uint32_t state_bytes = 0;
+  // Pentium admission parameters (§4.6).
+  double expected_pps = 0;
+  double expected_cpp = 0;
+};
+
+struct InstallOutcome {
+  bool ok = false;
+  std::string error;
+  uint32_t fid = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  // Multi-node configurations (the paper's §6 "four Pentium/IXP pairs")
+  // share one simulation clock: pass the common event queue.
+  Router(RouterConfig config, EventQueue& shared_engine);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Starts the pipeline stages, the StrongARM, and the Pentium. Routes and
+  // forwarders may be installed before or after.
+  void Start();
+
+  // --- the paper's control interface (§4.5) ---
+  InstallOutcome Install(const InstallRequest& request);
+  bool Remove(uint32_t fid);
+  // Flow-state access for control forwarders.
+  std::vector<uint8_t> GetData(uint32_t fid);
+  bool SetData(uint32_t fid, std::span<const uint8_t> data);
+
+  // --- configuration helpers ---
+  bool AddRoute(const std::string& cidr, uint8_t out_port);
+  // Installs the StrongARM's exception handler for IP-option packets
+  // (usually a FullIpForwarder). The router takes ownership.
+  void SetExceptionHandler(std::unique_ptr<NativeForwarder> handler);
+  // Pre-fills the route cache for destinations 10.<port>.0.<1..spread>.
+  void WarmRouteCache(int spread = 64);
+
+  // --- simulation control ---
+  void RunFor(SimTime dt) { engine_.RunFor(dt); }
+  void RunForMs(double ms) { engine_.RunFor(static_cast<SimTime>(ms * kPsPerMs)); }
+  // Discards warmup statistics and opens a measurement window.
+  void StartMeasurement();
+  // Forwarding rate in Mpps over the measurement window.
+  double ForwardingRateMpps() const;
+
+  // --- access ---
+  EventQueue& engine() { return engine_; }
+  const RouterConfig& config() const { return config_; }
+  Ixp1200& chip() { return chip_; }
+  HostSystem& host() { return host_; }
+  RouterStats& stats() { return stats_; }
+  RouteTable& route_table() { return route_table_; }
+  RouteCache& route_cache() { return route_cache_; }
+  FlowTable& flow_table() { return flow_table_; }
+  IStoreLayout& istore() { return istore_; }
+  AdmissionControl& admission() { return admission_; }
+  ForwarderRegistry& sa_forwarders() { return sa_forwarders_; }
+  ForwarderRegistry& pe_forwarders() { return pe_forwarders_; }
+  MacPort& port(int i) { return *ports_[static_cast<size_t>(i)]; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  StrongArmBridge& bridge() { return *bridge_; }
+  PentiumHost& pentium_host() { return *pentium_; }
+  InputStage& input_stage() { return *input_; }
+  OutputStage& output_stage() { return *output_; }
+  QueuePlan& queues() { return *queues_; }
+  CircularBufferAllocator& buffers() { return buffers_; }
+
+ private:
+  RouterConfig config_;
+  std::unique_ptr<EventQueue> owned_engine_;  // null when the engine is shared
+  EventQueue& engine_;
+  Ixp1200 chip_;
+  HostSystem host_;
+  RouterStats stats_;
+
+  Arena sram_arena_;
+  Arena scratch_arena_;
+  CircularBufferAllocator buffers_;
+  std::unique_ptr<StackBufferPool> stack_pool_;
+
+  RouteTable route_table_;
+  RouteCache route_cache_;
+  FlowTable flow_table_;
+  IStoreLayout istore_;
+  VrpInterpreter vrp_;
+  ForwarderRegistry sa_forwarders_;
+  ForwarderRegistry pe_forwarders_;
+  AdmissionControl admission_;
+
+  std::vector<std::unique_ptr<MacPort>> ports_;
+  std::unique_ptr<QueuePlan> queues_;
+  std::unique_ptr<PacketQueue> sa_local_queue_;
+  std::unique_ptr<PacketQueue> sa_pentium_queue_;
+
+  RouterCore core_;
+  Classifier classifier_;
+  std::unique_ptr<InputStage> input_;
+  std::unique_ptr<OutputStage> output_;
+  std::unique_ptr<StrongArmBridge> bridge_;
+  std::unique_ptr<PentiumHost> pentium_;
+  std::unique_ptr<NativeForwarder> exception_handler_;
+
+  Router(RouterConfig config, EventQueue* shared_engine);
+
+  void DrainOnce();
+
+  bool started_ = false;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_ROUTER_H_

@@ -1,0 +1,78 @@
+// Router-wide statistics, including the per-stage operation accounting that
+// reproduces Table 2.
+
+#ifndef SRC_CORE_ROUTER_STATS_H_
+#define SRC_CORE_ROUTER_STATS_H_
+
+#include <cstdint>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+// Per-pipeline-stage operation counts, accumulated per MP processed. The
+// Table 2 bench divides these by `mps`.
+struct StageStats {
+  uint64_t mps = 0;
+  uint64_t packets = 0;
+  uint64_t reg_cycles = 0;
+  uint64_t sram_reads = 0;
+  uint64_t sram_writes = 0;
+  uint64_t dram_reads = 0;
+  uint64_t dram_writes = 0;
+  uint64_t scratch_reads = 0;
+  uint64_t scratch_writes = 0;
+  // CAM mutex traffic, kept separate from the data-path SRAM ops the way
+  // the paper's Table 2 instrumentation does.
+  uint64_t mutex_ops = 0;
+
+  void Reset() { *this = StageStats{}; }
+  double PerMp(uint64_t v) const {
+    return mps == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(mps);
+  }
+};
+
+struct RouterStats {
+  StageStats input;
+  StageStats output;
+
+  // Packet dispositions.
+  uint64_t forwarded = 0;          // fully transmitted out a port
+  uint64_t dropped_invalid = 0;    // failed IP validation
+  uint64_t dropped_by_vrp = 0;     // a data forwarder said drop
+  uint64_t dropped_queue_full = 0; // no room in the destination queue
+  uint64_t lost_overwritten = 0;   // circular buffer lapped before transmit
+  uint64_t dropped_no_buffer = 0;  // stack pool exhausted (§3.2.3 alternative)
+  uint64_t vrp_traps = 0;          // runtime budget violations
+
+  // Hierarchy traffic.
+  // Output-loop iteration mix (diagnostics).
+  uint64_t output_idle_iters = 0;  // token held, no ready queue
+  uint64_t output_lost_iters = 0;  // dequeued a lapped buffer
+
+  uint64_t exceptional = 0;         // diverted to the StrongARM (any reason)
+  uint64_t to_pentium = 0;          // enqueued toward the Pentium
+  uint64_t sa_local_processed = 0;  // packets the StrongARM forwarded itself
+  uint64_t icmp_generated = 0;      // errors originated on the exception path
+  uint64_t pentium_processed = 0;
+
+  // End-to-end latency of forwarded packets, in nanoseconds.
+  Histogram latency_ns;
+  // Forwarding rate over the measurement window.
+  RateMeter forward_rate;
+  SimTime window_start = 0;
+
+  // Begins a measurement window (discards warmup).
+  void StartWindow(SimTime now) {
+    window_start = now;
+    forward_rate.StartWindow(now);
+    input.Reset();
+    output.Reset();
+    latency_ns.Reset();
+  }
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_ROUTER_STATS_H_

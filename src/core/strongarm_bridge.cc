@@ -1,0 +1,413 @@
+#include "src/core/strongarm_bridge.h"
+
+#include <algorithm>
+
+#include "src/core/pentium_host.h"
+#include "src/net/icmp.h"
+#include "src/net/ipv4.h"
+#include "src/sim/log.h"
+
+namespace npr {
+namespace {
+
+constexpr size_t kHostBuffers = 64;
+
+Packet MaterializePacket(MemorySystem& mem, const PacketDescriptor& desc) {
+  std::vector<uint8_t> bytes(desc.frame_bytes);
+  mem.dram_store().Read(desc.buffer_addr, bytes);
+  Packet p(std::move(bytes));
+  return p;
+}
+
+}  // namespace
+
+void NotifyBridge(StrongArmBridge& bridge) { bridge.Notify(); }
+
+StrongArmBridge::StrongArmBridge(RouterCore& core, Classifier& classifier)
+    : core_(core),
+      classifier_(classifier),
+      to_pentium_(kHostBuffers, kHostBuffers),
+      from_pentium_(kHostBuffers, kHostBuffers) {
+  // Pre-fill the free lists with host buffer pointers (§3.7: one queue of
+  // pointers to empty buffers in Pentium memory per direction).
+  for (size_t i = 0; i < kHostBuffers; ++i) {
+    to_pentium_.free_q.Push(next_host_buffer_++);
+    from_pentium_.free_q.Push(next_host_buffer_++);
+  }
+}
+
+void StrongArmBridge::Start() { core_.chip->strongarm().Install(SaLoop()); }
+
+void StrongArmBridge::Notify() {
+  if (core_.config->sa_use_interrupts || feed_mode_) {
+    core_.chip->strongarm().Wake();
+  }
+  // Polling mode: the StrongARM discovers work on its next poll.
+}
+
+void StrongArmBridge::EnableFeedMode(size_t frame_bytes, bool move_full_frame) {
+  feed_mode_ = true;
+  feed_frame_bytes_ = frame_bytes;
+  feed_move_full_ = move_full_frame;
+}
+
+Task StrongArmBridge::SaLoop() {
+  SoftCore& sa = core_.chip->strongarm();
+  const HwConfig& hw = core_.config->hw;
+  MemorySystem& mem = core_.chip->memory();
+
+  for (;;) {
+    bool did_work = false;
+
+    // --- 1. Pentium-bound packets ---
+    // Default policy (the paper's prototype): strict precedence over local
+    // work. With sa_proportional_share, a stride scheduler splits the
+    // StrongARM between the two queues by their configured shares (§4.1's
+    // stated plan).
+    bool take_pentium = true;
+    if (core_.config->sa_proportional_share && core_.sa_local_queue != nullptr &&
+        !core_.sa_local_queue->empty()) {
+      take_pentium = pentium_pass_ <= local_pass_;
+    }
+    const bool pentium_ready = core_.config->enable_pentium && !to_pentium_.free_q.empty();
+    if (take_pentium && pentium_ready && core_.sa_pentium_queue != nullptr &&
+        !core_.sa_pentium_queue->empty()) {
+      co_await sa.Compute(hw.sa_dequeue_cycles);
+      co_await sa.Read(mem.scratch(), 4);
+      co_await sa.Read(mem.sram(), 4);
+      auto desc = core_.sa_pentium_queue->Pop();
+      if (desc) {
+        const uint32_t extra_mps = desc->mp_count > 0 ? desc->mp_count - 1u : 0u;
+        co_await sa.Compute(hw.sa_bridge_fixed_cycles +
+                            hw.sa_bridge_per_extra_mp_cycles * extra_mps);
+        const uint32_t ptr = *to_pentium_.free_q.Pop();
+        // Only the first 64 bytes plus the 8-byte internal routing header
+        // cross PCI eagerly; the body is fetched lazily by the Pentium if
+        // its forwarder needs it (§3.7).
+        const uint32_t bytes =
+            std::min<uint32_t>(desc->frame_bytes, 64) + hw.pci_routing_header_bytes;
+        HostPacket hp{*desc, bytes};
+        // The DMA engine runs concurrently with the StrongARM: post the
+        // transfer; completion publishes the pointer and rings the doorbell.
+        StrongArmBridge* self = this;
+        core_.host->pci().Issue(bytes, /*is_write=*/true, [self, ptr, hp] {
+          self->staging_[ptr] = hp;
+          self->to_pentium_.full_q.Push(ptr);
+          if (self->core_.pentium != nullptr) {
+            NotifyPentium(*self->core_.pentium);
+          }
+        });
+        ++bridged_to_pentium_;
+        if (core_.config->sa_proportional_share) {
+          pentium_pass_ += 1.0 / core_.config->sa_pentium_share;
+        }
+        did_work = true;
+      }
+    }
+
+    // --- 2. Pentium returns: re-enter the output queues ---
+    if (!did_work && !from_pentium_.full_q.empty()) {
+      co_await sa.Compute(hw.sa_enqueue_cycles);
+      const uint32_t ptr = *from_pentium_.full_q.Pop();
+      auto it = staging_.find(ptr);
+      if (it != staging_.end()) {
+        const HostPacket hp = it->second;
+        staging_.erase(it);
+        from_pentium_.free_q.Push(ptr);
+        if (feed_mode_) {
+          ++feed_roundtrips_;
+        } else {
+          co_await sa.Write(mem.sram(), 4);
+          sa.Post(mem.scratch(), 4);
+          sa.Post(mem.scratch(), 4);
+          PacketQueue& q = core_.queues->QueueFor(0, hp.desc.out_port, 0);
+          if (q.Push(hp.desc)) {
+            core_.queues->MarkReady(q);
+          } else {
+            core_.stats->dropped_queue_full += 1;
+            ReleaseBuffer(core_, hp.desc.buffer_addr);
+          }
+        }
+        ++returned_;
+      }
+      did_work = true;
+    }
+
+    // --- feed mode (Table 4): synthesize Pentium traffic at max rate ---
+    if (!did_work && feed_mode_ && !to_pentium_.free_q.empty()) {
+      BufferMeta meta;
+      meta.packet_id = static_cast<uint32_t>(bridged_to_pentium_ + 1);
+      meta.ingress_time = core_.engine->now();
+      PacketDescriptor desc;
+      desc.buffer_addr = core_.buffers->Allocate(meta);
+      desc.frame_bytes = static_cast<uint16_t>(feed_frame_bytes_);
+      desc.mp_count = static_cast<uint16_t>((feed_frame_bytes_ + 63) / 64);
+      const uint32_t extra_mps = desc.mp_count - 1u;
+      co_await sa.Compute(hw.sa_bridge_fixed_cycles +
+                          hw.sa_bridge_per_extra_mp_cycles * extra_mps);
+      const uint32_t ptr = *to_pentium_.free_q.Pop();
+      const uint32_t bytes =
+          (feed_move_full_ ? desc.frame_bytes : std::min<uint32_t>(desc.frame_bytes, 64)) +
+          hw.pci_routing_header_bytes;
+      HostPacket hp{desc, bytes};
+      StrongArmBridge* self = this;
+      core_.host->pci().Issue(bytes, /*is_write=*/true, [self, ptr, hp] {
+        self->staging_[ptr] = hp;
+        self->to_pentium_.full_q.Push(ptr);
+        if (self->core_.pentium != nullptr) {
+          NotifyPentium(*self->core_.pentium);
+        }
+      });
+      ++bridged_to_pentium_;
+      did_work = true;
+    }
+
+    // --- 3. Local forwarders (route misses, IP options, SA flows) ---
+    if (!did_work && core_.sa_local_queue != nullptr && !core_.sa_local_queue->empty()) {
+      if (core_.config->sa_use_interrupts) {
+        // Interrupt mode (§3.6, the losing design): every packet delivery
+        // raises an interrupt whose dispatch must be paid even under load.
+        co_await sa.Compute(hw.sa_interrupt_overhead_cycles);
+      }
+      co_await sa.Compute(hw.sa_dequeue_cycles);
+      co_await sa.Read(mem.scratch(), 4);
+      co_await sa.Read(mem.sram(), 4);
+      auto desc = core_.sa_local_queue->Pop();
+      const bool still_valid =
+          desc && (core_.stack_pool != nullptr ||
+                   core_.buffers->StillValid(desc->buffer_addr, desc->generation));
+      if (still_valid) {
+        // Pull the header MP into the StrongARM (it accesses DRAM
+        // directly, §3.6).
+        co_await sa.Read(mem.dram(), 32);
+        co_await sa.Read(mem.dram(), 32);
+        Packet packet = MaterializePacket(mem, *desc);
+
+        bool forward = true;
+        uint8_t out_port = desc->out_port;
+        uint8_t icmp_type = 255;  // 255 = no error to generate
+        uint8_t icmp_code = 0;
+
+        // Per-flow SA forwarder, or the SA general chain.
+        const FlowMeta* flow =
+            desc->flow_handle != 0 ? core_.flow_table->Get(desc->flow_handle) : nullptr;
+        std::vector<const FlowMeta*> to_run;
+        if (flow != nullptr && flow->where == Where::kStrongArm) {
+          to_run.push_back(flow);
+        } else {
+          to_run = core_.flow_table->Generals(Where::kStrongArm);
+        }
+
+        // Route resolution: cache first, full CPE walk on a miss (the walk
+        // is exactly what exceeds the VRP budget, §4.4).
+        auto ip = Ipv4Header::Parse(packet.l3());
+        bool addressed_to_router = false;
+        if (ip && ip->dst == core_.config->router_ip) {
+          // For-us traffic: answer pings, absorb the rest.
+          addressed_to_router = true;
+          forward = false;
+          if (auto echo = BuildEchoReply(packet)) {
+            co_await sa.Compute(300);  // echo turnaround
+            packet = std::move(*echo);
+            ip = Ipv4Header::Parse(packet.l3());
+            auto back = core_.route_table->Lookup(ip->dst);
+            for (int i = 0; i < back.memory_accesses; ++i) {
+              co_await sa.Read(mem.sram(), 4);
+            }
+            if (back.entry) {
+              out_port = back.entry->out_port;
+              EthernetHeader reth = *EthernetHeader::Parse(packet.bytes());
+              reth.src = PortMac(out_port);
+              reth.dst = back.entry->next_hop_mac;
+              reth.Write(packet.bytes());
+              forward = true;
+              core_.stats->icmp_generated += 1;
+            }
+          }
+        }
+        if (addressed_to_router) {
+          // handled above
+        } else if (!ip) {
+          forward = false;
+        } else if (ip->has_options() && core_.sa_exception_handler != nullptr) {
+          // Full IP handles option packets end to end (route, options, TTL,
+          // checksum, MACs) at its declared ~660 cycles (§4.4).
+          NativeForwarder* full_ip = core_.sa_exception_handler;
+          NativeContext nc;
+          nc.packet = &packet;
+          nc.sram = &mem.sram_store();
+          nc.routes = core_.route_table;
+          nc.now = core_.engine->now();
+          nc.out_port = out_port;
+          const NativeAction action = full_ip->Process(nc);
+          co_await sa.Compute(full_ip->cycles_per_packet() + nc.extra_cycles);
+          out_port = nc.out_port;
+          forward = action == NativeAction::kForward;
+        } else if (ip->ttl <= 1) {
+          forward = false;
+          icmp_type = kIcmpTimeExceeded;
+          icmp_code = kIcmpCodeTtlExceeded;
+        } else {
+          RouteEntry entry;
+          auto cached = core_.route_cache->Lookup(ip->dst, core_.route_table->epoch());
+          if (cached) {
+            co_await sa.Compute(10);
+            entry = *cached;
+          } else {
+            RouteEntry resolved;
+            const int accesses = classifier_.SlowPathResolve(ip->dst, &resolved);
+            for (int i = 0; i < accesses; ++i) {
+              co_await sa.Compute(56);  // per-level CPE processing
+              co_await sa.Read(mem.sram(), 4);
+            }
+            auto again = core_.route_cache->Lookup(ip->dst, core_.route_table->epoch());
+            if (!again) {
+              forward = false;  // genuinely unroutable
+              icmp_type = kIcmpDestUnreachable;
+              icmp_code = kIcmpCodeHostUnreachable;
+            } else {
+              entry = *again;
+            }
+          }
+          if (forward) {
+            out_port = entry.out_port;
+            // Minimal IP transform (full-IP / option handling is a
+            // registered native forwarder and runs below).
+            if (DecrementTtlInPlace(packet.l3())) {
+              EthernetHeader eth = *EthernetHeader::Parse(packet.bytes());
+              eth.src = PortMac(out_port);
+              eth.dst = entry.next_hop_mac;
+              eth.Write(packet.bytes());
+            } else {
+              forward = false;
+            }
+          }
+        }
+
+        for (const FlowMeta* f : to_run) {
+          if (!forward) {
+            break;
+          }
+          NativeForwarder* fw = core_.sa_forwarders->Get(f->native_index);
+          if (fw == nullptr) {
+            continue;
+          }
+          NativeContext nc;
+          nc.packet = &packet;
+          nc.sram = &mem.sram_store();
+          nc.state_addr = f->state_addr;
+          nc.state_bytes = f->state_bytes;
+          nc.routes = core_.route_table;
+          nc.now = core_.engine->now();
+          nc.out_port = out_port;
+          const NativeAction action = fw->Process(nc);
+          co_await sa.Compute(fw->cycles_per_packet() + nc.extra_cycles);
+          out_port = nc.out_port;
+          if (action != NativeAction::kForward) {
+            forward = false;
+          }
+        }
+
+        if (forward) {
+          // Write the modified header back and enqueue toward the output
+          // stage like any other packet.
+          mem.dram_store().Write(desc->buffer_addr, packet.bytes());
+          sa.Post(mem.dram(), 32);
+          sa.Post(mem.dram(), 32);
+          co_await sa.Compute(hw.sa_enqueue_cycles);
+          co_await sa.Write(mem.sram(), 4);
+          sa.Post(mem.scratch(), 4);
+          sa.Post(mem.scratch(), 4);
+          PacketDescriptor out = *desc;
+          out.out_port = out_port;
+          out.exceptional = false;
+          PacketQueue& q = core_.queues->QueueFor(0, out_port, 0);
+          if (q.Push(out)) {
+            core_.queues->MarkReady(q);
+          } else {
+            core_.stats->dropped_queue_full += 1;
+            ReleaseBuffer(core_, out.buffer_addr);
+          }
+        }
+        // Originate the ICMP error for failed packets (RFC 792), routed
+        // back toward the offender's source like any other packet.
+        if (!forward && icmp_type != 255 && core_.config->generate_icmp_errors) {
+          auto reply = BuildIcmpError(icmp_type, icmp_code, packet, core_.config->router_ip);
+          if (reply) {
+            auto reply_ip = Ipv4Header::Parse(reply->l3());
+            auto back = core_.route_table->Lookup(reply_ip->dst);
+            co_await sa.Compute(250);  // ICMP construction
+            for (int i = 0; i < back.memory_accesses; ++i) {
+              co_await sa.Read(mem.sram(), 4);
+            }
+            if (back.entry) {
+              EthernetHeader reth = *EthernetHeader::Parse(reply->bytes());
+              reth.src = PortMac(back.entry->out_port);
+              reth.dst = back.entry->next_hop_mac;
+              reth.Write(reply->bytes());
+
+              BufferMeta bmeta;
+              bmeta.packet_id = reply->id();
+              bmeta.ingress_time = core_.engine->now();
+              uint32_t buf = 0;
+              bool have_buf = true;
+              if (core_.stack_pool != nullptr) {
+                auto a = core_.stack_pool->Allocate(bmeta);
+                have_buf = a.has_value();
+                if (have_buf) {
+                  buf = *a;
+                }
+              } else {
+                buf = core_.buffers->Allocate(bmeta);
+              }
+              if (have_buf) {
+                mem.dram_store().Write(buf, reply->bytes());
+                sa.Post(mem.dram(), 32);
+                sa.Post(mem.dram(), 32);
+                PacketDescriptor icmp_desc;
+                icmp_desc.buffer_addr = buf;
+                icmp_desc.frame_bytes = static_cast<uint16_t>(reply->size());
+                icmp_desc.mp_count = static_cast<uint16_t>(reply->mp_count());
+                icmp_desc.out_port = back.entry->out_port;
+                icmp_desc.generation =
+                    core_.stack_pool != nullptr ? 0 : core_.buffers->MetaFor(buf).generation;
+                co_await sa.Write(mem.sram(), 4);
+                PacketQueue& iq = core_.queues->QueueFor(0, icmp_desc.out_port, 0);
+                if (iq.Push(icmp_desc)) {
+                  core_.queues->MarkReady(iq);
+                  core_.stats->icmp_generated += 1;
+                } else {
+                  ReleaseBuffer(core_, buf);
+                }
+              }
+            }
+          }
+        }
+        if (!forward) {
+          ReleaseBuffer(core_, desc->buffer_addr);
+        }
+        ++local_processed_;
+        core_.stats->sa_local_processed += 1;
+        if (core_.config->sa_proportional_share) {
+          local_pass_ += 1.0 / core_.config->sa_local_share;
+        }
+      }
+      did_work = true;
+    }
+
+    if (!did_work) {
+      if (feed_mode_) {
+        co_await sa.Block();  // doorbell-driven loop test: no dispatch cost
+      } else if (core_.config->sa_use_interrupts) {
+        co_await sa.Block();
+        co_await sa.Compute(hw.sa_interrupt_overhead_cycles);
+      } else {
+        // Polling: a Scratch head-pointer read per idle pass.
+        co_await sa.Compute(hw.sa_poll_gap_cycles);
+        co_await sa.Read(mem.scratch(), 4);
+      }
+    }
+  }
+}
+
+}  // namespace npr

@@ -1,0 +1,137 @@
+#include "src/forwarders/control.h"
+
+#include <cstring>
+
+#include "src/forwarders/vrp_programs.h"
+#include "src/sim/log.h"
+
+namespace npr {
+namespace {
+
+uint32_t ReadStateWord(Router& router, uint32_t fid, uint32_t offset) {
+  auto data = router.GetData(fid);
+  if (data.size() < offset + 4) {
+    return 0;
+  }
+  uint32_t v;
+  std::memcpy(&v, data.data() + offset, 4);
+  return v;
+}
+
+void WriteStateWord(Router& router, uint32_t fid, uint32_t offset, uint32_t value) {
+  auto data = router.GetData(fid);
+  if (data.size() < offset + 4) {
+    return;
+  }
+  std::memcpy(data.data() + offset, &value, 4);
+  router.SetData(fid, data);
+}
+
+// Folded one's-complement sum of (~old + new) for a 32-bit field changed
+// by `delta` (new = old + delta): over the two 16-bit halves this equals
+// fold(delta) plus the expected carry propagation; computing it from the
+// delta alone is exact because (~m + m') sums telescope per RFC 1624.
+uint32_t OnesComplementAdjust(uint32_t delta) {
+  // (~old_hi + new_hi) + (~old_lo + new_lo) == fold(delta) + 0xffff-ish
+  // carries; summing delta's halves with end-around carry gives the same
+  // residue mod 0xffff.
+  uint32_t sum = (delta >> 16) + (delta & 0xffff);
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return sum;
+}
+
+}  // namespace
+
+uint64_t PerfMonitorController::Poll() {
+  const uint64_t value = ReadStateWord(router_, fid_, offset_);
+  const uint64_t delta = value - last_value_;
+  last_value_ = value;
+  deltas_.push_back(delta);
+  return delta;
+}
+
+bool SynFloodDetector::Poll() {
+  if (filter_fid_ != 0) {
+    return true;
+  }
+  const uint64_t count = ReadStateWord(router_, monitor_fid_, 0);
+  const uint64_t delta = count - last_count_;
+  last_count_ = count;
+  if (delta < threshold_) {
+    return false;
+  }
+  // Attack: deploy the port filter against every packet.
+  VrpProgram filter = BuildPortFilter();
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kMicroEngine;
+  req.program = &filter;
+  auto outcome = router_.Install(req);
+  if (!outcome.ok) {
+    NPR_WARN("syn-flood filter rejected: %s", outcome.error.c_str());
+    return false;
+  }
+  filter_fid_ = outcome.fid;
+  // Program range 0: block [lo, hi] (remaining ranges stay empty).
+  WriteStateWord(router_, filter_fid_, 0,
+                 static_cast<uint32_t>(block_lo_) << 16 | block_hi_);
+  return true;
+}
+
+uint32_t WaveletController::Poll(double interval_sec) {
+  const uint64_t count = ReadStateWord(router_, fid_, 4);
+  const uint64_t delta = count - last_count_;
+  last_count_ = count;
+  const double rate = interval_sec > 0 ? static_cast<double>(delta) / interval_sec : 0;
+  if (rate > target_pps_ * 1.1 && cutoff_ > 1) {
+    --cutoff_;  // congested: drop one more layer
+  } else if (rate < target_pps_ * 0.9 && cutoff_ < 16) {
+    ++cutoff_;  // headroom: admit one more layer
+  }
+  WriteStateWord(router_, fid_, 0, cutoff_);
+  return cutoff_;
+}
+
+bool SpliceController::Poll() {
+  if (splicer_fid_ != 0) {
+    return true;
+  }
+  // Proxy state word [16] flags splice eligibility (see TcpProxyForwarder).
+  if (ReadStateWord(router_, proxy_fid_, 16) == 0) {
+    return false;
+  }
+  VrpProgram splicer = BuildTcpSplicer();
+  InstallRequest req;
+  req.key = flow_;
+  req.where = Where::kMicroEngine;
+  req.program = &splicer;
+  auto outcome = router_.Install(req);
+  if (!outcome.ok) {
+    NPR_WARN("splicer rejected: %s", outcome.error.c_str());
+    return false;
+  }
+  splicer_fid_ = outcome.fid;
+  // Seed the splice deltas from the proxy's observed sequence numbers, and
+  // precompute the one's-complement checksum adjustment covering both the
+  // seq and ack rewrites (RFC 1624; see BuildTcpSplicer).
+  const uint32_t peer_seq = ReadStateWord(router_, proxy_fid_, 4);
+  const uint32_t local_seq = ReadStateWord(router_, proxy_fid_, 8);
+  const uint32_t seq_delta = local_seq - peer_seq;
+  const uint32_t ack_delta = peer_seq - local_seq;
+  WriteStateWord(router_, splicer_fid_, 0, seq_delta);
+  WriteStateWord(router_, splicer_fid_, 4, ack_delta);
+  uint32_t adjust = OnesComplementAdjust(seq_delta) + OnesComplementAdjust(ack_delta);
+  while (adjust >> 16) {
+    adjust = (adjust & 0xffff) + (adjust >> 16);
+  }
+  WriteStateWord(router_, splicer_fid_, 12, adjust);
+  WriteStateWord(router_, splicer_fid_, 16, 1);  // spliced
+  // The proxy no longer needs to see this flow: remove its Pentium binding
+  // so the fast path carries every subsequent packet.
+  router_.Remove(proxy_fid_);
+  return true;
+}
+
+}  // namespace npr

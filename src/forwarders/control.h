@@ -1,0 +1,116 @@
+// Control-forwarder halves (§4.4).
+//
+// Many router services split into a data forwarder (runs on the IXP for
+// every packet) and a control forwarder (runs on the Pentium, initializes
+// and manages the data half through install/getdata/setdata). These
+// classes are the control halves of the paper's examples; each is driven
+// periodically by the host (examples schedule them on the event queue).
+
+#ifndef SRC_FORWARDERS_CONTROL_H_
+#define SRC_FORWARDERS_CONTROL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/router.h"
+
+namespace npr {
+
+// Performance monitoring (§4.4 [20]): periodically aggregates the data
+// forwarder's counters and keeps a rate history a coordinator could pull.
+class PerfMonitorController {
+ public:
+  PerfMonitorController(Router& router, uint32_t fid, uint32_t counter_offset = 0)
+      : router_(router), fid_(fid), offset_(counter_offset) {}
+
+  // Samples the counter; returns the delta since the previous poll.
+  uint64_t Poll();
+
+  uint64_t total() const { return last_value_; }
+  const std::vector<uint64_t>& history() const { return deltas_; }
+
+ private:
+  Router& router_;
+  uint32_t fid_;
+  uint32_t offset_;
+  uint64_t last_value_ = 0;
+  std::vector<uint64_t> deltas_;
+};
+
+// SYN-flood detection: polls the SYN monitor; when the SYN rate between
+// polls exceeds the threshold, installs the port filter as a general
+// MicroEngine forwarder (intrusion-detection pattern: "the control
+// forwarder analyzes events and installs filters in the data forwarder").
+class SynFloodDetector {
+ public:
+  SynFloodDetector(Router& router, uint32_t syn_monitor_fid, uint64_t threshold_per_poll)
+      : router_(router), monitor_fid_(syn_monitor_fid), threshold_(threshold_per_poll) {}
+
+  // Returns true if the filter was (already or newly) deployed.
+  bool Poll();
+
+  bool attack_detected() const { return filter_fid_ != 0; }
+  uint32_t filter_fid() const { return filter_fid_; }
+  // Blocks destination ports [lo, hi] when deployed.
+  void SetBlockedRange(uint16_t lo, uint16_t hi) {
+    block_lo_ = lo;
+    block_hi_ = hi;
+  }
+
+ private:
+  Router& router_;
+  uint32_t monitor_fid_;
+  uint64_t threshold_;
+  uint64_t last_count_ = 0;
+  uint32_t filter_fid_ = 0;
+  uint16_t block_lo_ = 0;
+  uint16_t block_hi_ = 0;
+};
+
+// Wavelet video control (§4.4 [3]): reads the forwarded count, compares to
+// the target rate, and moves the layer cutoff so the data forwarder drops
+// high-frequency layers first under congestion.
+class WaveletController {
+ public:
+  WaveletController(Router& router, uint32_t dropper_fid, double target_pps)
+      : router_(router), fid_(dropper_fid), target_pps_(target_pps) {}
+
+  // Adjusts the cutoff from the rate since the last poll. `interval_sec`
+  // converts counts to rates. Returns the new cutoff.
+  uint32_t Poll(double interval_sec);
+
+  uint32_t cutoff() const { return cutoff_; }
+
+ private:
+  Router& router_;
+  uint32_t fid_;
+  double target_pps_;
+  uint32_t cutoff_ = 16;  // start permissive (all layers pass)
+  uint64_t last_count_ = 0;
+};
+
+// TCP splice controller (§4.4 [21]): watches the proxy's flow state; once
+// the handshake is vetted, installs the splicer as a per-flow MicroEngine
+// forwarder (moving every subsequent packet off the Pentium) and seeds its
+// deltas.
+class SpliceController {
+ public:
+  SpliceController(Router& router, uint32_t proxy_fid, FlowKey flow)
+      : router_(router), proxy_fid_(proxy_fid), flow_(flow) {}
+
+  // Returns true once spliced.
+  bool Poll();
+
+  bool spliced() const { return splicer_fid_ != 0; }
+  uint32_t splicer_fid() const { return splicer_fid_; }
+
+ private:
+  Router& router_;
+  uint32_t proxy_fid_;
+  FlowKey flow_;
+  uint32_t splicer_fid_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_FORWARDERS_CONTROL_H_

@@ -1,0 +1,102 @@
+// Native forwarders for the StrongARM and Pentium levels (§4.4).
+//
+// These are the services too expensive for the VRP budget: full IP with
+// option processing (~660 cycles/packet), TCP proxying (~800+), and
+// configurable synthetic services used by the robustness experiments.
+
+#ifndef SRC_FORWARDERS_NATIVE_H_
+#define SRC_FORWARDERS_NATIVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/forwarder.h"
+
+namespace npr {
+
+// Does nothing: the measurement forwarder of §3.6 ("null forwarder").
+class NullForwarder : public NativeForwarder {
+ public:
+  explicit NullForwarder(uint32_t cycles = 150) : cycles_(cycles) {}
+
+  const std::string& name() const override { return name_; }
+  uint32_t cycles_per_packet() const override { return cycles_; }
+  NativeAction Process(NativeContext& ctx) override {
+    (void)ctx;
+    ++processed_;
+    return NativeAction::kForward;
+  }
+
+  uint64_t processed() const { return processed_; }
+
+ private:
+  std::string name_ = "null";
+  uint32_t cycles_;
+  uint64_t processed_ = 0;
+};
+
+// A synthetic service burning a fixed number of cycles per packet — the
+// robustness experiment's "1510 cycles of extra per-packet processing".
+class FixedCostForwarder : public NativeForwarder {
+ public:
+  FixedCostForwarder(std::string name, uint32_t cycles)
+      : name_(std::move(name)), cycles_(cycles) {}
+
+  const std::string& name() const override { return name_; }
+  uint32_t cycles_per_packet() const override { return cycles_; }
+  NativeAction Process(NativeContext& ctx) override {
+    (void)ctx;
+    ++processed_;
+    return NativeAction::kForward;
+  }
+
+  uint64_t processed() const { return processed_; }
+
+ private:
+  std::string name_;
+  uint32_t cycles_;
+  uint64_t processed_ = 0;
+};
+
+// Full IP (§4.4: "at least 660 cycles per packet"): complete validation,
+// option processing (record-route and timestamp are honored), TTL, and a
+// fresh checksum.
+class FullIpForwarder : public NativeForwarder {
+ public:
+  const std::string& name() const override { return name_; }
+  uint32_t cycles_per_packet() const override { return 660; }
+  uint32_t state_bytes() const override { return 16; }  // counters
+  NativeAction Process(NativeContext& ctx) override;
+
+  uint64_t processed() const { return processed_; }
+  uint64_t options_handled() const { return options_handled_; }
+
+ private:
+  std::string name_ = "ip-full";
+  uint64_t processed_ = 0;
+  uint64_t options_handled_ = 0;
+};
+
+// TCP proxy control half (§4.4 splicing): terminates the handshake, then
+// signals that the connection may be spliced. Needs the packet body (it
+// inspects application data), so the bridge must move whole frames.
+class TcpProxyForwarder : public NativeForwarder {
+ public:
+  const std::string& name() const override { return name_; }
+  uint32_t cycles_per_packet() const override { return 800; }
+  uint32_t state_bytes() const override { return 32; }
+  bool needs_packet_body() const override { return true; }
+  NativeAction Process(NativeContext& ctx) override;
+
+  uint64_t handshakes_seen() const { return handshakes_; }
+
+ private:
+  // State layout: [0] connection phase  [4] peer seq  [8] local seq
+  //               [12] bytes inspected  [16] splice-eligible flag
+  std::string name_ = "tcp-proxy";
+  uint64_t handshakes_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_FORWARDERS_NATIVE_H_

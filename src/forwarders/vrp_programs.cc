@@ -1,0 +1,390 @@
+#include "src/forwarders/vrp_programs.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/vrp/assembler.h"
+#include "src/vrp/verifier.h"
+
+// Frame layout these programs are written against (see net/packet.h):
+//   byte 22      IPv4 TTL          -> p5 bits 15..8
+//   byte 23      IPv4 protocol     -> p5 bits 7..0
+//   bytes 24-25  IPv4 checksum     -> p6 bits 31..16
+//   bytes 36-37  TCP dst port      -> p9 bits 31..16
+//   bytes 38-41  TCP seq           -> p9 lo16 | p10 hi16
+//   bytes 42-45  TCP ack           -> p10 lo16 | p11 hi16
+//   byte 47      TCP flags         -> p11 bits 7..0
+//   bytes 50-51  TCP checksum      -> p12 bits 15..0
+//   byte 54+     payload           -> p13 bits 15..0 onward
+
+namespace npr {
+namespace {
+
+VrpProgram MustAssemble(const std::string& name, const std::string& source) {
+  AssembleResult result = Assemble(name, source);
+  assert(result.ok && "built-in forwarder failed to assemble");
+  VerifyResult verified = VerifyProgram(result.program);
+  assert(verified.ok && "built-in forwarder failed verification");
+  (void)verified;
+  return std::move(result.program);
+}
+
+}  // namespace
+
+VrpProgram BuildTcpSplicer() {
+  return MustAssemble("tcp-splicer", R"(
+    .state 24
+    ; state: [0] seq delta  [4] ack delta  [8] port map  [12] cksum adjust
+    ;        [16] spliced flag  [20] packet count
+    ; Checksum handling is exact RFC 1624: state[12] holds the folded
+    ; one's-complement sum of both deltas; each 32-bit rewrite that wraps
+    ; past 2^32 subtracts one more (2^32 == 1 mod 0xffff).
+            ldsram r0, 16
+            beq r0, r7, out         ; splice not yet established: pass through
+            ldsram r0, 12           ; r0 accumulates the checksum adjustment
+
+            ; --- seq' = seq + seq_delta (seq = p9 lo16 | p10 hi16) ---
+            ldpkt r1, p9
+            ldpkt r2, p10
+            mov r3, r1
+            shl r3, 16
+            mov r4, r2
+            shr r4, 16
+            or r3, r4               ; r3 = seq
+            ldsram r5, 0
+            mov r6, r3              ; r6 = old seq
+            add r3, r5              ; r3 = seq'
+            bge r3, r6, nw1         ; unsigned carry-out iff new < old
+            addi r0, 0xfffe         ; adjust -= 1 (mod 0xffff)
+    nw1:    mov r4, r3
+            shr r4, 16              ; seq' hi
+            shr r1, 16
+            shl r1, 16              ; p9 top half preserved
+            or r1, r4
+            stpkt r1, p9
+            mov r4, r3
+            shl r4, 16              ; seq' lo into top half
+            shl r2, 16
+            shr r2, 16              ; p10 bottom half preserved (ack hi)
+            or r4, r2
+            stpkt r4, p10
+
+            ; --- ack' = ack + ack_delta (ack = p10 lo16 | p11 hi16) ---
+            ldpkt r1, p10
+            ldpkt r2, p11
+            mov r3, r1
+            shl r3, 16
+            mov r4, r2
+            shr r4, 16
+            or r3, r4               ; r3 = ack
+            ldsram r5, 4
+            mov r6, r3              ; r6 = old ack
+            add r3, r5              ; r3 = ack'
+            bge r3, r6, nw2
+            addi r0, 0xfffe
+    nw2:    mov r4, r3
+            shr r4, 16
+            shr r1, 16
+            shl r1, 16
+            or r1, r4
+            stpkt r1, p10
+            mov r4, r3
+            shl r4, 16
+            shl r2, 16
+            shr r2, 16
+            or r4, r2
+            stpkt r4, p11
+
+            ; --- apply the adjustment: HC' = ~fold(~HC + adjust) ---
+            ldpkt r6, p12
+            mov r1, r6
+            andi r1, 0xffff         ; HC
+            movi r2, 0xffff
+            xor r1, r2              ; ~HC
+            add r1, r0
+            mov r4, r1
+            shr r4, 16
+            andi r1, 0xffff
+            add r1, r4              ; fold
+            mov r4, r1
+            shr r4, 16
+            andi r1, 0xffff
+            add r1, r4              ; fold again
+            xor r1, r2
+            andi r1, 0xffff
+            shr r6, 16
+            shl r6, 16              ; window half preserved
+            or r6, r1
+            stpkt r6, p12
+
+            ; --- packet count ---
+            ldsram r5, 20
+            addi r5, 1
+            stsram r5, 20
+    out:    send
+  )");
+}
+
+VrpProgram BuildWaveletDropper() {
+  return MustAssemble("wavelet-dropper", R"(
+    .state 8
+    ; state: [0] cutoff layer  [4] forwarded count
+    ; Layer tag rides in the first payload bytes (p13 lo16): level in the
+    ; high byte, subband in the low byte; layer index = level * 4 + subband.
+            ldpkt r0, p13
+            mov r1, r0
+            andi r0, 255            ; subband
+            shr r1, 8
+            andi r1, 255            ; level
+            mov r2, r1
+            shl r2, 2
+            add r2, r0              ; r2 = layer index
+            ldsram r3, 0            ; cutoff
+            blt r2, r3, keep
+            ; boundary layer: probabilistic keep keyed by the sequence hash
+            ; (smooths the quality step at the cutoff)
+            mov r4, r2
+            sub r4, r3
+            bne r4, r7, toss        ; strictly above cutoff: always drop
+            ldpkt r5, p14           ; media sequence number
+            hash r6, r5
+            andi r6, 3
+            beq r6, r7, keep        ; keep 1 in 4 at the boundary
+    toss:   drop
+    keep:   ldsram r4, 4
+            addi r4, 1
+            stsram r4, 4
+            send
+  )");
+}
+
+VrpProgram BuildAckMonitor() {
+  return MustAssemble("ack-monitor", R"(
+    .state 12
+    ; state: [0] last ack  [4] duplicate count  [8] total acks
+            ldpkt r6, p5
+            andi r6, 255            ; IP protocol byte
+            movi r0, 6
+            bne r6, r0, done        ; not TCP
+            ldpkt r0, p11
+            mov r2, r0
+            andi r0, 16             ; ACK flag
+            beq r0, r7, done
+            ldpkt r1, p10
+            shl r1, 16              ; ack hi16 (from p10 lo16)
+            shr r2, 16              ; ack lo16 (from p11 hi16)... note order
+            or r1, r2               ; r1 = ack number
+            ldsram r3, 0
+            bne r1, r3, fresh
+            ldsram r4, 4            ; repeat ACK
+            addi r4, 1
+            stsram r4, 4
+    fresh:  stsram r1, 0
+            ldsram r5, 8
+            addi r5, 1
+            stsram r5, 8
+    done:   send
+  )");
+}
+
+VrpProgram BuildSynMonitor() {
+  return MustAssemble("syn-monitor", R"(
+    .state 4
+    ; state: [0] SYN count
+            ldpkt r6, p5
+            andi r6, 255            ; IP protocol byte
+            movi r1, 6
+            bne r6, r1, done        ; not TCP: byte 47 is payload, not flags
+            ldpkt r0, p11
+            andi r0, 2              ; SYN flag (low byte of p11)
+            beq r0, r7, done
+            ldsram r1, 0
+            addi r1, 1
+            stsram r1, 0
+    done:   send
+  )");
+}
+
+VrpProgram BuildPortFilter() {
+  // Five ranges, each one state word lo<<16 | hi; an empty range is 0.
+  std::string body = R"(
+    .state 20
+            ldpkt r0, p9
+            shr r0, 16              ; TCP destination port
+  )";
+  for (int i = 0; i < 5; ++i) {
+    const std::string off = std::to_string(i * 4);
+    const std::string next = "n" + std::to_string(i);
+    body += "        ldsram r1, " + off + "\n";
+    body += "        mov r2, r1\n";
+    body += "        shr r2, 16\n";           // lo
+    body += "        andi r1, 0xffff\n";      // hi
+    body += "        blt r0, r2, " + next + "\n";
+    body += "        bge r1, r0, reject\n";
+    body += next + ":\n";
+  }
+  body += R"(
+            send
+    reject: drop
+  )";
+  return MustAssemble("port-filter", body);
+}
+
+VrpProgram BuildIpMinimal() {
+  return MustAssemble("ip-minimal", R"(
+    .state 24
+    ; state: [0..11] new Ethernet header words (dst MAC + src MAC)
+    ;        [16] forwarded count  [20] TTL-expired count
+            ldpkt r0, p5
+            mov r1, r0
+            shr r1, 8
+            andi r1, 255            ; TTL
+            movi r2, 1
+            bge r2, r1, expire      ; TTL <= 1
+            addi r0, -256           ; TTL - 1 (byte 22 is bits 15..8 of p5)
+            stpkt r0, p5
+            ; incremental header checksum (RFC 1141): HC' = HC + 0x0100
+            ; with end-around carry (p6 hi16 holds the checksum)
+            ldpkt r3, p6
+            mov r4, r3
+            shr r4, 16
+            addi r4, 256
+            mov r5, r4
+            shr r5, 16
+            andi r4, 0xffff
+            add r4, r5
+            shl r4, 16
+            shl r3, 16
+            shr r3, 16
+            or r3, r4
+            stpkt r3, p6
+            ; replace the Ethernet header from cached route state
+            ldsram r5, 0
+            stpkt r5, p0
+            ldsram r5, 4
+            stpkt r5, p1
+            ldsram r5, 8
+            stpkt r5, p2
+            ldsram r6, 16
+            addi r6, 1
+            stsram r6, 16
+            send
+    expire: ldsram r6, 20
+            addi r6, 1
+            stsram r6, 20
+            except
+  )");
+}
+
+VrpProgram BuildDscpTagger() {
+  return MustAssemble("dscp-tagger", R"(
+    .state 8
+    ; state: [0] class byte  [4] tagged count
+    ; TOS is frame byte 15 = bits 7..0 of p3; the IP checksum word covering
+    ; it pairs TOS with ver/ihl (bytes 14-15), so the incremental update
+    ; (RFC 1624) operates on that 16-bit word.
+            ldpkt r0, p3
+            mov r1, r0
+            andi r1, 0xffff         ; old ver/ihl|tos word
+            ldsram r2, 0            ; new class
+            andi r2, 255
+            shr r0, 16
+            shl r0, 16              ; ethertype half preserved
+            mov r3, r1
+            shr r3, 8
+            shl r3, 8
+            or r3, r2               ; new ver/ihl|tos word
+            or r0, r3
+            stpkt r0, p3
+            beq r1, r3, done        ; unchanged: checksum stays
+            ; HC' = ~(~HC + ~m + m') on p6 hi16
+            ldpkt r4, p6
+            mov r5, r4
+            shr r5, 16              ; HC
+            movi r6, 0xffff
+            xor r5, r6              ; ~HC
+            xor r1, r6              ; ~m  (old word)
+            add r5, r1
+            add r5, r3              ; + m'
+            ; fold carries twice (sum of three 16-bit values)
+            mov r1, r5
+            shr r1, 16
+            andi r5, 0xffff
+            add r5, r1
+            mov r1, r5
+            shr r1, 16
+            andi r5, 0xffff
+            add r5, r1
+            xor r5, r6              ; ~sum = HC'
+            andi r5, 0xffff
+            shl r5, 16
+            shl r4, 16
+            shr r4, 16
+            or r4, r5
+            stpkt r4, p6
+            ldsram r2, 4
+            addi r2, 1
+            stsram r2, 4
+    done:   send
+  )");
+}
+
+VrpProgram BuildRateLimiter() {
+  return MustAssemble("rate-limiter", R"(
+    .state 8
+    ; state: [0] tokens remaining  [4] dropped count
+            ldsram r0, 0
+            beq r0, r7, deny        ; bucket empty
+            addi r0, -1
+            stsram r0, 0
+            send
+    deny:   ldsram r1, 4
+            addi r1, 1
+            stsram r1, 4
+            drop
+  )");
+}
+
+VrpProgram BuildWfqApproximator() {
+  return MustAssemble("wfq-approx", R"(
+    .state 8
+    ; state: [0] weight (0..4)  [4] accumulator
+            ldsram r0, 0
+            ldsram r1, 4
+            add r1, r0              ; acc += weight
+            movi r2, 4
+            blt r1, r2, low
+            sub r1, r2
+            stsram r1, 4
+            setq 0                  ; this packet rides the protected queue
+            send
+    low:    stsram r1, 4
+            setq 1                  ; best effort
+            send
+  )");
+}
+
+VrpProgram BuildSyntheticBlocks(int blocks) {
+  std::string body = ".state 4\n";
+  for (int b = 0; b < blocks; ++b) {
+    // One Figure-9 combined block: 10 register instructions + one 4-byte
+    // SRAM read.
+    body += R"(
+            movi r0, 7
+            addi r0, 3
+            shl r0, 2
+            mov r1, r0
+            xor r1, r0
+            or r1, r0
+            addi r1, 1
+            shr r1, 1
+            and r1, r0
+            addi r1, 5
+            ldsram r2, 0
+    )";
+  }
+  body += "        send\n";
+  return MustAssemble("synthetic-" + std::to_string(blocks), body);
+}
+
+}  // namespace npr

@@ -1,0 +1,88 @@
+// The paper's example data forwarders (Table 5), written in VRP assembly.
+//
+// Each function assembles, verifies, and returns a ready-to-install
+// program. The programs are *functional*: they really read and modify the
+// MP bytes and their SRAM flow state, against the frame layout used
+// throughout this repo (Ethernet 14 B + IPv4 20 B + TCP/UDP at byte 34).
+//
+// Packet-register map for a minimum frame (64-byte MP, 32-bit big-endian
+// words):
+//   p3  = bytes 12..15 : ethertype (hi 16) | IP ver/ihl/tos (lo 16)
+//   p5  = bytes 20..23 : IP id | flags/frag
+//   p6  = bytes 24..27 : TTL | proto | IP checksum
+//   p7  = bytes 28..31 : IP src
+//   p8  = bytes 32..35 : IP dst (hi 16 in p7's tail... see note) — actually
+//         bytes 30..33 hold IP dst; p8 = IP dst tail | TCP src port
+//   p9  = bytes 36..39 : TCP dst port | seq hi
+//   p10 = bytes 40..43 : seq lo | ack hi
+//   p11 = bytes 44..47 : ack lo | data-off/flags
+//   p12 = bytes 48..51 : window | checksum
+// (IPv4 src is bytes 26..29, dst 30..33 — they straddle words; forwarders
+// that need them shift-and-or two packet registers, as real MicroEngine
+// code does.)
+
+#ifndef SRC_FORWARDERS_VRP_PROGRAMS_H_
+#define SRC_FORWARDERS_VRP_PROGRAMS_H_
+
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+// TCP splicer (§4.4 [21]): rewrites sequence/ack numbers by the splice
+// deltas and fixes the checksum incrementally. State (24 B):
+//   [0]  seq delta   [4] ack delta   [8] port map (src<<16|dst)
+//   [12] checksum adjust   [16] spliced flag   [20] packet count
+VrpProgram BuildTcpSplicer();
+
+// Wavelet video dropper (§4.4 [3]): drops packets whose layer tag exceeds
+// the control-set cutoff; counts forwarded packets. State (8 B):
+//   [0] cutoff layer   [4] forwarded count
+VrpProgram BuildWaveletDropper();
+
+// ACK monitor (§4.4 [17]): tracks repeat ACKs per flow. State (12 B):
+//   [0] last ack   [4] duplicate count   [8] total acks
+VrpProgram BuildAckMonitor();
+
+// SYN monitor (§4.4): counts SYN packets (SYN-flood detection). State (4 B):
+//   [0] SYN count
+VrpProgram BuildSynMonitor();
+
+// Port filter (§4.4): drops packets whose TCP destination port falls in any
+// of up to five [lo, hi] ranges. State (20 B): five words of lo<<16|hi.
+VrpProgram BuildPortFilter();
+
+// Minimal IP (§4.4): decrement TTL, fix the checksum incrementally, replace
+// the Ethernet header from cached route state. State (24 B):
+//   [0..11] next-hop dst MAC + src MAC (packed)   [12] out port
+//   [16] forwarded count   [20] TTL-expired count
+VrpProgram BuildIpMinimal();
+
+// Packet tagger (one of the §1 motivating services): rewrites the IPv4
+// TOS/DSCP byte to the control-set class and repairs the header checksum
+// incrementally. State (8 B): [0] class byte  [4] tagged count
+VrpProgram BuildDscpTagger();
+
+// Token-bucket rate limiter: spends one token per packet, drops when the
+// bucket is empty; the control half refills the bucket periodically (the
+// data plane has no clock — a deliberate VRP property). State (8 B):
+//   [0] tokens remaining  [4] dropped count
+VrpProgram BuildRateLimiter();
+
+// Input-side weighted-fair-queueing approximation (§3.4.1: "the larger
+// computing capacity available in input-side protocol processing could be
+// used to select the appropriate priority queue and thereby approximate
+// more complex schemes, such as weighted fair queuing. We have not
+// evaluated this in detail." — bench/wfq_approximation evaluates it).
+// Deficit-style: of every 4 packets, `weight` go to the protected priority
+// queue and the rest to best-effort. State (8 B): [0] weight 0..4
+// [4] accumulator.
+VrpProgram BuildWfqApproximator();
+
+// A synthetic forwarder of `blocks` Figure-9 code blocks (10 register
+// instructions + one 4-byte SRAM read each); used by tests and the
+// admission-control benches.
+VrpProgram BuildSyntheticBlocks(int blocks);
+
+}  // namespace npr
+
+#endif  // SRC_FORWARDERS_VRP_PROGRAMS_H_

@@ -1,0 +1,48 @@
+// The IXP1200's transmit/receive "FIFOs" (§2.2, §3.1).
+//
+// Each is really an addressable 16-slot x 64-byte register file; it only
+// behaves as a FIFO if software uses it that way. The router statically
+// assigns slots to contexts (§3.2.1, §3.3), which this model supports by
+// exposing slots by index. Slot contents are real bytes: the MAC-packet
+// payload travels through here.
+
+#ifndef SRC_IXP_FIFO_H_
+#define SRC_IXP_FIFO_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace npr {
+
+// Tag the MAC attaches to each 64-byte MAC-packet (MP): position within the
+// enclosing Ethernet frame plus bookkeeping the forwarding code needs.
+struct MpTag {
+  uint8_t port = 0;        // arrival (or destination) port
+  bool sop = false;        // first MP of the packet
+  bool eop = false;        // last MP of the packet
+  uint16_t bytes = 0;      // valid bytes in this MP (< 64 only when eop)
+  uint32_t packet_id = 0;  // simulator-side identity for end-to-end checks
+};
+
+struct FifoSlot {
+  std::array<uint8_t, 64> data{};
+  MpTag tag;
+  bool valid = false;
+};
+
+class FifoBank {
+ public:
+  explicit FifoBank(int slots = 16) : slots_(static_cast<size_t>(slots)) {}
+
+  FifoSlot& slot(int i) { return slots_[static_cast<size_t>(i)]; }
+  const FifoSlot& slot(int i) const { return slots_[static_cast<size_t>(i)]; }
+  int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::vector<FifoSlot> slots_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_IXP_FIFO_H_

@@ -1,0 +1,42 @@
+// The IXP1200's hardware hashing unit.
+//
+// The paper's fast-path classification uses "a one-cycle hardware hash" of
+// the destination address (§3.5.1), and the full classifier hashes the IP
+// and TCP headers separately and combines them (§4.5). The VRP budget
+// allows 3 hashes per MP (§4.3). The *cycle cost* is charged by the calling
+// code (one Compute cycle per hash); this class provides the function and
+// counts uses.
+
+#ifndef SRC_IXP_HASH_UNIT_H_
+#define SRC_IXP_HASH_UNIT_H_
+
+#include <cstdint>
+
+namespace npr {
+
+class HashUnit {
+ public:
+  // 64 -> 64 bit mix (SplitMix64 finalizer: good avalanche, cheap).
+  uint64_t Hash64(uint64_t key) {
+    ++uses_;
+    uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t Hash32(uint32_t key) { return static_cast<uint32_t>(Hash64(key)); }
+
+  // Combines two header hashes the way the classifier does (§4.5).
+  uint64_t Combine(uint64_t a, uint64_t b) { return Hash64(a ^ (b * 0x9e3779b97f4a7c15ULL)); }
+
+  uint64_t uses() const { return uses_; }
+  void ResetStats() { uses_ = 0; }
+
+ private:
+  uint64_t uses_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_IXP_HASH_UNIT_H_

@@ -1,0 +1,45 @@
+#include "src/ixp/hw_config.h"
+
+namespace npr {
+
+MemorySystemConfig HwConfig::MakeMemoryConfig() const {
+  MemorySystemConfig mc;
+
+  // DRAM: 64-bit x 100 MHz. A 32 B transfer occupies 4 bus cycles (40 ns =
+  // 8 ME cycles); Table 3 reports 52 cycle (260 ns) reads and 40 cycle
+  // (200 ns) writes unloaded, so pipeline latency is the remainder.
+  mc.dram = MemoryChannelConfig{
+      .name = "dram",
+      .width_bytes = 8,
+      .bus_cycle_ps = kMemBusClock.cycle_ps,
+      .read_latency_ps = 260'000 - 40'000,
+      .write_latency_ps = 200'000 - 40'000,
+  };
+
+  // SRAM: 32-bit x 100 MHz. A 4 B transfer occupies 1 bus cycle (10 ns);
+  // Table 3 reports 22 cycles (110 ns) both ways.
+  mc.sram = MemoryChannelConfig{
+      .name = "sram",
+      .width_bytes = 4,
+      .bus_cycle_ps = kMemBusClock.cycle_ps,
+      .read_latency_ps = 110'000 - 10'000,
+      .write_latency_ps = 110'000 - 10'000,
+  };
+
+  // Scratch: on-chip, 4 B per access; Table 3: read 16 cycles (80 ns),
+  // write 20 cycles (100 ns).
+  mc.scratch = MemoryChannelConfig{
+      .name = "scratch",
+      .width_bytes = 4,
+      .bus_cycle_ps = kMemBusClock.cycle_ps,
+      .read_latency_ps = 80'000 - 10'000,
+      .write_latency_ps = 100'000 - 10'000,
+  };
+
+  mc.dram_size_bytes = 32u << 20;
+  mc.sram_size_bytes = 2u << 20;
+  mc.scratch_size_bytes = 4096;
+  return mc;
+}
+
+}  // namespace npr

@@ -1,0 +1,63 @@
+// Blocking hardware mutex (§3.4.2).
+//
+// The IXP1200 provides mutual exclusion over special SRAM regions through a
+// CAM mechanism: acquiring costs one SRAM round trip, and — crucially,
+// unlike a test-and-set spin loop — blocked waiters generate *no further
+// memory traffic*; the hardware wakes the next waiter when the lock is
+// released. The paper found spin locks "performance-crippling" under
+// contention and uses these instead for shared (protected) output queues.
+
+#ifndef SRC_IXP_HW_MUTEX_H_
+#define SRC_IXP_HW_MUTEX_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "src/ixp/microengine.h"
+#include "src/mem/memory_channel.h"
+#include "src/sim/event_queue.h"
+
+namespace npr {
+
+class HwMutex {
+ public:
+  // `grant_cycles` models release-to-wakeup delay under contention
+  // (HwConfig::mutex_grant_cycles; calibrated against Table 1 row I.3).
+  HwMutex(EventQueue& engine, MemoryChannel& sram, uint32_t grant_cycles);
+
+  // Awaitable: issues the CAM read on the SRAM channel and blocks until the
+  // lock is owned by `ctx`.
+  struct Awaiter {
+    HwMutex* mutex;
+    HwContext* ctx;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const {}
+  };
+  Awaiter Acquire(HwContext& ctx) { return Awaiter{this, &ctx}; }
+
+  // Releases the lock: posts the CAM write; when it lands, the next waiter
+  // (if any) is granted after the calibrated signal delay.
+  void Release();
+
+  bool locked() const { return locked_; }
+  uint64_t contended_acquires() const { return contended_acquires_; }
+  uint64_t acquires() const { return acquires_; }
+
+ private:
+  void OnAcquireLanded(HwContext* ctx);
+  void OnReleaseLanded();
+
+  EventQueue& engine_;
+  MemoryChannel& sram_;
+  const uint32_t grant_cycles_;
+  bool locked_ = false;
+  std::deque<HwContext*> waiters_;
+  uint64_t acquires_ = 0;
+  uint64_t contended_acquires_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_IXP_HW_MUTEX_H_

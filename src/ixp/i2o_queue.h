@@ -1,0 +1,63 @@
+// Intelligent I/O (I2O) hardware message queues (§3.7).
+//
+// Each logical IXP<->Pentium queue is a pair of hardware FIFOs of 32-bit
+// buffer pointers: one holds pointers to *free* host buffers, the other
+// pointers to *full* ones. (The real silicon's I2O unit was broken and the
+// paper simulated it in software; the Pentium-side cost of that software
+// path is captured in HwConfig::pentium_* constants.) These queues are
+// functional; the PCI traffic to reach them is charged by the bridge code.
+
+#ifndef SRC_IXP_I2O_QUEUE_H_
+#define SRC_IXP_I2O_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace npr {
+
+class I2oQueue {
+ public:
+  explicit I2oQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Appends a pointer; fails (returns false) when the queue is full.
+  bool Push(uint32_t value) {
+    if (entries_.size() >= capacity_) {
+      ++overflows_;
+      return false;
+    }
+    entries_.push_back(value);
+    return true;
+  }
+
+  std::optional<uint32_t> Pop() {
+    if (entries_.empty()) {
+      return std::nullopt;
+    }
+    uint32_t v = entries_.front();
+    entries_.pop_front();
+    return v;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t overflows() const { return overflows_; }
+
+ private:
+  size_t capacity_;
+  std::deque<uint32_t> entries_;
+  uint64_t overflows_ = 0;
+};
+
+// One logical direction of the bridge: free buffers flow one way, full
+// buffers the other (§3.7).
+struct I2oQueuePair {
+  I2oQueuePair(size_t free_cap, size_t full_cap) : free_q(free_cap), full_q(full_cap) {}
+  I2oQueue free_q;
+  I2oQueue full_q;
+};
+
+}  // namespace npr
+
+#endif  // SRC_IXP_I2O_QUEUE_H_

@@ -1,0 +1,155 @@
+#include "src/ixp/microengine.h"
+
+#include <utility>
+
+#include "src/sim/log.h"
+
+namespace npr {
+
+HwContext::HwContext(MicroEngine& me, int index) : me_(me), index_(index) {}
+
+void HwContext::Install(Task task) {
+  assert(!installed_ && "context already has a program");
+  task_ = std::move(task);
+  installed_ = true;
+  state_ = State::kReady;
+  ready_since_ = me_.event_queue().now();
+  me_.EnqueueReady(this);
+}
+
+void HwContext::MakeReady() {
+  assert(state_ == State::kBlocked && "MakeReady on a context that is not blocked");
+  state_ = State::kReady;
+  ready_since_ = me_.event_queue().now();
+  me_.EnqueueReady(this);
+}
+
+void HwContext::ResumeNow() {
+  assert(state_ == State::kRunning);
+  if (!started_) {
+    started_ = true;
+    task_.Start();
+  } else {
+    auto h = std::exchange(pending_, std::coroutine_handle<>{});
+    assert(h && "resume with no pending suspension point");
+    h.resume();
+  }
+  if (task_.done()) {
+    // Finite programs (tests, one-shot probes) fall off the end; release
+    // the pipeline for the remaining contexts.
+    state_ = State::kIdle;
+    if (me_.running_ == this) {
+      me_.running_ = nullptr;
+      me_.Dispatch();
+    }
+  }
+}
+
+void HwContext::ComputeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  HwContext* c = ctx;
+  assert(c->state_ == State::kRunning);
+  c->pending_ = h;
+  c->compute_cycles_ += cycles;
+  c->me_.OnComputeStart(c, cycles);
+}
+
+void HwContext::MemAwaiter::await_suspend(std::coroutine_handle<> h) {
+  HwContext* c = ctx;
+  assert(c->state_ == State::kRunning);
+  c->pending_ = h;
+  if (is_write) {
+    ++c->mem_writes_;
+  } else {
+    ++c->mem_reads_;
+  }
+  channel->Issue(bytes, is_write, [c] { c->MakeReady(); });
+  c->me_.OnBlocked(c);
+}
+
+void HwContext::Post(MemoryChannel& channel, uint32_t bytes) {
+  ++mem_writes_;
+  channel.Issue(bytes, /*is_write=*/true, nullptr);
+}
+
+void HwContext::BlockAwaiter::await_suspend(std::coroutine_handle<> h) {
+  HwContext* c = ctx;
+  assert(c->state_ == State::kRunning);
+  c->pending_ = h;
+  c->me_.OnBlocked(c);
+}
+
+void HwContext::YieldAwaiter::await_suspend(std::coroutine_handle<> h) {
+  HwContext* c = ctx;
+  assert(c->state_ == State::kRunning);
+  c->pending_ = h;
+  c->state_ = State::kReady;
+  c->ready_since_ = c->me_.event_queue().now();
+  c->me_.running_ = nullptr;
+  c->me_.EnqueueReady(c);
+}
+
+MicroEngine::MicroEngine(EventQueue& engine, int id, int num_contexts,
+                         uint32_t ctx_switch_cycles)
+    : engine_(engine), id_(id), ctx_switch_cycles_(ctx_switch_cycles) {
+  contexts_.reserve(static_cast<size_t>(num_contexts));
+  for (int i = 0; i < num_contexts; ++i) {
+    contexts_.push_back(std::make_unique<HwContext>(*this, i));
+  }
+}
+
+double MicroEngine::Utilization(SimTime window_start) const {
+  const SimTime window = engine_.now() - window_start;
+  if (window <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_cycles_) * static_cast<double>(kIxpClock.cycle_ps) /
+         static_cast<double>(window);
+}
+
+void MicroEngine::EnqueueReady(HwContext* ctx) {
+  assert(ctx->state_ == HwContext::State::kReady);
+  ready_.push_back(ctx);
+  if (running_ == nullptr) {
+    Dispatch();
+  }
+}
+
+void MicroEngine::OnBlocked(HwContext* ctx) {
+  assert(running_ == ctx);
+  ctx->state_ = HwContext::State::kBlocked;
+  running_ = nullptr;
+  Dispatch();
+}
+
+void MicroEngine::OnComputeStart(HwContext* ctx, uint32_t cycles) {
+  assert(running_ == ctx);
+  busy_cycles_ += cycles;
+  engine_.ScheduleIn(kIxpClock.ToTime(cycles), [ctx] {
+    assert(ctx->state_ == HwContext::State::kRunning);
+    ctx->ResumeNow();
+  });
+}
+
+void MicroEngine::Dispatch() {
+  if (running_ != nullptr || ready_.empty() || dispatch_scheduled_) {
+    return;
+  }
+  dispatch_scheduled_ = true;
+  // The swap bubble: the pipeline restarts the incoming context a cycle
+  // after the outgoing one left.
+  engine_.ScheduleIn(kIxpClock.ToTime(ctx_switch_cycles_), [this] {
+    dispatch_scheduled_ = false;
+    if (running_ != nullptr || ready_.empty()) {
+      return;
+    }
+    HwContext* ctx = ready_.front();
+    ready_.pop_front();
+    assert(ctx->state_ == HwContext::State::kReady);
+    ctx->state_ = HwContext::State::kRunning;
+    ctx->ready_wait_ps_ += engine_.now() - ctx->ready_since_;
+    running_ = ctx;
+    ctx->ResumeNow();
+  });
+}
+
+}  // namespace npr

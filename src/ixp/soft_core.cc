@@ -1,0 +1,47 @@
+#include "src/ixp/soft_core.h"
+
+namespace npr {
+
+void SoftCore::Install(Task task) {
+  assert(!started_ && "core already running a program");
+  task_ = std::move(task);
+  started_ = true;
+  task_.Start();
+}
+
+void SoftCore::Resume() {
+  auto h = std::exchange(pending_, std::coroutine_handle<>{});
+  assert(h && "resume with no pending suspension point");
+  h.resume();
+}
+
+void SoftCore::ComputeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  SoftCore* c = core;
+  c->pending_ = h;
+  c->busy_cycles_ += cycles;
+  c->engine_.ScheduleIn(c->clock_.ToTime(static_cast<int64_t>(cycles)), [c] { c->Resume(); });
+}
+
+void SoftCore::MemAwaiter::await_suspend(std::coroutine_handle<> h) {
+  SoftCore* c = core;
+  c->pending_ = h;
+  channel->Issue(bytes, is_write, [c] { c->Resume(); });
+}
+
+void SoftCore::BlockAwaiter::await_suspend(std::coroutine_handle<> h) {
+  SoftCore* c = core;
+  c->pending_ = h;
+  c->blocked_ = true;
+}
+
+void SoftCore::Wake() {
+  if (!blocked_) {
+    return;
+  }
+  blocked_ = false;
+  // Wakeup is delivered through the event queue to keep resumption ordering
+  // deterministic with respect to the waking event.
+  engine_.ScheduleIn(0, [this] { Resume(); });
+}
+
+}  // namespace npr

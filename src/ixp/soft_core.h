@@ -1,0 +1,115 @@
+// Single-context processor model, used for the StrongARM core and the host
+// Pentium III.
+//
+// Unlike a MicroEngine, a SoftCore has one context and stalls on its own
+// memory references (no latency hiding); what matters for the paper's
+// results is its cycle *rate* and the contention its memory traffic adds to
+// the shared channels (the StrongARM shares SRAM/DRAM bandwidth with the
+// MicroEngines, §4.1).
+
+#ifndef SRC_IXP_SOFT_CORE_H_
+#define SRC_IXP_SOFT_CORE_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/mem/memory_channel.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+class SoftCore {
+ public:
+  SoftCore(EventQueue& engine, ClockDomain clock, std::string name)
+      : engine_(engine), clock_(clock), name_(std::move(name)) {}
+
+  SoftCore(const SoftCore&) = delete;
+  SoftCore& operator=(const SoftCore&) = delete;
+
+  // Occupies the core for `cycles` of its own clock.
+  struct ComputeAwaiter {
+    SoftCore* core;
+    uint64_t cycles;
+    bool await_ready() const { return cycles == 0; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const {}
+  };
+  ComputeAwaiter Compute(uint64_t cycles) { return ComputeAwaiter{this, cycles}; }
+
+  // Issues an access on a shared channel and stalls until it completes.
+  struct MemAwaiter {
+    SoftCore* core;
+    MemoryChannel* channel;
+    uint32_t bytes;
+    bool is_write;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const {}
+  };
+  MemAwaiter Read(MemoryChannel& channel, uint32_t bytes) {
+    return MemAwaiter{this, &channel, bytes, false};
+  }
+  MemAwaiter Write(MemoryChannel& channel, uint32_t bytes) {
+    return MemAwaiter{this, &channel, bytes, true};
+  }
+
+  // Posted write: issued, not waited on.
+  void Post(MemoryChannel& channel, uint32_t bytes) {
+    channel.Issue(bytes, /*is_write=*/true, nullptr);
+  }
+
+  // Sleeps until Wake() (interrupt-style blocking).
+  struct BlockAwaiter {
+    SoftCore* core;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const {}
+  };
+  BlockAwaiter Block() { return BlockAwaiter{this}; }
+
+  // Wakes a core blocked in Block(). No-op if not blocked (a signal to a
+  // busy core is coalesced, as with a level-triggered interrupt).
+  void Wake();
+
+  bool IsBlocked() const { return blocked_; }
+
+  // Installs and starts the core's program.
+  void Install(Task task);
+
+  const std::string& name() const { return name_; }
+  ClockDomain clock() const { return clock_; }
+  EventQueue& event_queue() { return engine_; }
+
+  // Busy cycles spent in Compute (memory stalls not included).
+  uint64_t busy_cycles() const { return busy_cycles_; }
+  double Utilization(SimTime window_start) const {
+    const SimTime window = engine_.now() - window_start;
+    if (window <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(busy_cycles_) * static_cast<double>(clock_.cycle_ps) /
+           static_cast<double>(window);
+  }
+  void ResetStats() { busy_cycles_ = 0; }
+
+ private:
+  void Resume();
+
+  EventQueue& engine_;
+  const ClockDomain clock_;
+  const std::string name_;
+  Task task_;
+  bool started_ = false;
+  bool blocked_ = false;
+  std::coroutine_handle<> pending_;
+  uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_IXP_SOFT_CORE_H_

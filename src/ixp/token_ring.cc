@@ -1,0 +1,59 @@
+#include "src/ixp/token_ring.h"
+
+#include <cassert>
+
+namespace npr {
+
+TokenRing::TokenRing(EventQueue& engine, uint32_t pass_cycles)
+    : engine_(engine), pass_cycles_(pass_cycles) {}
+
+int TokenRing::AddMember(HwContext& ctx) {
+  assert(!held_ && "cannot add members while the token is held");
+  members_.push_back(Member{&ctx});
+  return static_cast<int>(members_.size()) - 1;
+}
+
+bool TokenRing::TryGrant(int member) {
+  assert(member >= 0 && member < size());
+  if (available_ && offered_to_ == member) {
+    available_ = false;
+    held_ = true;
+    idle_ps_ += engine_.now() - offer_since_;
+    return true;
+  }
+  return false;
+}
+
+void TokenRing::Awaiter::await_suspend(std::coroutine_handle<> h) {
+  Member& m = ring->members_[static_cast<size_t>(member)];
+  assert(!m.waiting && "member already waiting for the token");
+  m.waiting = true;
+  // The context blocks; Offer() wakes it through its MicroEngine.
+  HwContext::BlockAwaiter block{m.ctx};
+  block.await_suspend(h);
+}
+
+void TokenRing::Release(int member) {
+  assert(held_ && offered_to_ == member && "Release by a non-holder");
+  held_ = false;
+  const int next = (member + 1) % size();
+  engine_.ScheduleIn(kIxpClock.ToTime(pass_cycles_), [this, next] { Offer(next); });
+}
+
+void TokenRing::Offer(int member) {
+  offered_to_ = member;
+  offer_since_ = engine_.now();
+  Member& m = members_[static_cast<size_t>(member)];
+  if (m.waiting) {
+    m.waiting = false;
+    available_ = false;
+    held_ = true;
+    m.ctx->MakeReady();
+  } else {
+    // Signal stays set; the member will claim it in TryGrant when it next
+    // reaches its Acquire.
+    available_ = true;
+  }
+}
+
+}  // namespace npr

@@ -1,0 +1,80 @@
+// Token-passing serializer for MicroEngine contexts (§3.2.2).
+//
+// The single DMA state machine (and the ordered output FIFO) are protected
+// not by a memory lock but by passing a token through the contexts with the
+// on-chip one-cycle inter-thread signal. The token visits members in a
+// fixed rotation (construction order); the paper deliberately interleaves
+// the rotation across MicroEngines so a context handing off the token never
+// hands it to a sibling on its own engine.
+//
+// Semantics modelled: the token is *offered* to exactly one member at a
+// time. If that member is blocked in Acquire(), it is granted immediately;
+// otherwise the token waits until the member next asks (hardware signal
+// stays set). Release() passes the token onward after the 1-cycle signal.
+
+#ifndef SRC_IXP_TOKEN_RING_H_
+#define SRC_IXP_TOKEN_RING_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "src/ixp/microengine.h"
+#include "src/sim/event_queue.h"
+
+namespace npr {
+
+class TokenRing {
+ public:
+  // `pass_cycles` is the inter-thread signal latency (HwConfig::token_pass_cycles).
+  TokenRing(EventQueue& engine, uint32_t pass_cycles);
+
+  // Adds `ctx` as the next member of the rotation. All members must be
+  // registered before the first Acquire. Returns the member index.
+  int AddMember(HwContext& ctx);
+
+  // Awaitable: blocks the calling context until the token is offered to
+  // `member` (which must be the index returned by AddMember for this
+  // context's registration).
+  struct Awaiter {
+    TokenRing* ring;
+    int member;
+    bool await_ready() const { return ring->TryGrant(member); }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const {}
+  };
+  Awaiter Acquire(int member) { return Awaiter{this, member}; }
+
+  // Passes the token to the next member in rotation. Must be called by the
+  // current holder.
+  void Release(int member);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  // Total time the token spent offered-but-unclaimed (a measure of rotation
+  // stall; see §3.2.2's discussion of rotation order).
+  SimTime idle_ps() const { return idle_ps_; }
+
+ private:
+  friend struct Awaiter;
+
+  bool TryGrant(int member);
+  void Offer(int member);
+
+  struct Member {
+    HwContext* ctx;
+    bool waiting = false;
+  };
+
+  EventQueue& engine_;
+  const uint32_t pass_cycles_;
+  std::vector<Member> members_;
+  int offered_to_ = 0;     // member the token is currently offered to
+  bool available_ = true;  // true when offered and not yet claimed
+  bool held_ = false;
+  SimTime offer_since_ = 0;
+  SimTime idle_ps_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_IXP_TOKEN_RING_H_

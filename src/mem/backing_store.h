@@ -1,0 +1,56 @@
+// Functional (contents) model of a memory, separate from its timing model.
+//
+// The simulator keeps real bytes in simulated DRAM/SRAM/Scratch: packet
+// payloads are actually written by the input stage and read back by the
+// output stage, queue entries are real 32-bit words, and forwarder flow
+// state lives at real SRAM addresses. This keeps the functional router
+// honest — a corrupted pointer shows up as a corrupted packet, not as a
+// silently-correct abstraction.
+
+#ifndef SRC_MEM_BACKING_STORE_H_
+#define SRC_MEM_BACKING_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace npr {
+
+class BackingStore {
+ public:
+  BackingStore(std::string name, size_t size_bytes);
+
+  size_t size() const { return data_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Byte-span accessors. Addresses are bounds-checked (assert in debug,
+  // clamped no-op in release with an error counter).
+  void Write(uint32_t addr, std::span<const uint8_t> bytes);
+  void Read(uint32_t addr, std::span<uint8_t> out) const;
+
+  // 32-bit little-endian word accessors (queue entries, flow state words).
+  void WriteU32(uint32_t addr, uint32_t value);
+  uint32_t ReadU32(uint32_t addr) const;
+
+  void WriteU64(uint32_t addr, uint64_t value);
+  uint64_t ReadU64(uint32_t addr) const;
+
+  // Zero-fills [addr, addr + len).
+  void Zero(uint32_t addr, size_t len);
+
+  // Number of accesses rejected for being out of bounds.
+  uint64_t oob_errors() const { return oob_errors_; }
+
+ private:
+  bool CheckRange(uint32_t addr, size_t len) const;
+
+  std::string name_;
+  std::vector<uint8_t> data_;
+  mutable uint64_t oob_errors_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_MEM_BACKING_STORE_H_

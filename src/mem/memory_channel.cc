@@ -1,0 +1,70 @@
+#include "src/mem/memory_channel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace npr {
+
+MemoryChannel::MemoryChannel(EventQueue& engine, MemoryChannelConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  assert(config_.width_bytes > 0);
+  assert(config_.bus_cycle_ps > 0);
+}
+
+SimTime MemoryChannel::Occupancy(uint32_t bytes) const {
+  const uint32_t bus_cycles = (bytes + config_.width_bytes - 1) / config_.width_bytes;
+  return static_cast<SimTime>(bus_cycles) * config_.bus_cycle_ps;
+}
+
+SimTime MemoryChannel::Issue(uint32_t bytes, bool is_write, std::function<void()> done) {
+  assert(bytes > 0);
+  const SimTime now = engine_.now();
+  const SimTime start = std::max(now, busy_until_);
+  queue_wait_.Add(static_cast<uint64_t>(start - now));
+  const SimTime occupancy = Occupancy(bytes);
+  busy_until_ = start + occupancy;
+  busy_accum_ += occupancy;
+  const SimTime done_at =
+      busy_until_ + (is_write ? config_.write_latency_ps : config_.read_latency_ps);
+
+  if (is_write) {
+    ++writes_;
+  } else {
+    ++reads_;
+  }
+  bytes_moved_ += bytes;
+
+  if (done) {
+    engine_.Schedule(done_at, std::move(done));
+  }
+  return done_at;
+}
+
+SimTime MemoryChannel::PeekLatency(uint32_t bytes, bool is_write) const {
+  const SimTime now = engine_.now();
+  const SimTime start = std::max(now, busy_until_);
+  return (start - now) + UnloadedLatency(bytes, is_write);
+}
+
+SimTime MemoryChannel::UnloadedLatency(uint32_t bytes, bool is_write) const {
+  return Occupancy(bytes) + (is_write ? config_.write_latency_ps : config_.read_latency_ps);
+}
+
+double MemoryChannel::Utilization(SimTime window_start) const {
+  const SimTime window = engine_.now() - window_start;
+  if (window <= 0) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(busy_accum_) / static_cast<double>(window));
+}
+
+void MemoryChannel::ResetStats() {
+  reads_ = 0;
+  writes_ = 0;
+  bytes_moved_ = 0;
+  busy_accum_ = 0;
+  queue_wait_.Reset();
+}
+
+}  // namespace npr

@@ -1,0 +1,64 @@
+// Bundles the three IXP1200 memories: timing channels + backing stores.
+
+#ifndef SRC_MEM_MEMORY_SYSTEM_H_
+#define SRC_MEM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+
+#include "src/mem/backing_store.h"
+#include "src/mem/memory_channel.h"
+#include "src/sim/event_queue.h"
+
+namespace npr {
+
+struct MemorySystemConfig {
+  MemoryChannelConfig dram;
+  MemoryChannelConfig sram;
+  MemoryChannelConfig scratch;
+  size_t dram_size_bytes = 32u << 20;  // 32 MB
+  size_t sram_size_bytes = 2u << 20;   // 2 MB
+  size_t scratch_size_bytes = 4096;    // 4 KB on-chip
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(EventQueue& engine, const MemorySystemConfig& config)
+      : dram_(engine, config.dram),
+        sram_(engine, config.sram),
+        scratch_(engine, config.scratch),
+        dram_store_("dram", config.dram_size_bytes),
+        sram_store_("sram", config.sram_size_bytes),
+        scratch_store_("scratch", config.scratch_size_bytes) {}
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  MemoryChannel& dram() { return dram_; }
+  MemoryChannel& sram() { return sram_; }
+  MemoryChannel& scratch() { return scratch_; }
+
+  BackingStore& dram_store() { return dram_store_; }
+  BackingStore& sram_store() { return sram_store_; }
+  BackingStore& scratch_store() { return scratch_store_; }
+  const BackingStore& dram_store() const { return dram_store_; }
+  const BackingStore& sram_store() const { return sram_store_; }
+  const BackingStore& scratch_store() const { return scratch_store_; }
+
+  void ResetStats() {
+    dram_.ResetStats();
+    sram_.ResetStats();
+    scratch_.ResetStats();
+  }
+
+ private:
+  MemoryChannel dram_;
+  MemoryChannel sram_;
+  MemoryChannel scratch_;
+  BackingStore dram_store_;
+  BackingStore sram_store_;
+  BackingStore scratch_store_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_MEM_MEMORY_SYSTEM_H_

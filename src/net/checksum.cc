@@ -1,0 +1,35 @@
+#include "src/net/checksum.h"
+
+namespace npr {
+
+uint16_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(sum);
+}
+
+uint16_t InetChecksum(std::span<const uint8_t> data) {
+  return static_cast<uint16_t>(~ChecksumPartial(data) & 0xffff);
+}
+
+uint16_t ChecksumIncremental16(uint16_t hc, uint16_t old16, uint16_t new16) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m').
+  uint32_t sum = static_cast<uint16_t>(~hc);
+  sum += static_cast<uint16_t>(~old16);
+  sum += new16;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace npr

@@ -1,0 +1,28 @@
+// Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//
+// The router's IP forwarders recompute the header checksum after the TTL
+// decrement; the minimal fast-path forwarder uses the incremental form, the
+// full IP forwarder recomputes from scratch — both per the paper's
+// description of the data plane (§1, §4.4).
+
+#ifndef SRC_NET_CHECKSUM_H_
+#define SRC_NET_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace npr {
+
+// One's-complement sum of `data` folded to 16 bits (not yet complemented).
+uint16_t ChecksumPartial(std::span<const uint8_t> data, uint32_t initial = 0);
+
+// Full Internet checksum of `data` (complemented, ready to store).
+uint16_t InetChecksum(std::span<const uint8_t> data);
+
+// RFC 1624 incremental update: given old checksum `hc`, a 16-bit field that
+// changed from `old16` to `new16`, returns the new checksum.
+uint16_t ChecksumIncremental16(uint16_t hc, uint16_t old16, uint16_t new16);
+
+}  // namespace npr
+
+#endif  // SRC_NET_CHECKSUM_H_

@@ -1,0 +1,108 @@
+#include "src/net/icmp.h"
+
+#include <algorithm>
+
+#include "src/net/checksum.h"
+#include "src/net/wire.h"
+
+namespace npr {
+
+std::optional<IcmpHeader> IcmpHeader::Parse(std::span<const uint8_t> data) {
+  if (data.size() < 8) {
+    return std::nullopt;
+  }
+  IcmpHeader h;
+  h.type = data[0];
+  h.code = data[1];
+  h.checksum = ReadBe16(data, 2);
+  h.rest = ReadBe32(data, 4);
+  return h;
+}
+
+void IcmpHeader::WriteWithChecksum(std::span<uint8_t> message) {
+  message[0] = type;
+  message[1] = code;
+  WriteBe16(message, 2, 0);
+  WriteBe32(message, 4, rest);
+  checksum = InetChecksum(message);
+  WriteBe16(message, 2, checksum);
+}
+
+std::optional<Packet> BuildIcmpError(uint8_t type, uint8_t code, const Packet& original,
+                                     uint32_t router_ip) {
+  auto orig_ip = Ipv4Header::Parse(original.l3());
+  if (!orig_ip || orig_ip->src == 0) {
+    return std::nullopt;
+  }
+  // RFC 1812 §4.3.2.7: never generate errors about ICMP errors.
+  if (orig_ip->protocol == kIpProtoIcmp) {
+    auto icmp = IcmpHeader::Parse(original.l3().subspan(orig_ip->header_bytes()));
+    if (icmp && icmp->type != kIcmpEchoRequest && icmp->type != kIcmpEchoReply) {
+      return std::nullopt;
+    }
+  }
+
+  // Quote: offending IP header + first 8 payload bytes.
+  const size_t quote_bytes =
+      std::min(original.l3().size(), orig_ip->header_bytes() + 8);
+  const size_t icmp_bytes = 8 + quote_bytes;
+  const size_t frame_bytes =
+      std::max<size_t>(kEthMinFrame, kEthHeaderBytes + kIpv4MinHeaderBytes + icmp_bytes);
+
+  std::vector<uint8_t> frame(frame_bytes, 0);
+  EthernetHeader eth;
+  eth.src = PortMac(0);  // rewritten at egress
+  eth.dst = PortMac(0);
+  eth.Write(frame);
+
+  const size_t l3_off = kEthHeaderBytes;
+  const size_t l4_off = l3_off + kIpv4MinHeaderBytes;
+  std::span<uint8_t> message(frame.data() + l4_off, icmp_bytes);
+  std::copy_n(original.l3().begin(), quote_bytes, message.begin() + 8);
+  IcmpHeader icmp;
+  icmp.type = type;
+  icmp.code = code;
+  icmp.WriteWithChecksum(message);
+
+  Ipv4Header ip;
+  ip.protocol = kIpProtoIcmp;
+  ip.ttl = 64;
+  ip.src = router_ip;
+  ip.dst = orig_ip->src;
+  ip.total_length = static_cast<uint16_t>(frame_bytes - kEthHeaderBytes);
+  ip.Write(std::span<uint8_t>(frame.data() + l3_off, frame.size() - l3_off));
+
+  Packet packet(std::move(frame));
+  packet.set_id(original.id() ^ 0x80000000u);
+  return packet;
+}
+
+std::optional<Packet> BuildEchoReply(const Packet& request) {
+  auto ip = Ipv4Header::Parse(request.l3());
+  if (!ip || ip->protocol != kIpProtoIcmp) {
+    return std::nullopt;
+  }
+  auto icmp_bytes = request.l3().subspan(ip->header_bytes());
+  auto icmp = IcmpHeader::Parse(icmp_bytes);
+  if (!icmp || icmp->type != kIcmpEchoRequest) {
+    return std::nullopt;
+  }
+
+  Packet reply(std::vector<uint8_t>(request.bytes().begin(), request.bytes().end()));
+  auto l3 = reply.l3();
+  auto reply_ip = *Ipv4Header::Parse(l3);
+  std::swap(reply_ip.src, reply_ip.dst);
+  reply_ip.ttl = 64;
+  reply_ip.Write(l3);
+
+  auto reply_icmp_bytes = l3.subspan(reply_ip.header_bytes());
+  IcmpHeader reply_icmp = *icmp;
+  reply_icmp.type = kIcmpEchoReply;
+  // WriteWithChecksum rewrites the 8-byte header and checksums the whole
+  // message (payload already copied).
+  reply_icmp.WriteWithChecksum(reply_icmp_bytes);
+  reply.set_id(request.id() ^ 0x40000000u);
+  return reply;
+}
+
+}  // namespace npr

@@ -1,0 +1,53 @@
+// ICMP codec and error-packet builder.
+//
+// The paper's data plane punts TTL expiry and routing failures to the
+// control processors; a real router must answer them with ICMP errors
+// (time-exceeded, destination-unreachable). The StrongARM generates these
+// on its exception path.
+
+#ifndef SRC_NET_ICMP_H_
+#define SRC_NET_ICMP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/net/packet.h"
+
+namespace npr {
+
+inline constexpr uint8_t kIcmpEchoReply = 0;
+inline constexpr uint8_t kIcmpDestUnreachable = 3;
+inline constexpr uint8_t kIcmpEchoRequest = 8;
+inline constexpr uint8_t kIcmpTimeExceeded = 11;
+
+inline constexpr uint8_t kIcmpCodeTtlExceeded = 0;
+inline constexpr uint8_t kIcmpCodeHostUnreachable = 1;
+
+struct IcmpHeader {
+  uint8_t type = 0;
+  uint8_t code = 0;
+  uint16_t checksum = 0;
+  uint32_t rest = 0;  // unused/identifier field
+
+  static std::optional<IcmpHeader> Parse(std::span<const uint8_t> data);
+  // Serializes and computes the checksum over `message` (header + payload);
+  // `message` must alias the 8-byte header at its start.
+  void WriteWithChecksum(std::span<uint8_t> message);
+};
+
+// Builds the RFC 792 error for `original`: an IP/ICMP packet from
+// `router_ip` back to the original's source, quoting the offending IP
+// header plus the first 8 payload bytes. Returns nullopt if the original
+// cannot be parsed (never ICMP-about-ICMP errors either).
+std::optional<Packet> BuildIcmpError(uint8_t type, uint8_t code, const Packet& original,
+                                     uint32_t router_ip);
+
+// Answers an ICMP echo request addressed to the router: same payload and
+// identifier, addresses swapped, fresh TTL and checksums. Nullopt if
+// `request` is not an echo request.
+std::optional<Packet> BuildEchoReply(const Packet& request);
+
+}  // namespace npr
+
+#endif  // SRC_NET_ICMP_H_

@@ -1,0 +1,60 @@
+// IPv4 header codec, validation, and forwarding-relevant helpers.
+
+#ifndef SRC_NET_IPV4_H_
+#define SRC_NET_IPV4_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace npr {
+
+inline constexpr size_t kIpv4MinHeaderBytes = 20;
+inline constexpr uint8_t kIpProtoIcmp = 1;
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+inline constexpr uint8_t kIpProtoOspfLite = 89;  // control-plane protocol number
+
+// Dotted-quad helpers; addresses are host-order uint32 throughout the repo.
+uint32_t Ipv4FromString(const std::string& dotted);
+std::string Ipv4ToString(uint32_t addr);
+
+struct Ipv4Header {
+  uint8_t version = 4;
+  uint8_t ihl = 5;  // header length in 32-bit words (>5 means options present)
+  uint8_t tos = 0;
+  uint16_t total_length = 0;
+  uint16_t identification = 0;
+  uint16_t flags_fragment = 0;
+  uint8_t ttl = 64;
+  uint8_t protocol = kIpProtoUdp;
+  uint16_t checksum = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  std::vector<uint8_t> options;  // raw option bytes, (ihl - 5) * 4 of them
+
+  size_t header_bytes() const { return static_cast<size_t>(ihl) * 4; }
+  bool has_options() const { return ihl > 5; }
+
+  // Parses (and bounds-checks) the header at the start of `data`.
+  static std::optional<Ipv4Header> Parse(std::span<const uint8_t> data);
+
+  // Serializes into `data` (must hold header_bytes()), computing the
+  // checksum field.
+  void Write(std::span<uint8_t> data);
+
+  // Validation the router's classifier performs (§4.4): version, length
+  // fields, and checksum. Operates on raw bytes.
+  static bool Validate(std::span<const uint8_t> data);
+};
+
+// In-place fast-path transform on raw bytes: decrement TTL and update the
+// checksum incrementally (RFC 1624). Returns false (packet must be dropped
+// or sent to an error handler) if the TTL is already 0.
+bool DecrementTtlInPlace(std::span<uint8_t> ip_header);
+
+}  // namespace npr
+
+#endif  // SRC_NET_IPV4_H_

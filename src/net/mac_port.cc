@@ -1,0 +1,62 @@
+#include "src/net/mac_port.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace npr {
+
+MacPort::MacPort(EventQueue& engine, uint8_t id, double bits_per_sec, size_t rx_buffer_mps)
+    : engine_(engine), id_(id), bits_per_sec_(bits_per_sec), rx_buffer_mps_(rx_buffer_mps) {}
+
+SimTime MacPort::WireTime(size_t frame_bytes) const {
+  const double bits = static_cast<double>(frame_bytes + kEthWireOverheadBytes) * 8.0;
+  return static_cast<SimTime>(bits / bits_per_sec_ * static_cast<double>(kPsPerSec));
+}
+
+void MacPort::InjectFromWire(Packet packet) {
+  const SimTime start = std::max(engine_.now(), rx_wire_busy_until_);
+  const SimTime done = start + WireTime(packet.size());
+  rx_wire_busy_until_ = done;
+  engine_.Schedule(done, [this, p = std::move(packet)]() mutable {
+    auto mps = SegmentIntoMps(p, id_);
+    if (rx_mps_.size() + mps.size() > rx_buffer_mps_) {
+      ++rx_dropped_;
+      return;
+    }
+    ++rx_frames_;
+    for (auto& mp : mps) {
+      rx_mps_.push_back(mp);
+    }
+  });
+}
+
+std::optional<Mp> MacPort::RxClaim() {
+  if (rx_mps_.empty()) {
+    return std::nullopt;
+  }
+  Mp mp = rx_mps_.front();
+  rx_mps_.pop_front();
+  ++rx_mps_claimed_;
+  return mp;
+}
+
+void MacPort::TxAccept(const Mp& mp) {
+  ++tx_backlog_mps_;
+  auto packet = tx_reassembler_.Accept(mp);
+  if (!packet) {
+    return;
+  }
+  const size_t frame_mps = packet->mp_count();
+  const SimTime start = std::max(engine_.now(), tx_wire_busy_until_);
+  const SimTime done = start + WireTime(packet->size());
+  tx_wire_busy_until_ = done;
+  ++tx_frames_;
+  engine_.Schedule(done, [this, frame_mps, p = std::move(*packet)]() mutable {
+    tx_backlog_mps_ -= std::min(frame_mps, tx_backlog_mps_);
+    if (sink_) {
+      sink_(std::move(p));
+    }
+  });
+}
+
+}  // namespace npr

@@ -1,0 +1,98 @@
+// MAC port model (§2.2, §3.1).
+//
+// The evaluation board has 8 x 100 Mbps + 2 x 1 Gbps Ethernet ports. Each
+// receiving MAC serializes the wire (preamble + frame + inter-frame gap),
+// splits frames into tagged 64-byte MPs, and buffers them in port memory
+// until the input contexts DMA them into the receive FIFO. The transmit
+// side reassembles MPs back into frames and paces them onto the wire.
+
+#ifndef SRC_NET_MAC_PORT_H_
+#define SRC_NET_MAC_PORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "src/net/packet.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace npr {
+
+// Preamble (8) + inter-frame gap (12) per IEEE 802.3; with a 64-byte frame
+// this yields the standard 148.8 Kpps maximum on 100 Mbps Ethernet.
+inline constexpr size_t kEthWireOverheadBytes = 20;
+
+class MacPort {
+ public:
+  // `rx_buffer_mps` bounds port receive memory; packets that do not fit are
+  // dropped in their entirety (tail drop at the MAC).
+  MacPort(EventQueue& engine, uint8_t id, double bits_per_sec, size_t rx_buffer_mps = 512);
+
+  MacPort(const MacPort&) = delete;
+  MacPort& operator=(const MacPort&) = delete;
+
+  uint8_t id() const { return id_; }
+  double bits_per_sec() const { return bits_per_sec_; }
+
+  // --- receive side (wire -> router) ---
+
+  // Offers a frame to the wire. Reception completes (and MPs appear) after
+  // wire serialization; back-to-back frames queue behind each other.
+  void InjectFromWire(Packet packet);
+
+  // True when at least one received MP waits in port memory (port_rdy(p)).
+  bool RxReady() const { return !rx_mps_.empty(); }
+
+  // Claims the next MP for a DMA transfer (removed from port memory).
+  std::optional<Mp> RxClaim();
+
+  // --- transmit side (router -> wire) ---
+
+  // True when the MAC can take another MP (bounded transmit buffer; the
+  // forwarding code must "keep pace with each port's line speed", §3.1 —
+  // the output scheduler skips ports whose MAC is backed up).
+  bool TxReady() const { return tx_backlog_mps_ < tx_buffer_mps_; }
+  size_t tx_backlog_mps() const { return tx_backlog_mps_; }
+
+  // Accepts one MP from the transmit DMA; on end-of-packet the reassembled
+  // frame is paced onto the wire and handed to the sink.
+  void TxAccept(const Mp& mp);
+
+  // Receives frames leaving on this port's wire.
+  void SetSink(std::function<void(Packet&&)> sink) { sink_ = std::move(sink); }
+
+  // --- statistics ---
+  uint64_t rx_frames() const { return rx_frames_; }
+  uint64_t rx_dropped() const { return rx_dropped_; }
+  uint64_t rx_mps_claimed() const { return rx_mps_claimed_; }
+  uint64_t tx_frames() const { return tx_frames_; }
+  size_t rx_backlog_mps() const { return rx_mps_.size(); }
+
+ private:
+  SimTime WireTime(size_t frame_bytes) const;
+
+  EventQueue& engine_;
+  const uint8_t id_;
+  const double bits_per_sec_;
+  const size_t rx_buffer_mps_;
+
+  // Transmit buffer: 32 MPs (a maximal frame plus headroom).
+  const size_t tx_buffer_mps_ = 32;
+  size_t tx_backlog_mps_ = 0;
+  SimTime rx_wire_busy_until_ = 0;
+  SimTime tx_wire_busy_until_ = 0;
+  std::deque<Mp> rx_mps_;
+  MpReassembler tx_reassembler_;
+  std::function<void(Packet&&)> sink_;
+
+  uint64_t rx_frames_ = 0;
+  uint64_t rx_dropped_ = 0;
+  uint64_t rx_mps_claimed_ = 0;
+  uint64_t tx_frames_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_MAC_PORT_H_

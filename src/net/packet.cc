@@ -1,0 +1,120 @@
+#include "src/net/packet.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+
+namespace npr {
+
+std::span<uint8_t> Packet::l4() {
+  auto ip = l3();
+  auto header = Ipv4Header::Parse(ip);
+  if (!header) {
+    return {};
+  }
+  return ip.subspan(header->header_bytes());
+}
+
+Packet BuildPacket(const PacketSpec& spec) {
+  const size_t frame_bytes = std::clamp<size_t>(spec.frame_bytes, kEthMinFrame, kEthMaxFrame);
+  std::vector<uint8_t> frame(frame_bytes, 0);
+
+  EthernetHeader eth;
+  eth.dst = spec.eth_dst;
+  eth.src = spec.eth_src;
+  eth.ethertype = kEtherTypeIpv4;
+  eth.Write(frame);
+
+  Ipv4Header ip;
+  ip.tos = 0;
+  ip.ttl = spec.ttl;
+  ip.protocol = spec.protocol;
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+  ip.options = spec.ip_options;
+  // Options must be padded to a multiple of 4.
+  while (ip.options.size() % 4 != 0) {
+    ip.options.push_back(0);  // EOL padding
+  }
+  ip.total_length = static_cast<uint16_t>(frame_bytes - kEthHeaderBytes);
+
+  const size_t l3_off = kEthHeaderBytes;
+  const size_t l4_off = l3_off + kIpv4MinHeaderBytes + ip.options.size();
+  std::span<uint8_t> l4(frame.data() + l4_off, frame.size() - l4_off);
+
+  // Deterministic payload pattern for end-to-end integrity checks.
+  const size_t transport_header =
+      spec.protocol == kIpProtoTcp ? kTcpMinHeaderBytes
+                                   : (spec.protocol == kIpProtoUdp ? kUdpHeaderBytes : 0);
+  for (size_t i = transport_header; i < l4.size(); ++i) {
+    l4[i] = static_cast<uint8_t>((spec.dst_ip + spec.dst_port + i) & 0xff);
+  }
+
+  if (spec.protocol == kIpProtoTcp && l4.size() >= kTcpMinHeaderBytes) {
+    TcpHeader tcp;
+    tcp.src_port = spec.src_port;
+    tcp.dst_port = spec.dst_port;
+    tcp.seq = spec.tcp_seq;
+    tcp.ack = spec.tcp_ack;
+    tcp.flags = spec.tcp_flags;
+    tcp.window = 65535;
+    tcp.WriteWithChecksum(l4, spec.src_ip, spec.dst_ip);
+  } else if (spec.protocol == kIpProtoUdp && l4.size() >= kUdpHeaderBytes) {
+    UdpHeader udp;
+    udp.src_port = spec.src_port;
+    udp.dst_port = spec.dst_port;
+    udp.length = static_cast<uint16_t>(l4.size());
+    udp.checksum = 0;  // optional in IPv4; generators leave it off
+    udp.Write(l4);
+  }
+
+  ip.Write(std::span<uint8_t>(frame.data() + l3_off, frame.size() - l3_off));
+  return Packet(std::move(frame));
+}
+
+std::vector<Mp> SegmentIntoMps(const Packet& packet, uint8_t port) {
+  std::vector<Mp> mps;
+  const auto bytes = packet.bytes();
+  const size_t n = packet.mp_count();
+  mps.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Mp mp;
+    const size_t off = i * 64;
+    const size_t len = std::min<size_t>(64, bytes.size() - off);
+    std::memcpy(mp.data.data(), bytes.data() + off, len);
+    mp.tag.port = port;
+    mp.tag.sop = i == 0;
+    mp.tag.eop = i == n - 1;
+    mp.tag.bytes = static_cast<uint16_t>(len);
+    mp.tag.packet_id = packet.id();
+    mps.push_back(mp);
+  }
+  return mps;
+}
+
+std::optional<Packet> MpReassembler::Accept(const Mp& mp) {
+  if (mp.tag.sop) {
+    if (in_packet_) {
+      ++protocol_errors_;  // previous packet never finished
+    }
+    partial_.clear();
+    in_packet_ = true;
+    first_tag_ = mp.tag;
+  } else if (!in_packet_) {
+    ++protocol_errors_;
+    return std::nullopt;
+  }
+  partial_.insert(partial_.end(), mp.data.begin(), mp.data.begin() + mp.tag.bytes);
+  if (!mp.tag.eop) {
+    return std::nullopt;
+  }
+  in_packet_ = false;
+  Packet packet(std::move(partial_));
+  partial_ = {};
+  packet.set_id(first_tag_.packet_id);
+  return packet;
+}
+
+}  // namespace npr

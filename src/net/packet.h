@@ -1,0 +1,108 @@
+// Packet representation, builders, and MAC-packet (MP) segmentation.
+//
+// A Packet owns a full Ethernet frame as real bytes. The MAC hardware
+// splits every frame into 64-byte MPs tagged first/intermediate/last/only
+// (§3.1); SegmentIntoMps/MpReassembler model exactly that. Simulator-side
+// metadata (id, timestamps, arrival port) rides alongside the bytes for
+// end-to-end verification and latency measurement.
+
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/ixp/fifo.h"
+#include "src/net/ethernet.h"
+#include "src/net/ipv4.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+// One 64-byte MAC-packet plus its MAC tag.
+struct Mp {
+  std::array<uint8_t, 64> data{};
+  MpTag tag;
+};
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<uint8_t> frame) : frame_(std::move(frame)) {}
+
+  std::span<uint8_t> bytes() { return frame_; }
+  std::span<const uint8_t> bytes() const { return frame_; }
+  size_t size() const { return frame_.size(); }
+
+  // View of the IP header + payload (after the Ethernet header).
+  std::span<uint8_t> l3() { return std::span<uint8_t>(frame_).subspan(kEthHeaderBytes); }
+  std::span<const uint8_t> l3() const {
+    return std::span<const uint8_t>(frame_).subspan(kEthHeaderBytes);
+  }
+  // View of the transport header + payload; empty if the IP header is bad.
+  std::span<uint8_t> l4();
+
+  // Number of MPs the MAC will split this frame into.
+  size_t mp_count() const { return (frame_.size() + 63) / 64; }
+
+  // --- simulator metadata ---
+  uint32_t id() const { return id_; }
+  void set_id(uint32_t id) { id_ = id; }
+  uint8_t arrival_port() const { return arrival_port_; }
+  void set_arrival_port(uint8_t p) { arrival_port_ = p; }
+  SimTime created() const { return created_; }
+  void set_created(SimTime t) { created_ = t; }
+
+ private:
+  std::vector<uint8_t> frame_;
+  uint32_t id_ = 0;
+  uint8_t arrival_port_ = 0;
+  SimTime created_ = 0;
+};
+
+// Declarative packet builder used by traffic generators, tests, examples.
+struct PacketSpec {
+  MacAddr eth_src = PortMac(0);
+  MacAddr eth_dst = PortMac(1);
+  uint32_t src_ip = 0x0a000001;  // 10.0.0.1
+  uint32_t dst_ip = 0x0a010001;  // 10.1.0.1
+  uint8_t ttl = 64;
+  uint8_t protocol = kIpProtoUdp;
+  std::vector<uint8_t> ip_options;  // multiple of 4 bytes; non-empty = exceptional path
+  uint16_t src_port = 1024;
+  uint16_t dst_port = 80;
+  uint8_t tcp_flags = 0x10;  // ACK
+  uint32_t tcp_seq = 0;
+  uint32_t tcp_ack = 0;
+  // Total frame size incl. Ethernet header; padded/clamped to [64, 1518].
+  size_t frame_bytes = 64;
+};
+
+// Builds a fully valid frame (correct IP and transport checksums).
+Packet BuildPacket(const PacketSpec& spec);
+
+// Splits a frame into tagged MPs, as the receiving MAC does.
+std::vector<Mp> SegmentIntoMps(const Packet& packet, uint8_t port);
+
+// Rebuilds frames from MPs arriving in order, as the transmitting MAC does.
+// One instance per output port.
+class MpReassembler {
+ public:
+  // Consumes one MP; returns the completed packet on eop.
+  std::optional<Packet> Accept(const Mp& mp);
+
+  // MPs that arrived out of protocol (e.g. intermediate without sop).
+  uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  std::vector<uint8_t> partial_;
+  MpTag first_tag_;
+  bool in_packet_ = false;
+  uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_PACKET_H_

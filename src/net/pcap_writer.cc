@@ -1,0 +1,50 @@
+#include "src/net/pcap_writer.h"
+
+namespace npr {
+namespace {
+
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond-resolution pcap
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return;
+  }
+  WriteU32(kPcapMagic);
+  WriteU16(2);  // version 2.4
+  WriteU16(4);
+  WriteU32(0);  // thiszone
+  WriteU32(0);  // sigfigs
+  WriteU32(65535);  // snaplen
+  WriteU32(kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() { Close(); }
+
+void PcapWriter::WriteU32(uint32_t v) { std::fwrite(&v, 4, 1, file_); }
+void PcapWriter::WriteU16(uint16_t v) { std::fwrite(&v, 2, 1, file_); }
+
+void PcapWriter::Capture(const Packet& packet, SimTime now) {
+  if (file_ == nullptr) {
+    return;
+  }
+  const uint64_t usec_total = static_cast<uint64_t>(now / kPsPerUs);
+  WriteU32(static_cast<uint32_t>(usec_total / 1'000'000));  // ts_sec
+  WriteU32(static_cast<uint32_t>(usec_total % 1'000'000));  // ts_usec
+  WriteU32(static_cast<uint32_t>(packet.size()));           // incl_len
+  WriteU32(static_cast<uint32_t>(packet.size()));           // orig_len
+  std::fwrite(packet.bytes().data(), 1, packet.size(), file_);
+  ++captured_;
+}
+
+void PcapWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace npr

@@ -1,0 +1,50 @@
+// PCAP trace writer.
+//
+// Captures packets at any point in the simulated router into a standard
+// libpcap file (readable by tcpdump/wireshark), with simulated-time
+// timestamps. Useful for debugging forwarders: attach one to a MacPort
+// sink or call Capture() inside a test harness.
+
+#ifndef SRC_NET_PCAP_WRITER_H_
+#define SRC_NET_PCAP_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+class PcapWriter {
+ public:
+  // Opens `path` and writes the global header (LINKTYPE_ETHERNET,
+  // microsecond timestamps). Check ok() before use.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Appends one frame with the given simulated timestamp.
+  void Capture(const Packet& packet, SimTime now);
+
+  uint64_t captured() const { return captured_; }
+
+  // Flushes and closes; further captures are ignored.
+  void Close();
+
+ private:
+  void WriteU32(uint32_t v);
+  void WriteU16(uint16_t v);
+
+  std::FILE* file_ = nullptr;
+  uint64_t captured_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_PCAP_WRITER_H_

@@ -1,0 +1,59 @@
+#include "src/net/tcp.h"
+
+#include <array>
+
+#include "src/net/checksum.h"
+#include "src/net/ipv4.h"
+#include "src/net/wire.h"
+
+namespace npr {
+
+std::optional<TcpHeader> TcpHeader::Parse(std::span<const uint8_t> data) {
+  if (data.size() < kTcpMinHeaderBytes) {
+    return std::nullopt;
+  }
+  TcpHeader h;
+  h.src_port = ReadBe16(data, 0);
+  h.dst_port = ReadBe16(data, 2);
+  h.seq = ReadBe32(data, 4);
+  h.ack = ReadBe32(data, 8);
+  h.data_offset = data[12] >> 4;
+  h.flags = data[13] & 0x3f;
+  h.window = ReadBe16(data, 14);
+  h.checksum = ReadBe16(data, 16);
+  h.urgent = ReadBe16(data, 18);
+  if (h.data_offset < 5) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+void TcpHeader::Write(std::span<uint8_t> data) const {
+  WriteBe16(data, 0, src_port);
+  WriteBe16(data, 2, dst_port);
+  WriteBe32(data, 4, seq);
+  WriteBe32(data, 8, ack);
+  data[12] = static_cast<uint8_t>(data_offset << 4);
+  data[13] = flags;
+  WriteBe16(data, 14, window);
+  WriteBe16(data, 16, checksum);
+  WriteBe16(data, 18, urgent);
+}
+
+void TcpHeader::WriteWithChecksum(std::span<uint8_t> segment, uint32_t src_ip, uint32_t dst_ip) {
+  checksum = 0;
+  Write(segment);
+  WriteBe16(segment, 16, 0);
+  // IPv4 pseudo-header: src, dst, zero, protocol, TCP length.
+  std::array<uint8_t, 12> pseudo{};
+  WriteBe32(pseudo, 0, src_ip);
+  WriteBe32(pseudo, 4, dst_ip);
+  pseudo[9] = kIpProtoTcp;
+  WriteBe16(pseudo, 10, static_cast<uint16_t>(segment.size()));
+  uint32_t partial = ChecksumPartial(pseudo);
+  partial = ChecksumPartial(segment, partial);
+  checksum = static_cast<uint16_t>(~partial & 0xffff);
+  WriteBe16(segment, 16, checksum);
+}
+
+}  // namespace npr

@@ -1,0 +1,47 @@
+// TCP header codec (enough for the paper's forwarders: splicing rewrites
+// sequence numbers and checksums, the ACK/SYN monitors read flags).
+
+#ifndef SRC_NET_TCP_H_
+#define SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace npr {
+
+inline constexpr size_t kTcpMinHeaderBytes = 20;
+
+inline constexpr uint8_t kTcpFlagFin = 0x01;
+inline constexpr uint8_t kTcpFlagSyn = 0x02;
+inline constexpr uint8_t kTcpFlagRst = 0x04;
+inline constexpr uint8_t kTcpFlagPsh = 0x08;
+inline constexpr uint8_t kTcpFlagAck = 0x10;
+
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t data_offset = 5;  // 32-bit words
+  uint8_t flags = 0;
+  uint16_t window = 0;
+  uint16_t checksum = 0;
+  uint16_t urgent = 0;
+
+  size_t header_bytes() const { return static_cast<size_t>(data_offset) * 4; }
+
+  static std::optional<TcpHeader> Parse(std::span<const uint8_t> data);
+
+  // Serializes the fixed header. The checksum field is written as-is;
+  // callers that need a valid transport checksum use WriteWithChecksum.
+  void Write(std::span<uint8_t> data) const;
+
+  // Serializes and computes the checksum over the IPv4 pseudo-header plus
+  // `segment` (header + payload). `data` must alias the start of `segment`.
+  void WriteWithChecksum(std::span<uint8_t> segment, uint32_t src_ip, uint32_t dst_ip);
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_TCP_H_

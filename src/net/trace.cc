@@ -1,0 +1,194 @@
+#include "src/net/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/net/tcp.h"
+
+namespace npr {
+namespace {
+
+const char* ProtoName(uint8_t proto) {
+  switch (proto) {
+    case kIpProtoTcp:
+      return "tcp";
+    case kIpProtoUdp:
+      return "udp";
+    case kIpProtoIcmp:
+      return "icmp";
+    default:
+      return "ip";
+  }
+}
+
+std::optional<uint8_t> ProtoFromName(const std::string& name) {
+  if (name == "tcp") {
+    return kIpProtoTcp;
+  }
+  if (name == "udp") {
+    return kIpProtoUdp;
+  }
+  if (name == "icmp") {
+    return kIpProtoIcmp;
+  }
+  if (name == "ip") {
+    return 253;  // experimental
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string TraceRecord::Serialize() const {
+  char buf[160];
+  std::string flags;
+  if (spec.protocol == kIpProtoTcp) {
+    if (spec.tcp_flags & kTcpFlagSyn) {
+      flags += 'S';
+    }
+    if (spec.tcp_flags & kTcpFlagAck) {
+      flags += 'A';
+    }
+    if (spec.tcp_flags & kTcpFlagFin) {
+      flags += 'F';
+    }
+    if (spec.tcp_flags & kTcpFlagRst) {
+      flags += 'R';
+    }
+  }
+  if (flags.empty()) {
+    flags = "-";
+  }
+  std::snprintf(buf, sizeof(buf), "%.3f %s %s %s %u %u %zu %s",
+                static_cast<double>(at) / static_cast<double>(kPsPerUs),
+                Ipv4ToString(spec.src_ip).c_str(), Ipv4ToString(spec.dst_ip).c_str(),
+                ProtoName(spec.protocol), spec.src_port, spec.dst_port, spec.frame_bytes,
+                flags.c_str());
+  return buf;
+}
+
+std::optional<TraceRecord> TraceRecord::Parse(const std::string& line) {
+  std::istringstream in(line);
+  double time_us = 0;
+  std::string src, dst, proto, flags = "-";
+  unsigned sport = 0, dport = 0;
+  size_t bytes = 0;
+  if (!(in >> time_us >> src >> dst >> proto >> sport >> dport >> bytes)) {
+    return std::nullopt;
+  }
+  in >> flags;  // optional
+
+  TraceRecord record;
+  record.at = static_cast<SimTime>(time_us * static_cast<double>(kPsPerUs));
+  record.spec.src_ip = Ipv4FromString(src);
+  record.spec.dst_ip = Ipv4FromString(dst);
+  auto p = ProtoFromName(proto);
+  if (!p || record.spec.dst_ip == 0) {
+    return std::nullopt;
+  }
+  record.spec.protocol = *p;
+  record.spec.src_port = static_cast<uint16_t>(sport);
+  record.spec.dst_port = static_cast<uint16_t>(dport);
+  record.spec.frame_bytes = bytes;
+  record.spec.tcp_flags = 0;
+  for (char c : flags) {
+    switch (c) {
+      case 'S':
+        record.spec.tcp_flags |= kTcpFlagSyn;
+        break;
+      case 'A':
+        record.spec.tcp_flags |= kTcpFlagAck;
+        break;
+      case 'F':
+        record.spec.tcp_flags |= kTcpFlagFin;
+        break;
+      case 'R':
+        record.spec.tcp_flags |= kTcpFlagRst;
+        break;
+      default:
+        break;
+    }
+  }
+  if (record.spec.tcp_flags == 0) {
+    record.spec.tcp_flags = kTcpFlagAck;
+  }
+  return record;
+}
+
+TraceParseResult ParseTrace(const std::string& text) {
+  TraceParseResult result;
+  std::istringstream in(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    const auto comment = raw.find('#');
+    if (comment != std::string::npos) {
+      raw.resize(comment);
+    }
+    if (raw.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    auto record = TraceRecord::Parse(raw);
+    if (!record) {
+      result.error = "line " + std::to_string(number) + ": unparseable record";
+      return result;
+    }
+    result.records.push_back(*record);
+  }
+  result.ok = true;
+  return result;
+}
+
+void TraceRecorder::Record(const Packet& packet, SimTime now) {
+  auto ip = Ipv4Header::Parse(packet.l3());
+  if (!ip) {
+    return;
+  }
+  TraceRecord record;
+  record.at = now;
+  record.spec.src_ip = ip->src;
+  record.spec.dst_ip = ip->dst;
+  record.spec.protocol = ip->protocol;
+  record.spec.frame_bytes = packet.size();
+  if (ip->protocol == kIpProtoTcp) {
+    // The packet may be const elsewhere; parse from the const view.
+    auto l4 = packet.l3().subspan(ip->header_bytes());
+    if (auto tcp = TcpHeader::Parse(l4)) {
+      record.spec.src_port = tcp->src_port;
+      record.spec.dst_port = tcp->dst_port;
+      record.spec.tcp_flags = tcp->flags;
+    }
+  }
+  records_.push_back(record);
+}
+
+std::string TraceRecorder::Serialize() const {
+  std::string out = "# time_us src dst proto sport dport bytes flags\n";
+  for (const auto& record : records_) {
+    out += record.Serialize();
+    out += '\n';
+  }
+  return out;
+}
+
+int TraceReplayer::Replay(const std::vector<TraceRecord>& records) {
+  int scheduled = 0;
+  for (const auto& record : records) {
+    if (record.at < engine_.now()) {
+      continue;
+    }
+    engine_.Schedule(record.at, [this, spec = record.spec] {
+      Packet packet = BuildPacket(spec);
+      packet.set_arrival_port(port_->id());
+      packet.set_created(engine_.now());
+      packet.set_id(static_cast<uint32_t>(0x7a000000u + injected_));
+      ++injected_;
+      port_->InjectFromWire(std::move(packet));
+    });
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+}  // namespace npr

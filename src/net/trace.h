@@ -1,0 +1,73 @@
+// Text packet traces: record what a run produced, replay it as a workload.
+//
+// Format (one record per line, '#' comments):
+//   <time_us> <src_ip> <dst_ip> <proto> <src_port> <dst_port> <frame_bytes> [flags]
+// e.g.
+//   12.500 172.16.0.1 10.3.0.7 tcp 1024 80 64 S
+//
+// A TraceReplayer schedules each record onto a MacPort at its timestamp —
+// the simulated-trace stand-in for the production traces the paper's
+// testbed would have carried.
+
+#ifndef SRC_NET_TRACE_H_
+#define SRC_NET_TRACE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/mac_port.h"
+#include "src/net/packet.h"
+#include "src/sim/event_queue.h"
+
+namespace npr {
+
+struct TraceRecord {
+  SimTime at = 0;  // absolute simulation time
+  PacketSpec spec;
+
+  // One text line (without newline).
+  std::string Serialize() const;
+  static std::optional<TraceRecord> Parse(const std::string& line);
+};
+
+struct TraceParseResult {
+  bool ok = false;
+  std::string error;
+  std::vector<TraceRecord> records;
+};
+
+TraceParseResult ParseTrace(const std::string& text);
+
+// Collects records (e.g. from a sink) and serializes them.
+class TraceRecorder {
+ public:
+  void Record(const Packet& packet, SimTime now);
+  std::string Serialize() const;
+  size_t size() const { return records_.size(); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+// Schedules every record of a trace onto `port` at its timestamp.
+class TraceReplayer {
+ public:
+  TraceReplayer(EventQueue& engine, MacPort& port) : engine_(engine), port_(&port) {}
+
+  // Schedules the records; must be called before the engine passes the
+  // earliest timestamp. Returns the number scheduled.
+  int Replay(const std::vector<TraceRecord>& records);
+
+  uint64_t injected() const { return injected_; }
+
+ private:
+  EventQueue& engine_;
+  MacPort* port_;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_TRACE_H_

@@ -1,0 +1,115 @@
+#include "src/net/traffic_gen.h"
+
+#include <cassert>
+
+#include "src/net/tcp.h"
+
+namespace npr {
+
+uint32_t DstIpForPort(uint8_t port, uint16_t low) {
+  return 0x0a000000u | static_cast<uint32_t>(port) << 16 | low;
+}
+
+uint32_t SrcIpForPort(uint8_t port, uint16_t low) {
+  return 0xac100000u | static_cast<uint32_t>(port) << 8 | (low & 0xff);
+}
+
+TrafficGen::TrafficGen(EventQueue& engine, MacPort& port, TrafficSpec spec, uint64_t seed)
+    : engine_(engine),
+      port_(port),
+      spec_(spec),
+      rng_(seed),
+      flow_popularity_(static_cast<size_t>(std::max(1, spec.num_flows)), spec.zipf_skew) {
+  assert(spec_.rate_pps > 0);
+  gap_ps_ = static_cast<SimTime>(static_cast<double>(kPsPerSec) / spec_.rate_pps);
+
+  // Pre-build the flow 4-tuples so per-flow state is stable across packets.
+  if (spec_.pattern == TrafficSpec::DstPattern::kFlows) {
+    flows_.reserve(static_cast<size_t>(spec_.num_flows));
+    for (int f = 0; f < spec_.num_flows; ++f) {
+      PacketSpec ps;
+      const uint8_t dst_port_num =
+          static_cast<uint8_t>(rng_.Uniform(static_cast<uint64_t>(spec_.num_dst_ports)));
+      ps.src_ip = SrcIpForPort(port_.id(), static_cast<uint16_t>(f + 1));
+      ps.dst_ip = DstIpForPort(dst_port_num, static_cast<uint16_t>(f + 1));
+      ps.src_port = static_cast<uint16_t>(1024 + f);
+      ps.dst_port = static_cast<uint16_t>(80 + (f % 4));
+      ps.protocol = kIpProtoTcp;
+      ps.eth_src = PortMac(port_.id());
+      ps.eth_dst = PortMac(0xfe);  // router's MAC; rewritten on forward
+      flows_.push_back(ps);
+    }
+  }
+}
+
+void TrafficGen::Start(SimTime until) {
+  until_ = until;
+  engine_.ScheduleIn(0, [this] { EmitOne(); });
+}
+
+void TrafficGen::EmitOne() {
+  if (engine_.now() >= until_) {
+    return;
+  }
+  port_.InjectFromWire(NextPacket());
+  ++generated_;
+  const SimTime gap = spec_.poisson
+                          ? static_cast<SimTime>(rng_.Exponential(static_cast<double>(gap_ps_)))
+                          : gap_ps_;
+  engine_.ScheduleIn(std::max<SimTime>(gap, 1), [this] { EmitOne(); });
+}
+
+Packet TrafficGen::NextPacket() {
+  PacketSpec ps;
+  switch (spec_.pattern) {
+    case TrafficSpec::DstPattern::kUniformPorts: {
+      const uint8_t dst =
+          static_cast<uint8_t>(rng_.Uniform(static_cast<uint64_t>(spec_.num_dst_ports)));
+      ps.dst_ip = DstIpForPort(dst, static_cast<uint16_t>(1 + rng_.Uniform(static_cast<uint64_t>(spec_.dst_spread))));
+      ps.src_ip = SrcIpForPort(port_.id(), static_cast<uint16_t>(1 + rng_.Uniform(250)));
+      ps.protocol = spec_.protocol;
+      break;
+    }
+    case TrafficSpec::DstPattern::kSinglePort: {
+      ps.dst_ip = DstIpForPort(spec_.single_dst_port, 1);
+      ps.src_ip = SrcIpForPort(port_.id(), 1);
+      ps.protocol = spec_.protocol;
+      break;
+    }
+    case TrafficSpec::DstPattern::kFlows: {
+      ps = flows_[flow_popularity_.Sample(rng_)];
+      // Advance the conversation: sequence/ack numbers move every few
+      // packets, so ACK-monitor style services see a realistic mix of
+      // fresh and repeated acknowledgments.
+      ps.tcp_seq = static_cast<uint32_t>(generated_ * 97);
+      ps.tcp_ack = static_cast<uint32_t>(generated_ >> 2) * 1460;
+      break;
+    }
+  }
+  ps.eth_src = PortMac(port_.id());
+  ps.eth_dst = PortMac(0xfe);
+  ps.ttl = spec_.ttl;
+  ps.frame_bytes = spec_.frame_bytes;
+  if (spec_.pattern != TrafficSpec::DstPattern::kFlows) {
+    ps.src_port = spec_.src_port;
+    ps.dst_port = spec_.dst_port;
+  }
+  if (spec_.syn_fraction > 0 && rng_.Chance(spec_.syn_fraction)) {
+    ps.protocol = kIpProtoTcp;
+    ps.tcp_flags = kTcpFlagSyn;
+    ps.src_port = static_cast<uint16_t>(rng_.Range(1024, 65535));
+  }
+  if (spec_.exceptional_fraction > 0 && rng_.Chance(spec_.exceptional_fraction)) {
+    // Record-route option: classifier diverts these to the slow path.
+    ps.ip_options = {0x07, 0x04, 0x04, 0x00};
+  }
+
+  Packet packet = BuildPacket(ps);
+  packet.set_id(static_cast<uint32_t>(port_.id()) << 24 |
+                static_cast<uint32_t>(generated_ & 0xffffff));
+  packet.set_arrival_port(port_.id());
+  packet.set_created(engine_.now());
+  return packet;
+}
+
+}  // namespace npr

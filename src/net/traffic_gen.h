@@ -1,0 +1,88 @@
+// Workload generator.
+//
+// Stands in for the paper's traffic sources (four Pentium IIs driving eight
+// Kingston KNE100TX NICs at 141 Kpps each, §3.5.1) and for the synthetic
+// workloads of §4 (per-flow TCP traffic, SYN floods, exceptional packets
+// carrying IP options).
+
+#ifndef SRC_NET_TRAFFIC_GEN_H_
+#define SRC_NET_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/mac_port.h"
+#include "src/net/packet.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+namespace npr {
+
+// Address plan used repo-wide: destination 10.<port>.<x>.<y> routes to
+// output port <port>; sources are 172.16.<srcport>.<x>.
+uint32_t DstIpForPort(uint8_t port, uint16_t low = 1);
+uint32_t SrcIpForPort(uint8_t port, uint16_t low = 1);
+
+struct TrafficSpec {
+  // Offered load in packets per second (paced deterministically unless
+  // `poisson` is set).
+  double rate_pps = 141'000;
+  bool poisson = false;
+  size_t frame_bytes = 64;
+
+  // Destination selection.
+  enum class DstPattern {
+    kUniformPorts,  // uniform over [0, num_dst_ports)
+    kSinglePort,    // everything to single_dst_port (contention workloads)
+    kFlows,         // stable per-flow 4-tuples, Zipf-popular
+  };
+  DstPattern pattern = DstPattern::kUniformPorts;
+  int num_dst_ports = 8;
+  // Distinct low-octet destinations per port (bounds the route-cache
+  // working set; keep <= a few hundred for a warm cache).
+  int dst_spread = 64;
+  uint8_t single_dst_port = 1;
+  int num_flows = 64;
+  double zipf_skew = 1.0;
+
+  uint8_t protocol = kIpProtoUdp;
+  uint8_t ttl = 64;
+  // Transport ports for the uniform/single-port patterns.
+  uint16_t src_port = 1024;
+  uint16_t dst_port = 80;
+  // Fraction of packets that are TCP SYNs (attack traffic for the SYN
+  // monitor experiments).
+  double syn_fraction = 0.0;
+  // Fraction of packets carrying IP options (exceptional path, §3.2).
+  double exceptional_fraction = 0.0;
+};
+
+class TrafficGen {
+ public:
+  // Generates onto `port`'s wire. Packet ids are globally unique across
+  // generators via the (source port << 24) prefix.
+  TrafficGen(EventQueue& engine, MacPort& port, TrafficSpec spec, uint64_t seed);
+
+  // Emits packets from now until `until` (absolute sim time).
+  void Start(SimTime until);
+
+  uint64_t generated() const { return generated_; }
+
+ private:
+  void EmitOne();
+  Packet NextPacket();
+
+  EventQueue& engine_;
+  MacPort& port_;
+  TrafficSpec spec_;
+  Rng rng_;
+  ZipfDistribution flow_popularity_;
+  std::vector<PacketSpec> flows_;
+  SimTime until_ = 0;
+  SimTime gap_ps_ = 0;
+  uint64_t generated_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_TRAFFIC_GEN_H_

@@ -1,0 +1,26 @@
+#include "src/net/udp.h"
+
+#include "src/net/wire.h"
+
+namespace npr {
+
+std::optional<UdpHeader> UdpHeader::Parse(std::span<const uint8_t> data) {
+  if (data.size() < kUdpHeaderBytes) {
+    return std::nullopt;
+  }
+  UdpHeader h;
+  h.src_port = ReadBe16(data, 0);
+  h.dst_port = ReadBe16(data, 2);
+  h.length = ReadBe16(data, 4);
+  h.checksum = ReadBe16(data, 6);
+  return h;
+}
+
+void UdpHeader::Write(std::span<uint8_t> data) const {
+  WriteBe16(data, 0, src_port);
+  WriteBe16(data, 2, dst_port);
+  WriteBe16(data, 4, length);
+  WriteBe16(data, 6, checksum);
+}
+
+}  // namespace npr

@@ -1,0 +1,26 @@
+// UDP header codec.
+
+#ifndef SRC_NET_UDP_H_
+#define SRC_NET_UDP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace npr {
+
+inline constexpr size_t kUdpHeaderBytes = 8;
+
+struct UdpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint16_t length = 0;
+  uint16_t checksum = 0;
+
+  static std::optional<UdpHeader> Parse(std::span<const uint8_t> data);
+  void Write(std::span<uint8_t> data) const;
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_UDP_H_

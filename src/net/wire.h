@@ -1,0 +1,34 @@
+// Big-endian (network byte order) field accessors used by all header codecs.
+
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+
+namespace npr {
+
+inline uint16_t ReadBe16(std::span<const uint8_t> b, size_t off) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(b[off]) << 8 | b[off + 1]);
+}
+
+inline uint32_t ReadBe32(std::span<const uint8_t> b, size_t off) {
+  return static_cast<uint32_t>(b[off]) << 24 | static_cast<uint32_t>(b[off + 1]) << 16 |
+         static_cast<uint32_t>(b[off + 2]) << 8 | b[off + 3];
+}
+
+inline void WriteBe16(std::span<uint8_t> b, size_t off, uint16_t v) {
+  b[off] = static_cast<uint8_t>(v >> 8);
+  b[off + 1] = static_cast<uint8_t>(v);
+}
+
+inline void WriteBe32(std::span<uint8_t> b, size_t off, uint32_t v) {
+  b[off] = static_cast<uint8_t>(v >> 24);
+  b[off + 1] = static_cast<uint8_t>(v >> 16);
+  b[off + 2] = static_cast<uint8_t>(v >> 8);
+  b[off + 3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace npr
+
+#endif  // SRC_NET_WIRE_H_

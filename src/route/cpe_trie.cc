@@ -1,0 +1,103 @@
+#include "src/route/cpe_trie.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace npr {
+namespace {
+
+// Bits [off, off+k) of `addr`, most-significant first.
+uint32_t ExtractBits(uint32_t addr, int off, int k) {
+  if (k == 0) {
+    return 0;
+  }
+  return (addr >> (32 - off - k)) & ((uint32_t{1} << k) - 1);
+}
+
+}  // namespace
+
+CpeTrie::CpeTrie(std::vector<int> strides) : strides_(std::move(strides)) {
+  assert(std::accumulate(strides_.begin(), strides_.end(), 0) == 32 &&
+         "strides must cover exactly 32 bits");
+  NewNode(0);
+}
+
+int CpeTrie::NewNode(int level) {
+  Node node;
+  node.level = level;
+  node.slots.resize(size_t{1} << strides_[static_cast<size_t>(level)]);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void CpeTrie::Insert(const Prefix& prefix, uint32_t value) {
+  InsertAt(0, prefix.addr, prefix.len, value, 0);
+}
+
+void CpeTrie::InsertAt(int node_idx, uint32_t addr, uint8_t len, uint32_t value, int bit_off) {
+  const int level = nodes_[static_cast<size_t>(node_idx)].level;
+  const int stride = strides_[static_cast<size_t>(level)];
+  const int remaining = static_cast<int>(len) - bit_off;
+
+  if (remaining <= stride) {
+    // Controlled expansion: the prefix covers 2^(stride - remaining)
+    // consecutive slots of this node. Longer prefixes take priority.
+    const uint32_t hi = ExtractBits(addr, bit_off, remaining);
+    const uint32_t span = uint32_t{1} << (stride - remaining);
+    const uint32_t first = hi << (stride - remaining);
+    auto& slots = nodes_[static_cast<size_t>(node_idx)].slots;
+    for (uint32_t i = first; i < first + span; ++i) {
+      Slot& slot = slots[i];
+      if (slot.value < 0 || slot.value_plen <= len) {
+        slot.value = static_cast<int32_t>(value);
+        slot.value_plen = len;
+      }
+    }
+    return;
+  }
+
+  const uint32_t idx = ExtractBits(addr, bit_off, stride);
+  int child = nodes_[static_cast<size_t>(node_idx)].slots[idx].child;
+  if (child < 0) {
+    child = NewNode(level + 1);
+    // NewNode may reallocate nodes_; re-resolve the slot reference.
+    nodes_[static_cast<size_t>(node_idx)].slots[idx].child = child;
+  }
+  InsertAt(child, addr, len, value, bit_off + stride);
+}
+
+CpeTrie::LookupResult CpeTrie::Lookup(uint32_t ip) const {
+  LookupResult result;
+  int node_idx = 0;
+  int bit_off = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<size_t>(node_idx)];
+    ++result.nodes_visited;
+    const int stride = strides_[static_cast<size_t>(node.level)];
+    const uint32_t idx = ExtractBits(ip, bit_off, stride);
+    const Slot& slot = node.slots[idx];
+    if (slot.value >= 0) {
+      result.value = static_cast<uint32_t>(slot.value);
+    }
+    if (slot.child < 0) {
+      return result;
+    }
+    node_idx = slot.child;
+    bit_off += stride;
+  }
+}
+
+void CpeTrie::Clear() {
+  nodes_.clear();
+  NewNode(0);
+}
+
+size_t CpeTrie::MemoryBytes() const {
+  size_t slots = 0;
+  for (const auto& node : nodes_) {
+    slots += node.slots.size();
+  }
+  return slots * 4;  // one packed 32-bit word per slot in a hardware layout
+}
+
+}  // namespace npr

@@ -1,0 +1,41 @@
+#include "src/route/route_cache.h"
+
+namespace npr {
+namespace {
+
+// Same mixer as the hardware hash unit; the fast path charges one cycle.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RouteCache::RouteCache(int log2_entries)
+    : slots_(size_t{1} << log2_entries), mask_((uint32_t{1} << log2_entries) - 1) {}
+
+size_t RouteCache::IndexOf(uint32_t dst_ip) const {
+  return static_cast<size_t>(Mix64(dst_ip) & mask_);
+}
+
+std::optional<RouteEntry> RouteCache::Lookup(uint32_t dst_ip, uint64_t table_epoch) {
+  const Slot& slot = slots_[IndexOf(dst_ip)];
+  if (slot.valid && slot.key == dst_ip && slot.epoch == table_epoch) {
+    ++hits_;
+    return slot.entry;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void RouteCache::Insert(uint32_t dst_ip, const RouteEntry& entry, uint64_t table_epoch) {
+  Slot& slot = slots_[IndexOf(dst_ip)];
+  slot.valid = true;
+  slot.key = dst_ip;
+  slot.epoch = table_epoch;
+  slot.entry = entry;
+}
+
+}  // namespace npr

@@ -1,0 +1,58 @@
+// Fast-path route cache (§3.5.1).
+//
+// The MicroEngine fast path classifies "using a one-cycle hardware hash of
+// [the destination] address, and we assume a hit in a route cache". This is
+// a direct-mapped cache in SRAM keyed by destination IP, invalidated as a
+// whole (epoch tag) whenever the route table changes. A miss diverts the
+// packet to the StrongARM for a full CPE lookup.
+
+#ifndef SRC_ROUTE_ROUTE_CACHE_H_
+#define SRC_ROUTE_ROUTE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/route/route_table.h"
+
+namespace npr {
+
+class RouteCache {
+ public:
+  // `log2_entries`: cache has 2^log2_entries direct-mapped slots.
+  explicit RouteCache(int log2_entries = 12);
+
+  // Fast-path lookup: returns the cached entry on a hit (and current epoch).
+  std::optional<RouteEntry> Lookup(uint32_t dst_ip, uint64_t table_epoch);
+
+  // Fills the slot after a slow-path lookup.
+  void Insert(uint32_t dst_ip, const RouteEntry& entry, uint64_t table_epoch);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  size_t entries() const { return slots_.size(); }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    uint32_t key = 0;
+    uint64_t epoch = 0;
+    RouteEntry entry;
+  };
+
+  size_t IndexOf(uint32_t dst_ip) const;
+
+  std::vector<Slot> slots_;
+  uint32_t mask_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_ROUTE_ROUTE_CACHE_H_

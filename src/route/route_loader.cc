@@ -1,0 +1,105 @@
+#include "src/route/route_loader.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace npr {
+namespace {
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseMac(const std::string& text, MacAddr* out) {
+  unsigned b[6];
+  if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &b[0], &b[1], &b[2], &b[3], &b[4],
+                  &b[5]) != 6) {
+    return false;
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (b[i] > 255) {
+      return false;
+    }
+    (*out)[static_cast<size_t>(i)] = static_cast<uint8_t>(b[i]);
+  }
+  return true;
+}
+
+RouteLoadResult LoadRoutesFromString(const std::string& text, RouteTable& table) {
+  RouteLoadResult result;
+  std::istringstream in(text);
+  std::string raw;
+  int number = 0;
+
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    result.error = "line " + std::to_string(number) + ": " + why;
+    return result;
+  };
+
+  while (std::getline(in, raw)) {
+    ++number;
+    const auto comment = raw.find('#');
+    if (comment != std::string::npos) {
+      raw.resize(comment);
+    }
+    const auto tokens = Tokens(raw);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      return fail("expected: <prefix|default> <port> [next-hop-mac]");
+    }
+
+    std::optional<Prefix> prefix;
+    if (tokens[0] == "default") {
+      prefix = Prefix::Make(0, 0);
+    } else {
+      prefix = Prefix::Parse(tokens[0]);
+    }
+    if (!prefix) {
+      return fail("bad prefix '" + tokens[0] + "'");
+    }
+
+    char* end = nullptr;
+    const long port = std::strtol(tokens[1].c_str(), &end, 10);
+    if (end == tokens[1].c_str() || *end != '\0' || port < 0 || port > 15) {
+      return fail("bad port '" + tokens[1] + "' (0..15)");
+    }
+
+    RouteEntry entry;
+    entry.out_port = static_cast<uint8_t>(port);
+    entry.next_hop_mac = PortMac(entry.out_port);
+    if (tokens.size() == 3 && !ParseMac(tokens[2], &entry.next_hop_mac)) {
+      return fail("bad MAC '" + tokens[2] + "'");
+    }
+    table.AddRoute(*prefix, entry);
+    ++result.routes_loaded;
+  }
+  result.ok = true;
+  return result;
+}
+
+RouteLoadResult LoadRoutesFromFile(const std::string& path, RouteTable& table) {
+  std::ifstream in(path);
+  if (!in) {
+    RouteLoadResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return LoadRoutesFromString(text.str(), table);
+}
+
+}  // namespace npr

@@ -1,0 +1,39 @@
+// Text route-configuration loader.
+//
+// Lets deployments describe their FIB in a file instead of code:
+//
+//   # destination        out-port   [next-hop MAC]
+//   10.1.0.0/16          1
+//   192.168.0.0/24       3          02:aa:bb:cc:dd:ee
+//   default              0
+//
+// '#' starts a comment; 'default' is 0.0.0.0/0.
+
+#ifndef SRC_ROUTE_ROUTE_LOADER_H_
+#define SRC_ROUTE_ROUTE_LOADER_H_
+
+#include <string>
+
+#include "src/route/route_table.h"
+
+namespace npr {
+
+struct RouteLoadResult {
+  bool ok = false;
+  std::string error;  // "line N: ..." when !ok
+  int routes_loaded = 0;
+};
+
+// Parses `text` (the file contents) into `table`. On error the table keeps
+// whatever loaded before the bad line.
+RouteLoadResult LoadRoutesFromString(const std::string& text, RouteTable& table);
+
+// Convenience: reads the file at `path` and delegates to the above.
+RouteLoadResult LoadRoutesFromFile(const std::string& path, RouteTable& table);
+
+// Parses "aa:bb:cc:dd:ee:ff"; returns false on malformed input.
+bool ParseMac(const std::string& text, MacAddr* out);
+
+}  // namespace npr
+
+#endif  // SRC_ROUTE_ROUTE_LOADER_H_

@@ -1,0 +1,72 @@
+#include "src/route/route_table.h"
+
+namespace npr {
+
+void RouteTable::AddRoute(const Prefix& prefix, const RouteEntry& entry) {
+  routes_[prefix] = entry;
+  // Inserts are incremental (the trie handles longest-prefix priority on
+  // overlap); replacing an existing prefix just rewrites its entry slot.
+  // Only withdrawals need a rebuild.
+  auto it = entry_index_.find(prefix);
+  if (it != entry_index_.end()) {
+    entries_[it->second] = entry;
+  } else {
+    entries_.push_back(entry);
+    const uint32_t index = static_cast<uint32_t>(entries_.size() - 1);
+    entry_index_[prefix] = index;
+    trie_.Insert(prefix, index);
+  }
+  ++epoch_;
+}
+
+bool RouteTable::AddRoute(const std::string& cidr, uint8_t out_port) {
+  auto prefix = Prefix::Parse(cidr);
+  if (!prefix) {
+    return false;
+  }
+  RouteEntry entry;
+  entry.out_port = out_port;
+  entry.next_hop_mac = PortMac(out_port);
+  AddRoute(*prefix, entry);
+  return true;
+}
+
+bool RouteTable::RemoveRoute(const Prefix& prefix) {
+  if (routes_.erase(prefix) == 0) {
+    return false;
+  }
+  Rebuild();
+  return true;
+}
+
+void RouteTable::Rebuild() {
+  // Withdrawals invalidate expanded slots, so the trie is rebuilt from the
+  // authoritative prefix map. At control-plane update rates this is cheap;
+  // the data plane never calls it.
+  trie_.Clear();
+  entries_.clear();
+  entry_index_.clear();
+  entries_.reserve(routes_.size());
+  for (const auto& [prefix, entry] : routes_) {
+    entries_.push_back(entry);
+    entry_index_[prefix] = static_cast<uint32_t>(entries_.size() - 1);
+    trie_.Insert(prefix, static_cast<uint32_t>(entries_.size() - 1));
+  }
+  ++epoch_;
+}
+
+RouteTable::LookupResult RouteTable::Lookup(uint32_t dst_ip) const {
+  LookupResult result;
+  auto hit = trie_.Lookup(dst_ip);
+  result.memory_accesses = hit.nodes_visited;
+  if (hit.value) {
+    result.entry = entries_[*hit.value];
+  }
+  return result;
+}
+
+std::vector<std::pair<Prefix, RouteEntry>> RouteTable::Dump() const {
+  return {routes_.begin(), routes_.end()};
+}
+
+}  // namespace npr

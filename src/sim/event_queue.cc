@@ -1,0 +1,48 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace npr {
+
+void EventQueue::Schedule(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule an event in the past");
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; the callback must be moved out before pop.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ++events_run_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime t) {
+  while (!heap_.empty() && heap_.top().t <= t) {
+    RunOne();
+  }
+  if (t > now_) {
+    now_ = t;
+  }
+}
+
+void EventQueue::RunAll(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && RunOne()) {
+    ++n;
+  }
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+}
+
+}  // namespace npr

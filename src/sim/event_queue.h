@@ -1,0 +1,83 @@
+// Discrete-event simulation engine.
+//
+// A single EventQueue instance drives one simulated router (all clock
+// domains share the picosecond time base). Events scheduled for the same
+// instant run in scheduling order (stable FIFO), which keeps runs
+// deterministic and reproducible.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace npr {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulation time. Monotonically non-decreasing.
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `t`. `t` must be >= now().
+  void Schedule(SimTime t, Callback cb);
+
+  // Schedules `cb` to run `dt` picoseconds from now.
+  void ScheduleIn(SimTime dt, Callback cb) { Schedule(now_ + dt, std::move(cb)); }
+
+  // Runs the single earliest pending event, advancing now() to its time.
+  // Returns false (and leaves now() unchanged) when no events are pending.
+  bool RunOne();
+
+  // Runs every event with time <= `t`, then sets now() to `t`.
+  void RunUntil(SimTime t);
+
+  // Runs every event in the next `dt` picoseconds.
+  void RunFor(SimTime dt) { RunUntil(now_ + dt); }
+
+  // Drains all pending events regardless of time. Intended for tests.
+  // `max_events` guards against runaway self-rescheduling loops.
+  void RunAll(uint64_t max_events = 100'000'000);
+
+  // Number of not-yet-executed events.
+  size_t pending() const { return heap_.size(); }
+
+  // Drops all pending events without running them (used at teardown).
+  void Clear();
+
+  // Total number of events executed since construction.
+  uint64_t events_run() const { return events_run_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

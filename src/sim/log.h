@@ -1,0 +1,50 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is off (kWarn) by default so benchmark runs stay quiet; tests and
+// examples can raise the level. Not thread-safe by design: the simulator is
+// single-threaded.
+
+#ifndef SRC_SIM_LOG_H_
+#define SRC_SIM_LOG_H_
+
+#include <cstdio>
+#include <string>
+
+namespace npr {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+};
+
+// Process-wide minimum level that will be emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Emits one formatted log line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace log_internal {
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace log_internal
+
+#define NPR_LOG(level, ...)                                                          \
+  do {                                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::npr::GetLogLevel())) {         \
+      ::npr::LogMessage(level, __FILE__, __LINE__,                                   \
+                        ::npr::log_internal::Format(__VA_ARGS__));                   \
+    }                                                                                \
+  } while (0)
+
+#define NPR_TRACE(...) NPR_LOG(::npr::LogLevel::kTrace, __VA_ARGS__)
+#define NPR_DEBUG(...) NPR_LOG(::npr::LogLevel::kDebug, __VA_ARGS__)
+#define NPR_INFO(...) NPR_LOG(::npr::LogLevel::kInfo, __VA_ARGS__)
+#define NPR_WARN(...) NPR_LOG(::npr::LogLevel::kWarn, __VA_ARGS__)
+#define NPR_ERROR(...) NPR_LOG(::npr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace npr
+
+#endif  // SRC_SIM_LOG_H_

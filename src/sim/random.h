@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// xoshiro256** seeded via SplitMix64. Every traffic generator takes an
+// explicit seed so experiment runs are exactly reproducible.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace npr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool Chance(double p);
+
+  // Exponentially distributed value with the given mean (for Poisson
+  // arrival processes).
+  double Exponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed ranks in [0, n). Used to model skewed flow popularity in
+// workload generators. Precomputes the CDF once; draws are O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double skew);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_SIM_RANDOM_H_

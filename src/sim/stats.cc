@@ -1,0 +1,82 @@
+#include "src/sim/stats.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace npr {
+
+void Accumulator::Add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Histogram::Add(uint64_t value) {
+  acc_.Add(static_cast<double>(value));
+  const int bucket = value == 0 ? 0 : std::bit_width(value);
+  buckets_[std::min(bucket, kBuckets - 1)]++;
+}
+
+double Histogram::Percentile(double p) const {
+  if (acc_.count() == 0) {
+    return 0.0;
+  }
+  const double target = p / 100.0 * static_cast<double>(acc_.count());
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Bucket i covers [2^(i-1), 2^i); report the midpoint.
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      return (lo + hi) / 2.0;
+    }
+  }
+  return acc_.max();
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1f min=%llu max=%llu p50~%.0f p99~%.0f",
+                static_cast<unsigned long long>(count()), mean(),
+                static_cast<unsigned long long>(min()), static_cast<unsigned long long>(max()),
+                Percentile(50), Percentile(99));
+  return buf;
+}
+
+void Histogram::Reset() {
+  acc_.Reset();
+  for (auto& b : buckets_) {
+    b = 0;
+  }
+}
+
+void RateMeter::StartWindow(SimTime now) {
+  windowing_ = true;
+  window_start_ = now;
+  last_event_ = now;
+  events_ = 0;
+}
+
+void RateMeter::Record(SimTime now) {
+  if (!windowing_) {
+    StartWindow(now);
+    return;
+  }
+  ++events_;
+  last_event_ = now;
+}
+
+double RateMeter::RatePerSec() const {
+  if (events_ < 2 || last_event_ <= window_start_) {
+    return 0.0;
+  }
+  return static_cast<double>(events_) /
+         (static_cast<double>(last_event_ - window_start_) / static_cast<double>(kPsPerSec));
+}
+
+}  // namespace npr

@@ -1,0 +1,90 @@
+// Statistics primitives shared by the simulator and the benchmark harness.
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace npr {
+
+// Running mean / variance / extrema over a stream of samples (Welford).
+class Accumulator {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Reset() { *this = Accumulator(); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Power-of-two bucketed histogram for latency distributions.
+class Histogram {
+ public:
+  void Add(uint64_t value);
+
+  uint64_t count() const { return acc_.count(); }
+  double mean() const { return acc_.mean(); }
+  uint64_t min() const { return static_cast<uint64_t>(acc_.min()); }
+  uint64_t max() const { return static_cast<uint64_t>(acc_.max()); }
+
+  // Approximate p-th percentile (p in [0, 100]) from bucket midpoints.
+  double Percentile(double p) const;
+
+  // Human-readable one-line summary.
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kBuckets = 64;
+  Accumulator acc_;
+  uint64_t buckets_[kBuckets] = {};
+};
+
+// Measures a steady-state event rate over a window: total events divided by
+// elapsed simulated time, with support for discarding a warmup prefix.
+class RateMeter {
+ public:
+  // Marks the start of the measured window (ends any warmup period).
+  void StartWindow(SimTime now);
+
+  // Records one event (e.g. one forwarded packet) at time `now`.
+  void Record(SimTime now);
+
+  uint64_t events() const { return events_; }
+
+  // Events per second over [window_start, last_event]. Zero if fewer than
+  // two events were seen.
+  double RatePerSec() const;
+
+ private:
+  bool windowing_ = false;
+  SimTime window_start_ = 0;
+  SimTime last_event_ = 0;
+  uint64_t events_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_SIM_STATS_H_

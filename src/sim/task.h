@@ -1,0 +1,75 @@
+// Coroutine task type for simulated processor contexts.
+//
+// A Task is a fire-and-forget coroutine owned by the simulated hardware
+// object (MicroEngine context, StrongARM, Pentium) that runs it. Tasks start
+// suspended; the owner calls Start() once, after which the coroutine is
+// resumed only by the awaitables it suspends on (memory completions, token
+// arrival, timer events). Most hardware loops never return; destroying a
+// Task destroys the suspended frame, which is how the simulation tears down.
+
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace npr {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      // A simulated hardware context has no one to propagate to; failing
+      // loudly beats silently corrupting the simulation.
+      std::terminate();
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { Destroy(); }
+
+  // Runs the coroutine up to its first suspension point.
+  void Start() {
+    if (handle_ && !handle_.done()) {
+      handle_.resume();
+    }
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,56 @@
+// Simulation time base and clock domains.
+//
+// All simulation time is kept as a 64-bit count of picoseconds so that the
+// three clock domains of the prototype hardware (200 MHz MicroEngines and
+// StrongARM, 733 MHz Pentium III, and the 66/100 MHz buses) can be expressed
+// exactly without floating point drift.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace npr {
+
+// Absolute simulation time in picoseconds.
+using SimTime = int64_t;
+
+inline constexpr SimTime kPsPerNs = 1000;
+inline constexpr SimTime kPsPerUs = 1000 * kPsPerNs;
+inline constexpr SimTime kPsPerMs = 1000 * kPsPerUs;
+inline constexpr SimTime kPsPerSec = 1000 * kPsPerMs;
+
+// A fixed-frequency clock domain. Converts between cycle counts and SimTime.
+struct ClockDomain {
+  // Duration of one cycle in picoseconds.
+  SimTime cycle_ps;
+
+  // Time taken by `cycles` cycles of this clock.
+  constexpr SimTime ToTime(int64_t cycles) const { return cycles * cycle_ps; }
+
+  // Number of whole cycles of this clock in duration `t`.
+  constexpr int64_t ToCycles(SimTime t) const { return t / cycle_ps; }
+
+  // Clock frequency in Hz.
+  constexpr double FrequencyHz() const { return 1e12 / static_cast<double>(cycle_ps); }
+};
+
+// The IXP1200 runs the StrongARM core and all six MicroEngines at a nominal
+// 200 MHz (actual 199.066 MHz; the paper rounds and so do we): 5 ns cycles.
+inline constexpr ClockDomain kIxpClock{5000};
+
+// Host Pentium III at 733 MHz: 1.364 ns cycles (1364 ps).
+inline constexpr ClockDomain kPentiumClock{1364};
+
+// IX bus: 64-bit at 66 MHz.
+inline constexpr ClockDomain kIxBusClock{15152};
+
+// Memory buses (DRAM 64-bit, SRAM 32-bit) run at 100 MHz.
+inline constexpr ClockDomain kMemBusClock{10000};
+
+// PCI: 32-bit at 33 MHz.
+inline constexpr ClockDomain kPciClock{30303};
+
+}  // namespace npr
+
+#endif  // SRC_SIM_TIME_H_

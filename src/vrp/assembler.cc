@@ -1,0 +1,205 @@
+#include "src/vrp/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace npr {
+namespace {
+
+std::string Lower(std::string s) {
+  for (auto& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// Splits on whitespace and commas.
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+bool ParseReg(const std::string& tok, char kind, uint8_t* out) {
+  const std::string low = Lower(tok);
+  if (low.size() < 2 || low[0] != kind) {
+    return false;
+  }
+  int v = 0;
+  for (size_t i = 1; i < low.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(low[i]))) {
+      return false;
+    }
+    v = v * 10 + (low[i] - '0');
+  }
+  *out = static_cast<uint8_t>(v);
+  return true;
+}
+
+bool ParseImm(const std::string& tok, int32_t* out) {
+  if (tok.empty()) {
+    return false;
+  }
+  size_t pos = 0;
+  long v = 0;
+  try {
+    v = std::stol(tok, &pos, 0);
+  } catch (...) {
+    return false;
+  }
+  if (pos != tok.size()) {
+    return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+struct PendingInstr {
+  int line;
+  std::vector<std::string> tokens;
+};
+
+}  // namespace
+
+AssembleResult Assemble(const std::string& name, const std::string& source) {
+  AssembleResult result;
+  result.program.name = name;
+
+  auto fail = [&](int line, const std::string& why) -> AssembleResult& {
+    result.ok = false;
+    result.error = "line " + std::to_string(line) + ": " + why;
+    return result;
+  };
+
+  // Pass 1: strip comments, bind labels to instruction indexes, collect
+  // directives and instruction token lists.
+  std::map<std::string, size_t> labels;
+  std::vector<PendingInstr> instrs;
+  {
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      const auto comment = raw.find_first_of(";#");
+      if (comment != std::string::npos) {
+        raw.resize(comment);
+      }
+      auto tokens = Tokenize(raw);
+      while (!tokens.empty() && tokens[0].back() == ':') {
+        const std::string label = Lower(tokens[0].substr(0, tokens[0].size() - 1));
+        if (label.empty() || labels.count(label) != 0) {
+          return fail(number, "bad or duplicate label '" + label + "'");
+        }
+        labels[label] = instrs.size();
+        tokens.erase(tokens.begin());
+      }
+      if (tokens.empty()) {
+        continue;
+      }
+      if (Lower(tokens[0]) == ".state") {
+        int32_t bytes = 0;
+        if (tokens.size() != 2 || !ParseImm(tokens[1], &bytes) || bytes < 0 || bytes % 4 != 0) {
+          return fail(number, ".state requires a non-negative multiple of 4");
+        }
+        result.program.flow_state_bytes = static_cast<uint32_t>(bytes);
+        continue;
+      }
+      instrs.push_back(PendingInstr{number, std::move(tokens)});
+    }
+  }
+
+  // Pass 2: encode.
+  static const std::map<std::string, VrpOp> kRegReg = {
+      {"mov", VrpOp::kMov}, {"add", VrpOp::kAdd}, {"sub", VrpOp::kSub},
+      {"and", VrpOp::kAnd}, {"or", VrpOp::kOr},   {"xor", VrpOp::kXor},
+      {"hash", VrpOp::kHash}};
+  static const std::map<std::string, VrpOp> kRegImm = {{"movi", VrpOp::kMovI},
+                                                       {"addi", VrpOp::kAddI},
+                                                       {"andi", VrpOp::kAndI},
+                                                       {"shl", VrpOp::kShl},
+                                                       {"shr", VrpOp::kShr},
+                                                       {"ldsram", VrpOp::kLdSram},
+                                                       {"stsram", VrpOp::kStSram}};
+  static const std::map<std::string, VrpOp> kBranch = {{"beq", VrpOp::kBeq},
+                                                       {"bne", VrpOp::kBne},
+                                                       {"blt", VrpOp::kBlt},
+                                                       {"bge", VrpOp::kBge}};
+
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const auto& [line, tokens] = instrs[idx];
+    const std::string mnem = Lower(tokens[0]);
+    VrpInstr out;
+
+    auto need = [&](size_t n) { return tokens.size() == n; };
+
+    if (auto it = kRegReg.find(mnem); it != kRegReg.end()) {
+      out.op = it->second;
+      if (!need(3) || !ParseReg(tokens[1], 'r', &out.a) || !ParseReg(tokens[2], 'r', &out.b)) {
+        return fail(line, mnem + " expects: " + mnem + " rA, rB");
+      }
+    } else if (auto it2 = kRegImm.find(mnem); it2 != kRegImm.end()) {
+      out.op = it2->second;
+      if (!need(3) || !ParseReg(tokens[1], 'r', &out.a) || !ParseImm(tokens[2], &out.imm)) {
+        return fail(line, mnem + " expects: " + mnem + " rA, imm");
+      }
+    } else if (auto it3 = kBranch.find(mnem); it3 != kBranch.end()) {
+      out.op = it3->second;
+      if (!need(4) || !ParseReg(tokens[1], 'r', &out.a) || !ParseReg(tokens[2], 'r', &out.b)) {
+        return fail(line, mnem + " expects: " + mnem + " rA, rB, label");
+      }
+      const auto target = labels.find(Lower(tokens[3]));
+      if (target == labels.end()) {
+        return fail(line, "unknown label '" + tokens[3] + "'");
+      }
+      out.imm = static_cast<int32_t>(target->second) - static_cast<int32_t>(idx);
+      if (out.imm <= 0) {
+        return fail(line, "backward branch to '" + tokens[3] + "' (loops are rejected)");
+      }
+    } else if (mnem == "ldpkt" || mnem == "stpkt") {
+      out.op = mnem == "ldpkt" ? VrpOp::kLdPkt : VrpOp::kStPkt;
+      if (!need(3) || !ParseReg(tokens[1], 'r', &out.a) || !ParseReg(tokens[2], 'p', &out.b)) {
+        return fail(line, mnem + " expects: " + mnem + " rA, pN");
+      }
+    } else if (mnem == "setq") {
+      out.op = VrpOp::kSetQueue;
+      if (!need(2) || !ParseImm(tokens[1], &out.imm)) {
+        return fail(line, "setq expects: setq imm");
+      }
+    } else if (mnem == "send" || mnem == "drop" || mnem == "except" || mnem == "nop") {
+      out.op = mnem == "send" ? VrpOp::kSend
+               : mnem == "drop" ? VrpOp::kDrop
+               : mnem == "except" ? VrpOp::kExcept
+                                  : VrpOp::kNop;
+      if (!need(1)) {
+        return fail(line, mnem + " takes no operands");
+      }
+    } else {
+      return fail(line, "unknown mnemonic '" + mnem + "'");
+    }
+    result.program.code.push_back(out);
+  }
+
+  if (result.program.code.empty()) {
+    return fail(0, "no instructions");
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace npr

@@ -1,0 +1,43 @@
+// Two-pass assembler for VRP programs.
+//
+// Control forwarders ship data-forwarder code to the router through the
+// install() interface (§4.5); in this repo that code is written in a small
+// assembly language so admission control genuinely "inspects the code"
+// (§4.6) rather than trusting a declared cost.
+//
+// Syntax (one instruction per line, ';' or '#' starts a comment):
+//   .state N            ; bytes of per-flow SRAM state
+//   movi rA, imm        ; rA = imm
+//   mov/add/sub/and/or/xor rA, rB
+//   addi/andi rA, imm
+//   shl/shr rA, imm
+//   ldpkt rA, pN        ; rA = packet word N
+//   stpkt rA, pN
+//   ldsram rA, off      ; rA = flow_state[off]  (off: byte offset, 4-aligned)
+//   stsram rA, off
+//   hash rA, rB
+//   beq/bne/blt/bge rA, rB, label   ; forward only
+//   setq imm            ; select destination priority queue
+//   send | drop | except
+//   label:
+
+#ifndef SRC_VRP_ASSEMBLER_H_
+#define SRC_VRP_ASSEMBLER_H_
+
+#include <string>
+
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+struct AssembleResult {
+  bool ok = false;
+  std::string error;  // "line N: ..." when !ok
+  VrpProgram program;
+};
+
+AssembleResult Assemble(const std::string& name, const std::string& source);
+
+}  // namespace npr
+
+#endif  // SRC_VRP_ASSEMBLER_H_

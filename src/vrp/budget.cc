@@ -1,0 +1,45 @@
+#include "src/vrp/budget.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace npr {
+
+VrpBudget VrpBudget::ForForwardingRate(double mpps) {
+  VrpBudget b;
+  if (mpps <= 0) {
+    return b;
+  }
+  // Four input MicroEngines at 200 MHz give 800 Mcycles/s of pipeline;
+  // the fixed input stage consumes ~229 effective cycles per MP (§3.5.1
+  // instrumentation with protected queues), and the classifier 56 (§4.5).
+  const double headroom = 800.0 / mpps - 229.0 - 56.0;
+  if (headroom <= 0) {
+    b.cycles = 0;
+    b.sram_transfers = 0;
+    b.hashes = 0;
+    return b;
+  }
+  // Prototype proportions: 240 cycles : 24 transfers (at ~8 effective
+  // cycles each) : 3 hashes within the 1.128 Mpps headroom.
+  const double scale = headroom / (240.0 + 24.0 * 8.0 + 3.0);
+  b.cycles = static_cast<uint32_t>(240.0 * scale);
+  b.sram_transfers = static_cast<uint32_t>(24.0 * scale);
+  b.hashes = std::max<uint32_t>(1, static_cast<uint32_t>(3.0 * scale));
+  return b;
+}
+
+bool VrpBudget::Admits(const VrpCost& cost, const VrpCost& extra) const {
+  return cost.cycles + extra.cycles <= cycles &&
+         cost.sram_transfers() + extra.sram_transfers() <= sram_transfers &&
+         cost.hashes + extra.hashes <= hashes;
+}
+
+std::string VrpBudget::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "{cycles=%u sram_transfers=%u hashes=%u istore=%u}", cycles,
+                sram_transfers, hashes, istore_slots);
+  return buf;
+}
+
+}  // namespace npr

@@ -1,0 +1,45 @@
+// VRP budget model (§4.2, §4.3).
+//
+// The budget is what makes the router robust: admission control proves each
+// data forwarder fits, so no extension can push the MicroEngines below line
+// rate. The prototype's 8 x 100 Mbps configuration leaves each 64-byte MP:
+// 240 instruction cycles, 24 four-byte SRAM transfers (96 bytes of
+// persistent state), 3 hardware hashes, and 650 ISTORE slots (§4.3).
+
+#ifndef SRC_VRP_BUDGET_H_
+#define SRC_VRP_BUDGET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+struct VrpBudget {
+  uint32_t cycles = 240;
+  uint32_t sram_transfers = 24;  // 4 bytes each
+  uint32_t hashes = 3;
+  uint32_t istore_slots = 650;
+
+  // The paper's prototype budget (8 x 100 Mbps -> 1.128 Mpps line rate).
+  static VrpBudget Prototype() { return VrpBudget{}; }
+
+  // Derives a budget from a required aggregate forwarding rate, using the
+  // measured relation of Figure 9: the input stage costs ~229 effective
+  // cycles/MP with protected queues, four MicroEngines provide 800 Mcycles
+  // of input pipeline per second, and each 4-byte SRAM transfer costs ~8
+  // effective (partially hidden) cycles. Headroom is split between compute
+  // and state access in the prototype's 240:24 proportion.
+  static VrpBudget ForForwardingRate(double mpps);
+
+  // True if `cost` (plus `extra`, e.g. already-installed general
+  // forwarders) fits in every dimension.
+  bool Admits(const VrpCost& cost, const VrpCost& extra = {}) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace npr
+
+#endif  // SRC_VRP_BUDGET_H_

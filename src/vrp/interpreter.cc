@@ -1,0 +1,167 @@
+#include "src/vrp/interpreter.h"
+
+#include <array>
+
+namespace npr {
+namespace {
+
+uint32_t ReadPacketWord(std::span<const uint8_t> mp, uint8_t word) {
+  const size_t off = static_cast<size_t>(word) * 4;
+  if (off + 4 > mp.size()) {
+    return 0;
+  }
+  return static_cast<uint32_t>(mp[off]) << 24 | static_cast<uint32_t>(mp[off + 1]) << 16 |
+         static_cast<uint32_t>(mp[off + 2]) << 8 | mp[off + 3];
+}
+
+void WritePacketWord(std::span<uint8_t> mp, uint8_t word, uint32_t v) {
+  const size_t off = static_cast<size_t>(word) * 4;
+  if (off + 4 > mp.size()) {
+    return;
+  }
+  mp[off] = static_cast<uint8_t>(v >> 24);
+  mp[off + 1] = static_cast<uint8_t>(v >> 16);
+  mp[off + 2] = static_cast<uint8_t>(v >> 8);
+  mp[off + 3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+VrpOutcome VrpInterpreter::Run(const VrpProgram& program, std::span<uint8_t> mp,
+                               uint32_t flow_state_addr, const VrpBudget* enforce) {
+  VrpOutcome out;
+  std::array<uint32_t, kVrpGpRegs> r{};
+  const auto& code = program.code;
+  size_t pc = 0;
+  // Forward-only control flow bounds execution by the program length; the
+  // guard below also catches unverified programs with backward branches.
+  size_t steps = 0;
+
+  auto trap = [&] {
+    ++traps_;
+    out.action = VrpAction::kTrap;
+    return out;
+  };
+
+  while (pc < code.size()) {
+    if (++steps > code.size()) {
+      return trap();  // loop detected at runtime (program was not verified)
+    }
+    const VrpInstr& in = code[pc];
+    VrpCost& m = out.metered;
+    m.cycles += 1;
+    size_t next = pc + 1;
+    bool done = false;
+
+    switch (in.op) {
+      case VrpOp::kMovI:
+        r[in.a] = static_cast<uint32_t>(in.imm);
+        break;
+      case VrpOp::kMov:
+        r[in.a] = r[in.b];
+        break;
+      case VrpOp::kAdd:
+        r[in.a] += r[in.b];
+        break;
+      case VrpOp::kAddI:
+        r[in.a] += static_cast<uint32_t>(in.imm);
+        break;
+      case VrpOp::kSub:
+        r[in.a] -= r[in.b];
+        break;
+      case VrpOp::kAnd:
+        r[in.a] &= r[in.b];
+        break;
+      case VrpOp::kAndI:
+        r[in.a] &= static_cast<uint32_t>(in.imm);
+        break;
+      case VrpOp::kOr:
+        r[in.a] |= r[in.b];
+        break;
+      case VrpOp::kXor:
+        r[in.a] ^= r[in.b];
+        break;
+      case VrpOp::kShl:
+        r[in.a] <<= (in.imm & 31);
+        break;
+      case VrpOp::kShr:
+        r[in.a] >>= (in.imm & 31);
+        break;
+      case VrpOp::kLdPkt:
+        r[in.a] = ReadPacketWord(mp, in.b);
+        break;
+      case VrpOp::kStPkt:
+        WritePacketWord(mp, in.b, r[in.a]);
+        break;
+      case VrpOp::kLdSram:
+        m.sram_reads += 1;
+        r[in.a] = sram_.ReadU32(flow_state_addr + static_cast<uint32_t>(in.imm));
+        break;
+      case VrpOp::kStSram:
+        m.sram_writes += 1;
+        sram_.WriteU32(flow_state_addr + static_cast<uint32_t>(in.imm), r[in.a]);
+        break;
+      case VrpOp::kHash:
+        m.hashes += 1;
+        r[in.a] = hash_.Hash32(r[in.b]);
+        break;
+      case VrpOp::kBeq:
+      case VrpOp::kBne:
+      case VrpOp::kBlt:
+      case VrpOp::kBge: {
+        m.cycles += 1;  // branch delay
+        if (in.imm <= 0) {
+          return trap();
+        }
+        bool taken = false;
+        switch (in.op) {
+          case VrpOp::kBeq:
+            taken = r[in.a] == r[in.b];
+            break;
+          case VrpOp::kBne:
+            taken = r[in.a] != r[in.b];
+            break;
+          case VrpOp::kBlt:
+            taken = r[in.a] < r[in.b];
+            break;
+          default:
+            taken = r[in.a] >= r[in.b];
+            break;
+        }
+        if (taken) {
+          next = pc + static_cast<size_t>(in.imm);
+        }
+        break;
+      }
+      case VrpOp::kSetQueue:
+        out.queue = static_cast<uint32_t>(in.imm);
+        break;
+      case VrpOp::kSend:
+        out.action = VrpAction::kSend;
+        done = true;
+        break;
+      case VrpOp::kDrop:
+        out.action = VrpAction::kDrop;
+        done = true;
+        break;
+      case VrpOp::kExcept:
+        out.action = VrpAction::kExcept;
+        done = true;
+        break;
+      case VrpOp::kNop:
+        break;
+    }
+
+    if (enforce != nullptr && !enforce->Admits(out.metered)) {
+      return trap();
+    }
+    if (done) {
+      return out;
+    }
+    pc = next;
+  }
+  // Fell off the end without a terminator.
+  return trap();
+}
+
+}  // namespace npr

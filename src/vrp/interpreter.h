@@ -1,0 +1,57 @@
+// VRP interpreter: executes a data forwarder over one 64-byte MP.
+//
+// The interpreter is both functional (it really reads/writes the MP bytes
+// and the flow state in simulated SRAM) and metered: it reports the exact
+// dynamic cost so the input stage can charge the MicroEngine, and — as the
+// runtime safety net behind static admission — it traps a program the
+// moment it exceeds the enforced budget, diverting the packet to the
+// exceptional path instead of stalling the pipeline.
+
+#ifndef SRC_VRP_INTERPRETER_H_
+#define SRC_VRP_INTERPRETER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/ixp/hash_unit.h"
+#include "src/mem/backing_store.h"
+#include "src/vrp/budget.h"
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+enum class VrpAction : uint8_t {
+  kSend,    // forward to the selected queue
+  kDrop,    // discard
+  kExcept,  // divert to the StrongARM path
+  kTrap,    // budget violation or illegal instruction at runtime
+};
+
+struct VrpOutcome {
+  VrpAction action = VrpAction::kSend;
+  std::optional<uint32_t> queue;  // set by kSetQueue
+  VrpCost metered;                // actual dynamic cost of this run
+};
+
+class VrpInterpreter {
+ public:
+  VrpInterpreter(BackingStore& sram, HashUnit& hash) : sram_(sram), hash_(hash) {}
+
+  // Runs `program` over `mp` (64 bytes, mutated in place by kStPkt) with
+  // flow state at `flow_state_addr` in SRAM. If `enforce` is non-null the
+  // program traps on the first budget-exceeding instruction.
+  VrpOutcome Run(const VrpProgram& program, std::span<uint8_t> mp, uint32_t flow_state_addr,
+                 const VrpBudget* enforce = nullptr);
+
+  uint64_t traps() const { return traps_; }
+
+ private:
+  BackingStore& sram_;
+  HashUnit& hash_;
+  uint64_t traps_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_VRP_INTERPRETER_H_

@@ -1,0 +1,79 @@
+#include "src/vrp/isa.h"
+
+#include <cstdio>
+
+namespace npr {
+namespace {
+
+const char* Mnemonic(VrpOp op) {
+  switch (op) {
+    case VrpOp::kMovI:
+      return "movi";
+    case VrpOp::kMov:
+      return "mov";
+    case VrpOp::kAdd:
+      return "add";
+    case VrpOp::kAddI:
+      return "addi";
+    case VrpOp::kSub:
+      return "sub";
+    case VrpOp::kAnd:
+      return "and";
+    case VrpOp::kAndI:
+      return "andi";
+    case VrpOp::kOr:
+      return "or";
+    case VrpOp::kXor:
+      return "xor";
+    case VrpOp::kShl:
+      return "shl";
+    case VrpOp::kShr:
+      return "shr";
+    case VrpOp::kLdPkt:
+      return "ldpkt";
+    case VrpOp::kStPkt:
+      return "stpkt";
+    case VrpOp::kLdSram:
+      return "ldsram";
+    case VrpOp::kStSram:
+      return "stsram";
+    case VrpOp::kHash:
+      return "hash";
+    case VrpOp::kBeq:
+      return "beq";
+    case VrpOp::kBne:
+      return "bne";
+    case VrpOp::kBlt:
+      return "blt";
+    case VrpOp::kBge:
+      return "bge";
+    case VrpOp::kSend:
+      return "send";
+    case VrpOp::kDrop:
+      return "drop";
+    case VrpOp::kSetQueue:
+      return "setq";
+    case VrpOp::kExcept:
+      return "except";
+    case VrpOp::kNop:
+      return "nop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Disassemble(const VrpProgram& program) {
+  std::string out = "; " + program.name + " (.state " +
+                    std::to_string(program.flow_state_bytes) + ")\n";
+  char buf[96];
+  for (size_t pc = 0; pc < program.code.size(); ++pc) {
+    const VrpInstr& in = program.code[pc];
+    std::snprintf(buf, sizeof(buf), "%3zu: %-7s a=%u b=%u imm=%d\n", pc, Mnemonic(in.op), in.a,
+                  in.b, in.imm);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace npr

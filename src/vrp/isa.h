@@ -1,0 +1,101 @@
+// Virtual Router Processor (VRP) instruction set (§4.2, §4.3).
+//
+// The VRP is the abstract machine the paper defines for per-packet
+// extension code on the MicroEngines. Its programs see:
+//   * P0..P15 — the current 64-byte MP as sixteen 32-bit packet registers
+//   * R0..R7  — general-purpose scratch registers (not preserved across MPs)
+//   * flow state — `size` bytes of SRAM at an address the classifier binds
+//   * the hardware hash unit
+// Control flow is forward-only: the paper's admission control exploits the
+// fact that a data forwarder has "no reason to contain a loop" (any loop
+// over a 64-byte MP is effectively unrolled), which makes worst-case cost
+// statically computable (§4.6).
+
+#ifndef SRC_VRP_ISA_H_
+#define SRC_VRP_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace npr {
+
+inline constexpr int kVrpPacketRegs = 16;  // P0..P15: the MP
+inline constexpr int kVrpGpRegs = 8;       // R0..R7
+
+enum class VrpOp : uint8_t {
+  // ALU — 1 cycle each.
+  kMovI,   // R[a] = imm
+  kMov,    // R[a] = R[b]
+  kAdd,    // R[a] += R[b]
+  kAddI,   // R[a] += imm
+  kSub,    // R[a] -= R[b]
+  kAnd,    // R[a] &= R[b]
+  kAndI,   // R[a] &= imm
+  kOr,     // R[a] |= R[b]
+  kXor,    // R[a] ^= R[b]
+  kShl,    // R[a] <<= imm
+  kShr,    // R[a] >>= imm (logical)
+
+  // Packet register file — 1 cycle, no memory traffic.
+  kLdPkt,  // R[a] = P[b]  (32-bit big-endian word b of the MP)
+  kStPkt,  // P[b] = R[a]
+
+  // Flow state — one 4-byte SRAM transfer each (counted against budget).
+  kLdSram,  // R[a] = SRAM32[flow_state + imm]
+  kStSram,  // SRAM32[flow_state + imm] = R[a]
+
+  // Hardware hash unit — 1 cycle (§3.5.1), counted against budget.
+  kHash,  // R[a] = hash32(R[b])
+
+  // Forward-only conditional branches — 1 cycle + 1 branch-delay cycle.
+  kBeq,  // if R[a] == R[b] jump to pc + imm (imm > 0)
+  kBne,
+  kBlt,  // unsigned <
+  kBge,  // unsigned >=
+
+  // Terminators — 1 cycle.
+  kSend,      // finish; packet continues (to the queue chosen so far)
+  kDrop,      // finish; packet is discarded
+  kSetQueue,  // select destination priority queue = imm (not a terminator)
+  kExcept,    // finish; divert packet to the exceptional (StrongARM) path
+
+  kNop,
+};
+
+struct VrpInstr {
+  VrpOp op = VrpOp::kNop;
+  uint8_t a = 0;
+  uint8_t b = 0;
+  int32_t imm = 0;
+};
+
+// Worst-case static cost of a program (computed by the verifier) or the
+// metered dynamic cost of one execution (reported by the interpreter).
+struct VrpCost {
+  uint32_t cycles = 0;       // instruction cycles incl. branch delays
+  uint32_t sram_reads = 0;   // 4-byte transfers
+  uint32_t sram_writes = 0;  // 4-byte transfers
+  uint32_t hashes = 0;
+
+  uint32_t sram_transfers() const { return sram_reads + sram_writes; }
+  uint32_t sram_bytes() const { return sram_transfers() * 4; }
+};
+
+// A compiled data forwarder.
+struct VrpProgram {
+  std::string name;
+  std::vector<VrpInstr> code;
+  // Bytes of per-flow SRAM state the forwarder requires (install's `size`).
+  uint32_t flow_state_bytes = 0;
+
+  size_t instructions() const { return code.size(); }
+};
+
+// Returns a human-readable disassembly (for diagnostics and the Table 5
+// bench output).
+std::string Disassemble(const VrpProgram& program);
+
+}  // namespace npr
+
+#endif  // SRC_VRP_ISA_H_

@@ -1,0 +1,81 @@
+#include "src/vrp/istore_layout.h"
+
+#include <algorithm>
+
+namespace npr {
+
+IStoreLayout::IStoreLayout(const HwConfig& hw)
+    : capacity_(hw.istore_slots - hw.istore_ri_slots - hw.istore_classifier_slots),
+      total_slots_(hw.istore_slots),
+      write_cycles_per_instr_(hw.istore_write_cycles_per_instr) {}
+
+std::optional<uint32_t> IStoreLayout::InstallPerFlow(const VrpProgram& program) {
+  // Per-flow forwarders end in an indirect jump back to the RI epilogue
+  // (one extra slot).
+  const uint32_t slots = static_cast<uint32_t>(program.instructions()) + 1;
+  if (used_ + slots > capacity_) {
+    return std::nullopt;
+  }
+  used_ += slots;
+  const uint32_t id = next_id_++;
+  entries_[id] = Entry{program, /*general=*/false, slots, install_seq_++, 0};
+  return id;
+}
+
+std::optional<uint32_t> IStoreLayout::InstallGeneral(const VrpProgram& program,
+                                                     uint32_t state_addr) {
+  // Generals fall through to the next one: no trailing jump slot.
+  const uint32_t slots = static_cast<uint32_t>(program.instructions());
+  if (used_ + slots > capacity_) {
+    return std::nullopt;
+  }
+  used_ += slots;
+  const uint32_t id = next_id_++;
+  entries_[id] = Entry{program, /*general=*/true, slots, install_seq_++, state_addr};
+  return id;
+}
+
+bool IStoreLayout::Remove(uint32_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  used_ -= it->second.slots;
+  entries_.erase(it);
+  return true;
+}
+
+const VrpProgram* IStoreLayout::Get(uint32_t id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.program;
+}
+
+std::vector<IStoreLayout::GeneralEntry> IStoreLayout::GeneralChain() const {
+  // Stored in reverse order from the end of the store: the most recently
+  // installed general executes first; the first-installed (minimal IP)
+  // executes last.
+  std::vector<std::pair<uint64_t, GeneralEntry>> generals;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.general) {
+      generals.emplace_back(entry.install_seq, GeneralEntry{&entry.program, entry.state_addr});
+    }
+  }
+  std::sort(generals.begin(), generals.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<GeneralEntry> chain;
+  chain.reserve(generals.size());
+  for (const auto& [seq, ge] : generals) {
+    chain.push_back(ge);
+  }
+  return chain;
+}
+
+uint64_t IStoreLayout::InstallCostCycles(const VrpProgram& program) const {
+  return static_cast<uint64_t>(program.instructions()) * write_cycles_per_instr_;
+}
+
+uint64_t IStoreLayout::FullRewriteCostCycles() const {
+  return static_cast<uint64_t>(total_slots_) * write_cycles_per_instr_;
+}
+
+}  // namespace npr

@@ -1,0 +1,81 @@
+// MicroEngine ISTORE layout manager (Figure 11, §4.5).
+//
+// Each input context's 1024-slot instruction store holds, between the fixed
+// router-infrastructure prologue and epilogue: the classifier, the per-flow
+// forwarders, and the general forwarders. General forwarders are stored in
+// reverse order from the end of the store so control falls from one to the
+// next without hard-coded jump addresses; the last one (installed first) is
+// always minimal IP. Per-flow forwarders end in an indirect jump through a
+// MicroEngine register. Installation writes the store with
+// instruction-level granularity at two memory accesses per instruction.
+
+#ifndef SRC_VRP_ISTORE_LAYOUT_H_
+#define SRC_VRP_ISTORE_LAYOUT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/ixp/hw_config.h"
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+class IStoreLayout {
+ public:
+  explicit IStoreLayout(const HwConfig& hw);
+
+  // Installs a per-flow forwarder (reached via classifier metadata).
+  // Returns its handle, or nullopt if the extension region is full.
+  std::optional<uint32_t> InstallPerFlow(const VrpProgram& program);
+
+  // Installs a general forwarder (applied to every packet, executed before
+  // all previously installed generals). `state_addr` is the SRAM address of
+  // its (ALL-keyed) state.
+  std::optional<uint32_t> InstallGeneral(const VrpProgram& program, uint32_t state_addr = 0);
+
+  struct GeneralEntry {
+    const VrpProgram* program;
+    uint32_t state_addr;
+  };
+
+  // Frees a forwarder's slots. Returns false for unknown handles.
+  bool Remove(uint32_t id);
+
+  const VrpProgram* Get(uint32_t id) const;
+
+  // General forwarders in execution (fall-through) order.
+  std::vector<GeneralEntry> GeneralChain() const;
+
+  // Cycles the StrongARM needs to write this program into one ISTORE
+  // (§4.5: two memory accesses per instruction, 40 cycles each).
+  uint64_t InstallCostCycles(const VrpProgram& program) const;
+  // Cycles to rewrite the entire store (classification changes, §4.5).
+  uint64_t FullRewriteCostCycles() const;
+
+  uint32_t extension_capacity() const { return capacity_; }
+  uint32_t used_slots() const { return used_; }
+  uint32_t free_slots() const { return capacity_ - used_; }
+
+ private:
+  struct Entry {
+    VrpProgram program;
+    bool general;
+    uint32_t slots;
+    uint64_t install_seq;
+    uint32_t state_addr;
+  };
+
+  const uint32_t capacity_;       // slots available to extensions (650)
+  const uint32_t total_slots_;    // full store (1024)
+  const uint32_t write_cycles_per_instr_;
+  uint32_t used_ = 0;
+  uint32_t next_id_ = 1;
+  uint64_t install_seq_ = 0;
+  std::map<uint32_t, Entry> entries_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_VRP_ISTORE_LAYOUT_H_

@@ -1,0 +1,148 @@
+#include "src/vrp/verifier.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace npr {
+namespace {
+
+bool IsBranch(VrpOp op) {
+  return op == VrpOp::kBeq || op == VrpOp::kBne || op == VrpOp::kBlt || op == VrpOp::kBge;
+}
+
+bool IsTerminator(VrpOp op) {
+  return op == VrpOp::kSend || op == VrpOp::kDrop || op == VrpOp::kExcept;
+}
+
+bool ReadsGpB(VrpOp op) {
+  switch (op) {
+    case VrpOp::kMov:
+    case VrpOp::kAdd:
+    case VrpOp::kSub:
+    case VrpOp::kAnd:
+    case VrpOp::kOr:
+    case VrpOp::kXor:
+    case VrpOp::kHash:
+    case VrpOp::kBeq:
+    case VrpOp::kBne:
+    case VrpOp::kBlt:
+    case VrpOp::kBge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool UsesGpA(VrpOp op) {
+  switch (op) {
+    case VrpOp::kSetQueue:
+    case VrpOp::kSend:
+    case VrpOp::kDrop:
+    case VrpOp::kExcept:
+    case VrpOp::kNop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Single-instruction cost: 1 cycle baseline; taken-or-not branches pay a
+// branch-delay cycle (§4.6: "slightly larger than the instruction counts
+// ... since branch delays must be taken into consideration").
+VrpCost InstrCost(const VrpInstr& in) {
+  VrpCost c;
+  c.cycles = IsBranch(in.op) ? 2 : 1;
+  switch (in.op) {
+    case VrpOp::kLdSram:
+      c.sram_reads = 1;
+      break;
+    case VrpOp::kStSram:
+      c.sram_writes = 1;
+      break;
+    case VrpOp::kHash:
+      c.hashes = 1;
+      break;
+    default:
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+VerifyResult VerifyProgram(const VrpProgram& program) {
+  const auto& code = program.code;
+  const size_t n = code.size();
+  if (n == 0) {
+    return VerifyResult::Fail("empty program");
+  }
+
+  // --- structural checks ---
+  for (size_t pc = 0; pc < n; ++pc) {
+    const VrpInstr& in = code[pc];
+    if (UsesGpA(in.op) && in.a >= kVrpGpRegs) {
+      return VerifyResult::Fail("instruction " + std::to_string(pc) + ": register a out of range");
+    }
+    if (in.op == VrpOp::kLdPkt || in.op == VrpOp::kStPkt) {
+      if (in.b >= kVrpPacketRegs) {
+        return VerifyResult::Fail("instruction " + std::to_string(pc) +
+                                  ": packet register out of range");
+      }
+    } else if (ReadsGpB(in.op) && in.b >= kVrpGpRegs) {
+      return VerifyResult::Fail("instruction " + std::to_string(pc) + ": register b out of range");
+    }
+    if (IsBranch(in.op)) {
+      if (in.imm <= 0) {
+        return VerifyResult::Fail("instruction " + std::to_string(pc) +
+                                  ": backward or self branch (loops are rejected)");
+      }
+      if (pc + static_cast<size_t>(in.imm) >= n) {
+        return VerifyResult::Fail("instruction " + std::to_string(pc) +
+                                  ": branch target out of range");
+      }
+    }
+    if (in.op == VrpOp::kLdSram || in.op == VrpOp::kStSram) {
+      if (in.imm < 0 || in.imm % 4 != 0 ||
+          static_cast<uint32_t>(in.imm) + 4 > program.flow_state_bytes) {
+        return VerifyResult::Fail("instruction " + std::to_string(pc) +
+                                  ": flow-state access misaligned or out of bounds");
+      }
+    }
+    // Every path must end in a terminator: the final instruction must not
+    // fall off the end.
+    if (pc == n - 1 && !IsTerminator(in.op)) {
+      return VerifyResult::Fail("program does not end with send/drop/except");
+    }
+  }
+
+  // --- worst-case cost: reverse DP over the acyclic CFG ---
+  std::vector<VrpCost> worst(n + 1);
+  for (size_t i = n; i-- > 0;) {
+    const VrpInstr& in = code[i];
+    VrpCost c = InstrCost(in);
+    if (!IsTerminator(in.op)) {
+      const VrpCost& fall = worst[i + 1];
+      VrpCost succ = fall;
+      if (IsBranch(in.op)) {
+        const VrpCost& taken = worst[i + static_cast<size_t>(in.imm)];
+        succ.cycles = std::max(fall.cycles, taken.cycles);
+        succ.sram_reads = std::max(fall.sram_reads, taken.sram_reads);
+        succ.sram_writes = std::max(fall.sram_writes, taken.sram_writes);
+        succ.hashes = std::max(fall.hashes, taken.hashes);
+      }
+      c.cycles += succ.cycles;
+      c.sram_reads += succ.sram_reads;
+      c.sram_writes += succ.sram_writes;
+      c.hashes += succ.hashes;
+    }
+    worst[i] = c;
+  }
+
+  VerifyResult result;
+  result.ok = true;
+  result.worst_case = worst[0];
+  result.instructions = static_cast<uint32_t>(n);
+  return result;
+}
+
+}  // namespace npr

@@ -1,0 +1,40 @@
+// Static verifier for VRP programs — the heart of admission control (§4.6).
+//
+// "Verifying that the forwarder lives within the available VRP budget is
+// trivial since there is no reason for the forwarder to contain a loop, and
+// hence, a backwards jump." The verifier enforces exactly that structural
+// property and then computes a worst-case cost over the (acyclic) control
+// flow graph by dynamic programming from the exits.
+
+#ifndef SRC_VRP_VERIFIER_H_
+#define SRC_VRP_VERIFIER_H_
+
+#include <string>
+
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;       // empty when ok
+  VrpCost worst_case;      // valid only when ok
+  uint32_t instructions = 0;
+
+  static VerifyResult Fail(std::string why) {
+    VerifyResult r;
+    r.error = std::move(why);
+    return r;
+  }
+};
+
+// Checks structure (register bounds, forward-only branches, all paths
+// terminate, flow-state accesses aligned and in bounds) and computes the
+// worst-case per-MP cost. Each metric's worst case is maximized
+// independently over paths, which is a safe (conservative) bound for
+// admission.
+VerifyResult VerifyProgram(const VrpProgram& program);
+
+}  // namespace npr
+
+#endif  // SRC_VRP_VERIFIER_H_

@@ -1,0 +1,173 @@
+// Tests for the multi-chassis router (§6 future work): switch fabric
+// delivery, cluster route plan, cross-node forwarding semantics, isolation.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_router.h"
+#include "src/net/traffic_gen.h"
+
+namespace npr {
+namespace {
+
+TEST(SwitchFabric, DeliversByDestinationMac) {
+  EventQueue engine;
+  MacPort a(engine, 0, 1e9);
+  MacPort b(engine, 1, 1e9);
+  SwitchFabric fabric;
+  fabric.Attach(ClusterNodeMac(0), a);
+  fabric.Attach(ClusterNodeMac(1), b);
+
+  PacketSpec spec;
+  spec.eth_dst = ClusterNodeMac(1);
+  Packet p = BuildPacket(spec);
+  // Frames transmitted by member A enter the fabric via its sink; simulate
+  // one by handing the packet straight to A's sink path: reassemble via Tx.
+  for (const auto& mp : SegmentIntoMps(p, 0)) {
+    a.TxAccept(mp);
+  }
+  engine.RunAll();
+  EXPECT_EQ(fabric.forwarded(), 1u);
+  EXPECT_TRUE(b.RxReady());
+}
+
+TEST(SwitchFabric, UnknownMacCounted) {
+  EventQueue engine;
+  MacPort a(engine, 0, 1e9);
+  SwitchFabric fabric;
+  fabric.Attach(ClusterNodeMac(0), a);
+  PacketSpec spec;
+  spec.eth_dst = ClusterNodeMac(7);  // nobody home
+  Packet p = BuildPacket(spec);
+  for (const auto& mp : SegmentIntoMps(p, 0)) {
+    a.TxAccept(mp);
+  }
+  engine.RunAll();
+  EXPECT_EQ(fabric.forwarded(), 0u);
+  EXPECT_EQ(fabric.unknown_destination(), 1u);
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ClusterRouter> MakeCluster(int nodes = 2) {
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    auto cluster = std::make_unique<ClusterRouter>(std::move(cfg));
+    cluster->InstallClusterRoutes();
+    // Sinks on every external port of every node.
+    for (int k = 0; k < cluster->num_nodes(); ++k) {
+      for (int p = 0; p < cluster->external_ports_per_node(); ++p) {
+        cluster->node(k).port(p).SetSink([this, k, p](Packet&& packet) {
+          deliveries_[{k, p}] += 1;
+          last_ = std::move(packet);
+        });
+      }
+    }
+    return cluster;
+  }
+
+  std::map<std::pair<int, int>, uint64_t> deliveries_;
+  std::optional<Packet> last_;
+};
+
+TEST_F(ClusterTest, AddressPlanShape) {
+  auto cluster = MakeCluster(4);
+  EXPECT_EQ(cluster->internal_port(), 7);
+  EXPECT_EQ(cluster->external_ports_per_node(), 7);
+  EXPECT_EQ(cluster->num_external_ports(), 28);
+  EXPECT_EQ(cluster->LocateExternal(0), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(cluster->LocateExternal(9), (std::pair<int, int>{1, 2}));
+  EXPECT_EQ(cluster->ExternalCidr(9), "10.9.0.0/16");
+  // The internal link runs at 1 Gbps.
+  EXPECT_DOUBLE_EQ(cluster->node(0).port(7).bits_per_sec(), 1e9);
+}
+
+TEST_F(ClusterTest, LocalTrafficStaysLocal) {
+  auto cluster = MakeCluster(2);
+  cluster->Start();
+  PacketSpec spec;
+  spec.dst_ip = cluster->ExternalDstIp(2, 1);  // node 0, port 2
+  cluster->node(0).port(0).InjectFromWire(BuildPacket(spec));
+  cluster->RunForMs(2.0);
+  EXPECT_EQ((deliveries_[{0, 2}]), 1u);
+  EXPECT_EQ(cluster->fabric().forwarded(), 0u) << "local traffic must not cross the fabric";
+}
+
+TEST_F(ClusterTest, CrossNodeTrafficTraversesFabric) {
+  auto cluster = MakeCluster(2);
+  cluster->Start();
+  PacketSpec spec;
+  spec.dst_ip = cluster->ExternalDstIp(10, 1);  // node 1, port 3
+  spec.ttl = 64;
+  Packet p = BuildPacket(spec);
+  p.set_id(4242);
+  cluster->node(0).port(0).InjectFromWire(std::move(p));
+  cluster->RunForMs(3.0);
+
+  ASSERT_EQ((deliveries_[{1, 3}]), 1u);
+  EXPECT_EQ(cluster->fabric().forwarded(), 1u);
+  ASSERT_TRUE(last_);
+  EXPECT_EQ(last_->id(), 4242u);
+  // Two IP hops: TTL decremented twice, checksum still valid at egress.
+  auto ip = Ipv4Header::Parse(last_->l3());
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->ttl, 62);
+  EXPECT_TRUE(Ipv4Header::Validate(last_->l3()));
+  // Egress MACs belong to the egress node's port.
+  auto eth = EthernetHeader::Parse(last_->bytes());
+  EXPECT_EQ(eth->src, PortMac(3));
+}
+
+TEST_F(ClusterTest, AllPairsReachability) {
+  auto cluster = MakeCluster(4);
+  cluster->Start();
+  // One probe from node i's port 0 to every external prefix.
+  int sent = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (int g = 0; g < cluster->num_external_ports(); ++g) {
+      PacketSpec spec;
+      spec.dst_ip = cluster->ExternalDstIp(g, 2);
+      spec.src_ip = SrcIpForPort(static_cast<uint8_t>(i), 1);
+      cluster->node(i).port(0).InjectFromWire(BuildPacket(spec));
+      ++sent;
+    }
+  }
+  cluster->RunForMs(8.0);
+  uint64_t received = 0;
+  for (const auto& [where, count] : deliveries_) {
+    received += count;
+  }
+  EXPECT_EQ(received, static_cast<uint64_t>(sent));
+  EXPECT_EQ(cluster->TotalDrops(), 0u);
+}
+
+TEST_F(ClusterTest, SustainsExternalLineRatePlusInternalTraffic) {
+  // Every node takes line rate on one external port, half of it remote:
+  // the internal gigabit link and both pipelines absorb it without loss
+  // (the §6 concern: RI capacity must cover the internal link).
+  auto cluster = MakeCluster(2);
+  cluster->Start();
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  for (int k = 0; k < 2; ++k) {
+    TrafficSpec spec;
+    spec.rate_pps = 141'000;
+    spec.pattern = TrafficSpec::DstPattern::kSinglePort;
+    // Node 0 sends to node 1's prefix 10.8/16 and vice versa -> all remote.
+    spec.single_dst_port = static_cast<uint8_t>(k == 0 ? 8 : 1);
+    gens.push_back(std::make_unique<TrafficGen>(cluster->engine(), cluster->node(k).port(0),
+                                                spec, static_cast<uint64_t>(k + 5)));
+    gens.back()->Start(12 * kPsPerMs);
+  }
+  cluster->RunForMs(2.0);
+  cluster->StartMeasurement();
+  cluster->RunForMs(8.0);
+  uint64_t received = 0;
+  for (const auto& [where, count] : deliveries_) {
+    received += count;
+  }
+  EXPECT_GT(received, 2'000u);
+  EXPECT_EQ(cluster->TotalDrops(), 0u);
+  EXPECT_GT(cluster->fabric().forwarded(), 2'000u);
+}
+
+}  // namespace
+}  // namespace npr

@@ -1,0 +1,181 @@
+// Tests for the OSPF-lite control plane: LSA codec, SPF route computation,
+// and the Pentium control forwarder.
+
+#include <gtest/gtest.h>
+
+#include "src/control/ospf_lite.h"
+#include "src/net/ipv4.h"
+
+namespace npr {
+namespace {
+
+Lsa MakeLsa(uint32_t origin, uint32_t seq, std::vector<OspfLink> links) {
+  Lsa lsa;
+  lsa.origin = origin;
+  lsa.seq = seq;
+  lsa.links = std::move(links);
+  return lsa;
+}
+
+OspfLink RouterLink(uint32_t neighbor, uint8_t cost, uint16_t port = 0) {
+  OspfLink l;
+  l.neighbor_id = neighbor;
+  l.cost = cost;
+  l.port_hint = port;
+  return l;
+}
+
+OspfLink StubLink(const std::string& cidr, uint16_t port = 0) {
+  auto p = *Prefix::Parse(cidr);
+  OspfLink l;
+  l.neighbor_id = 0;
+  l.prefix_addr = p.addr;
+  l.prefix_len = p.len;
+  l.port_hint = port;
+  return l;
+}
+
+TEST(LsaCodec, RoundTrip) {
+  Lsa lsa = MakeLsa(7, 42, {RouterLink(9, 3, 2), StubLink("10.5.0.0/16", 1)});
+  auto bytes = EncodeLsa(lsa);
+  auto decoded = DecodeLsa(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->origin, 7u);
+  EXPECT_EQ(decoded->seq, 42u);
+  ASSERT_EQ(decoded->links.size(), 2u);
+  EXPECT_EQ(decoded->links[0].neighbor_id, 9u);
+  EXPECT_EQ(decoded->links[0].cost, 3);
+  EXPECT_EQ(decoded->links[1].prefix_len, 16);
+}
+
+TEST(LsaCodec, RejectsGarbage) {
+  std::vector<uint8_t> junk(10, 0xab);
+  EXPECT_FALSE(DecodeLsa(junk));
+  EXPECT_FALSE(DecodeLsa({}));
+}
+
+TEST(LsaCodec, RejectsTruncatedLinks) {
+  Lsa lsa = MakeLsa(1, 1, {RouterLink(2, 1)});
+  auto bytes = EncodeLsa(lsa);
+  bytes.resize(bytes.size() - 4);  // cut into the link record
+  EXPECT_FALSE(DecodeLsa(bytes));
+}
+
+TEST(LsaPacket, TravelsInsideIpProto89) {
+  Lsa lsa = MakeLsa(3, 1, {StubLink("10.9.0.0/16")});
+  Packet p = BuildLsaPacket(lsa, 0x0a000001, 0x0a0000ff);
+  auto ip = Ipv4Header::Parse(p.l3());
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->protocol, kIpProtoOspfLite);
+  EXPECT_TRUE(Ipv4Header::Validate(p.l3()));
+  auto decoded = DecodeLsa(p.l3().subspan(ip->header_bytes()));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->origin, 3u);
+}
+
+TEST(OspfLite, StaleLsaIgnored) {
+  OspfLite ospf(1);
+  EXPECT_TRUE(ospf.ProcessLsa(MakeLsa(2, 5, {})));
+  EXPECT_FALSE(ospf.ProcessLsa(MakeLsa(2, 5, {})));
+  EXPECT_FALSE(ospf.ProcessLsa(MakeLsa(2, 4, {})));
+  EXPECT_TRUE(ospf.ProcessLsa(MakeLsa(2, 6, {})));
+}
+
+TEST(OspfLite, DirectlyAttachedPrefixes) {
+  OspfLite ospf(1);
+  ospf.AddLocalLink(StubLink("10.0.0.0/16", 0));
+  ospf.AddLocalLink(StubLink("10.1.0.0/16", 1));
+  RouteTable table;
+  EXPECT_EQ(ospf.ComputeRoutes(table), 2);
+  EXPECT_EQ(table.Lookup(0x0a000005).entry->out_port, 0);
+  EXPECT_EQ(table.Lookup(0x0a010005).entry->out_port, 1);
+}
+
+// Topology: us(1) --port2-- R2 -- R3 (advertises 10.30/16)
+//              \--port5-- R4 (advertises 10.40/16, also linked to R3 at
+//                             high cost)
+TEST(OspfLite, SpfPicksShortestPath) {
+  OspfLite ospf(1);
+  ospf.AddLocalLink(RouterLink(2, 1, 2));
+  ospf.AddLocalLink(RouterLink(4, 1, 5));
+  ASSERT_TRUE(ospf.ProcessLsa(MakeLsa(2, 1, {RouterLink(1, 1), RouterLink(3, 1)})));
+  ASSERT_TRUE(ospf.ProcessLsa(
+      MakeLsa(3, 1, {RouterLink(2, 1), RouterLink(4, 10), StubLink("10.30.0.0/16")})));
+  ASSERT_TRUE(ospf.ProcessLsa(
+      MakeLsa(4, 1, {RouterLink(1, 1), RouterLink(3, 10), StubLink("10.40.0.0/16")})));
+
+  RouteTable table;
+  ospf.ComputeRoutes(table);
+  // 10.30/16 lives on R3, reached via R2 on port 2 (cost 2 < 11 via R4).
+  EXPECT_EQ(table.Lookup(0x0a1e0001).entry->out_port, 2);
+  // 10.40/16 lives on R4, directly adjacent via port 5.
+  EXPECT_EQ(table.Lookup(0x0a280001).entry->out_port, 5);
+}
+
+TEST(OspfLite, RerouteAfterTopologyChange) {
+  OspfLite ospf(1);
+  ospf.AddLocalLink(RouterLink(2, 1, 2));
+  ospf.AddLocalLink(RouterLink(4, 1, 5));
+  ospf.ProcessLsa(MakeLsa(2, 1, {RouterLink(1, 1), RouterLink(3, 1)}));
+  ospf.ProcessLsa(MakeLsa(3, 1, {RouterLink(2, 1), StubLink("10.30.0.0/16")}));
+  ospf.ProcessLsa(MakeLsa(4, 1, {RouterLink(1, 1)}));
+  RouteTable table;
+  ospf.ComputeRoutes(table);
+  ASSERT_EQ(table.Lookup(0x0a1e0001).entry->out_port, 2);
+
+  // R3 detaches from R2 and reattaches behind R4.
+  ospf.ProcessLsa(MakeLsa(2, 2, {RouterLink(1, 1)}));
+  ospf.ProcessLsa(MakeLsa(3, 2, {RouterLink(4, 1), StubLink("10.30.0.0/16")}));
+  ospf.ProcessLsa(MakeLsa(4, 2, {RouterLink(1, 1), RouterLink(3, 1)}));
+  const uint64_t epoch_before = table.epoch();
+  ospf.ComputeRoutes(table);
+  EXPECT_EQ(table.Lookup(0x0a1e0001).entry->out_port, 5);
+  EXPECT_GT(table.epoch(), epoch_before) << "route change must invalidate caches";
+}
+
+TEST(OspfLite, UnreachablePrefixNotInstalled) {
+  OspfLite ospf(1);
+  // R9 advertises a prefix but nothing links to it.
+  ospf.ProcessLsa(MakeLsa(9, 1, {StubLink("10.90.0.0/16")}));
+  RouteTable table;
+  ospf.ComputeRoutes(table);
+  EXPECT_FALSE(table.Lookup(0x0a5a0001).entry);
+}
+
+TEST(OspfForwarder, ConsumesLsaAndInstallsRoutes) {
+  OspfLite ospf(1);
+  ospf.AddLocalLink(RouterLink(2, 1, 3));
+  OspfForwarder fw(ospf);
+  RouteTable table;
+
+  Lsa lsa = MakeLsa(2, 1, {RouterLink(1, 1), StubLink("10.77.0.0/16")});
+  Packet p = BuildLsaPacket(lsa, 0x0a000002, 0x0a000001);
+  NativeContext ctx;
+  ctx.packet = &p;
+  ctx.routes = &table;
+  EXPECT_EQ(fw.Process(ctx), NativeAction::kConsume);
+  EXPECT_EQ(fw.lsas_processed(), 1u);
+  EXPECT_EQ(fw.spf_runs(), 1u);
+  EXPECT_GT(ctx.extra_cycles, 0u);
+  EXPECT_EQ(table.Lookup(0x0a4d0001).entry->out_port, 3);
+
+  // A stale copy does not trigger SPF again.
+  Packet p2 = BuildLsaPacket(lsa, 0x0a000002, 0x0a000001);
+  ctx.packet = &p2;
+  ctx.extra_cycles = 0;
+  fw.Process(ctx);
+  EXPECT_EQ(fw.spf_runs(), 1u);
+  EXPECT_EQ(ctx.extra_cycles, 0u);
+}
+
+TEST(OspfForwarder, NonLsaForwards) {
+  OspfLite ospf(1);
+  OspfForwarder fw(ospf);
+  Packet p = BuildPacket(PacketSpec{});
+  NativeContext ctx;
+  ctx.packet = &p;
+  EXPECT_EQ(fw.Process(ctx), NativeAction::kForward);
+}
+
+}  // namespace
+}  // namespace npr

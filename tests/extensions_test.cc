@@ -1,0 +1,134 @@
+// Tests for the extension features beyond the paper's prototype: the
+// StrongARM proportional-share scheduler (§4.1's stated plan) and the
+// input-side WFQ approximation (§3.4.1's unevaluated idea).
+
+#include <gtest/gtest.h>
+
+#include "src/core/router.h"
+#include "src/forwarders/native.h"
+#include "src/forwarders/vrp_programs.h"
+#include "src/ixp/hash_unit.h"
+#include "src/net/traffic_gen.h"
+#include "src/vrp/interpreter.h"
+#include "src/vrp/verifier.h"
+
+namespace npr {
+namespace {
+
+// --- WFQ approximator program semantics ---
+
+class WfqProgram : public ::testing::Test {
+ protected:
+  WfqProgram() : sram_("sram", 256), interp_(sram_, hash_) {}
+
+  // Runs `n` packets; returns how many were sent to priority 0.
+  int HighPriorityCount(uint32_t weight, int n) {
+    sram_.WriteU32(0, weight);
+    sram_.WriteU32(4, 0);
+    auto program = BuildWfqApproximator();
+    int high = 0;
+    for (int i = 0; i < n; ++i) {
+      Packet p = BuildPacket(PacketSpec{});
+      auto out = interp_.Run(program, p.bytes().first(64), 0, nullptr);
+      EXPECT_EQ(out.action, VrpAction::kSend);
+      EXPECT_TRUE(out.queue.has_value()) << "program must always select a queue";
+      high += out.queue.value_or(1) == 0;
+    }
+    return high;
+  }
+
+  BackingStore sram_;
+  HashUnit hash_;
+  VrpInterpreter interp_;
+  int high_ = 0;
+};
+
+TEST_F(WfqProgram, WeightControlsShareOfFrame) {
+  EXPECT_EQ(HighPriorityCount(0, 16), 0);
+  EXPECT_EQ(HighPriorityCount(1, 16), 4);   // 1 of every 4
+  EXPECT_EQ(HighPriorityCount(2, 16), 8);   // 2 of every 4
+  EXPECT_EQ(HighPriorityCount(3, 16), 12);  // 3 of every 4
+  EXPECT_EQ(HighPriorityCount(4, 16), 16);  // all
+}
+
+TEST_F(WfqProgram, VerifiesWithinBudget) {
+  auto program = BuildWfqApproximator();
+  auto v = VerifyProgram(program);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_TRUE(VrpBudget::Prototype().Admits(v.worst_case));
+  EXPECT_LE(v.worst_case.cycles, 20u);
+}
+
+// --- StrongARM proportional share (§4.1) ---
+
+struct SaShareResult {
+  uint64_t pentium_done = 0;
+  uint64_t local_done = 0;
+};
+
+SaShareResult RunSaShares(bool proportional, double pentium_share, double local_share) {
+  RouterConfig cfg;
+  cfg.port_mode = PortMode::kInfiniteFifo;
+  cfg.enable_strongarm = true;
+  cfg.enable_pentium = true;
+  cfg.sa_proportional_share = proportional;
+  cfg.sa_pentium_share = pentium_share;
+  cfg.sa_local_share = local_share;
+  // Saturate both StrongARM queues: 30% of traffic to each.
+  cfg.synthetic_pentium_fraction = 0.3;
+  cfg.synthetic_exceptional_fraction = 0.3;
+  cfg.output_contexts_override = 8;
+  Router router(std::move(cfg));
+  for (int p = 0; p < router.num_ports(); ++p) {
+    router.AddRoute("10." + std::to_string(p) + ".0.0/16", static_cast<uint8_t>(p));
+  }
+  router.WarmRouteCache(8);
+  // Pentium service: nearly free, so the bridge (not the Pentium) is the
+  // bottleneck and the SA's scheduling choice is what shows.
+  const int idx =
+      router.pe_forwarders().Register(std::make_unique<FixedCostForwarder>("svc", 10));
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kPentium;
+  req.native_index = idx;
+  req.expected_pps = 100'000;
+  (void)router.Install(req);
+  router.Start();
+  router.RunForMs(2.0);
+  router.StartMeasurement();
+  const uint64_t pe0 = router.stats().to_pentium;
+  const uint64_t sa0 = router.stats().sa_local_processed;
+  const uint64_t bridged0 = router.bridge().bridged_to_pentium();
+  (void)pe0;
+  router.RunForMs(10.0);
+  SaShareResult r;
+  r.pentium_done = router.bridge().bridged_to_pentium() - bridged0;
+  r.local_done = router.stats().sa_local_processed - sa0;
+  return r;
+}
+
+TEST(SaProportionalShare, StrictPriorityStarvesLocalWork) {
+  const auto r = RunSaShares(false, 0, 0);
+  ASSERT_GT(r.pentium_done, 1000u);
+  // Strict precedence: local work only runs when the Pentium queue is
+  // momentarily empty.
+  EXPECT_LT(static_cast<double>(r.local_done),
+            static_cast<double>(r.pentium_done) * 0.35);
+}
+
+TEST(SaProportionalShare, SharesSplitTheStrongArm) {
+  const auto even = RunSaShares(true, 1, 1);
+  ASSERT_GT(even.pentium_done, 500u);
+  ASSERT_GT(even.local_done, 500u);
+  const double even_ratio =
+      static_cast<double>(even.pentium_done) / static_cast<double>(even.local_done);
+  EXPECT_NEAR(even_ratio, 1.0, 0.35) << "1:1 shares should serve both queues evenly";
+
+  const auto skewed = RunSaShares(true, 3, 1);
+  const double skewed_ratio =
+      static_cast<double>(skewed.pentium_done) / static_cast<double>(skewed.local_done);
+  EXPECT_GT(skewed_ratio, even_ratio * 1.5) << "3:1 shares must favor the Pentium queue";
+}
+
+}  // namespace
+}  // namespace npr

@@ -1,0 +1,335 @@
+// Unit tests for the IXP1200 model: MicroEngine context scheduling
+// (swap-on-memory-reference, latency hiding), token ring, hardware mutex,
+// SoftCore, DMA, hash unit.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ixp/dma.h"
+#include "src/ixp/hash_unit.h"
+#include "src/ixp/hw_config.h"
+#include "src/ixp/hw_mutex.h"
+#include "src/ixp/ixp1200.h"
+#include "src/ixp/microengine.h"
+#include "src/ixp/soft_core.h"
+#include "src/ixp/token_ring.h"
+#include "src/mem/memory_system.h"
+
+namespace npr {
+namespace {
+
+class IxpTest : public ::testing::Test {
+ protected:
+  IxpTest()
+      : mem_(engine_, HwConfig::Default().MakeMemoryConfig()),
+        me_(engine_, 0, 4, /*ctx_switch_cycles=*/1) {}
+
+  EventQueue engine_;
+  MemorySystem mem_;
+  MicroEngine me_;
+};
+
+Task ComputeOnce(HwContext* ctx, uint32_t cycles, SimTime* finished, EventQueue* engine) {
+  co_await ctx->Compute(cycles);
+  *finished = engine->now();
+}
+
+TEST_F(IxpTest, ComputeTakesExactCycles) {
+  SimTime finished = -1;
+  me_.context(0).Install(ComputeOnce(&me_.context(0), 100, &finished, &engine_));
+  engine_.RunAll();
+  // 1 cycle dispatch bubble + 100 compute.
+  EXPECT_EQ(finished, kIxpClock.ToTime(101));
+}
+
+TEST_F(IxpTest, TwoContextsSerializeOnPipeline) {
+  SimTime f0 = -1, f1 = -1;
+  me_.context(0).Install(ComputeOnce(&me_.context(0), 100, &f0, &engine_));
+  me_.context(1).Install(ComputeOnce(&me_.context(1), 100, &f1, &engine_));
+  engine_.RunAll();
+  EXPECT_EQ(f0, kIxpClock.ToTime(101));
+  // Second context runs only after the first releases the pipeline (here:
+  // when it finishes), plus another switch bubble.
+  EXPECT_EQ(f1, kIxpClock.ToTime(202));
+}
+
+Task ReadThenRecord(HwContext* ctx, MemoryChannel* ch, SimTime* finished, EventQueue* engine) {
+  co_await ctx->Read(*ch, 32);
+  *finished = engine->now();
+}
+
+TEST_F(IxpTest, MemoryReferenceReleasesPipeline) {
+  // Context 0 blocks on a 52-cycle DRAM read; context 1's compute overlaps.
+  SimTime read_done = -1, compute_done = -1;
+  me_.context(0).Install(ReadThenRecord(&me_.context(0), &mem_.dram(), &read_done, &engine_));
+  me_.context(1).Install(ComputeOnce(&me_.context(1), 20, &compute_done, &engine_));
+  engine_.RunAll();
+  EXPECT_LT(compute_done, read_done);
+  EXPECT_LE(read_done, kIxpClock.ToTime(60));  // 52 + dispatch overheads
+}
+
+struct LoopState {
+  int iterations = 0;
+  int target = 0;
+};
+
+Task WorkLoop(HwContext* ctx, MemoryChannel* ch, LoopState* state) {
+  while (state->iterations < state->target) {
+    co_await ctx->Compute(10);
+    co_await ctx->Read(*ch, 4);
+    ++state->iterations;
+  }
+}
+
+TEST_F(IxpTest, FourContextsHideMemoryLatency) {
+  // One context: each iteration is ~10 compute + 22 stall = 32+ cycles.
+  // Four contexts: stalls overlap, so aggregate throughput approaches the
+  // pipeline bound of one iteration per 10 cycles.
+  LoopState single{0, 200};
+  {
+    EventQueue engine;
+    MemorySystem mem(engine, HwConfig::Default().MakeMemoryConfig());
+    MicroEngine me(engine, 0, 4, 1);
+    me.context(0).Install(WorkLoop(&me.context(0), &mem.sram(), &single));
+    engine.RunAll();
+    const double cycles = static_cast<double>(kIxpClock.ToCycles(engine.now()));
+    EXPECT_GT(cycles / single.iterations, 30.0);
+  }
+  {
+    EventQueue engine;
+    MemorySystem mem(engine, HwConfig::Default().MakeMemoryConfig());
+    MicroEngine me(engine, 0, 4, 1);
+    std::vector<LoopState> states(4, LoopState{0, 200});
+    for (int i = 0; i < 4; ++i) {
+      me.context(i).Install(WorkLoop(&me.context(i), &mem.sram(), &states[static_cast<size_t>(i)]));
+    }
+    engine.RunAll();
+    int total = 0;
+    for (const auto& s : states) {
+      total += s.iterations;
+    }
+    const double cycles = static_cast<double>(kIxpClock.ToCycles(engine.now()));
+    EXPECT_LT(cycles / total, 16.0);  // latency mostly hidden
+  }
+}
+
+TEST_F(IxpTest, BusyCyclesAccumulate) {
+  SimTime f = -1;
+  me_.context(0).Install(ComputeOnce(&me_.context(0), 123, &f, &engine_));
+  engine_.RunAll();
+  EXPECT_EQ(me_.busy_cycles(), 123u);
+}
+
+Task YieldPingPong(HwContext* ctx, std::vector<int>* order, int id, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    order->push_back(id);
+    co_await ctx->Yield();
+  }
+}
+
+TEST_F(IxpTest, YieldRoundRobins) {
+  std::vector<int> order;
+  me_.context(0).Install(YieldPingPong(&me_.context(0), &order, 0, 3));
+  me_.context(1).Install(YieldPingPong(&me_.context(1), &order, 1, 3));
+  engine_.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+// --- TokenRing ---
+
+Task TokenWorker(HwContext* ctx, TokenRing* ring, int member, std::vector<int>* order,
+                 int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await ring->Acquire(member);
+    order->push_back(member);
+    co_await ctx->Compute(5);
+    ring->Release(member);
+    co_await ctx->Compute(3);
+  }
+}
+
+TEST_F(IxpTest, TokenRotatesInStrictOrder) {
+  TokenRing ring(engine_, 1);
+  std::vector<int> order;
+  std::vector<int> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(ring.AddMember(me_.context(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    me_.context(i).Install(TokenWorker(&me_.context(i), &ring, members[static_cast<size_t>(i)],
+                                       &order, 4));
+  }
+  engine_.RunAll();
+  ASSERT_EQ(order.size(), 12u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i % 3)) << "at " << i;
+  }
+}
+
+Task SlowTokenWorker(HwContext* ctx, TokenRing* ring, int member, std::vector<int>* order) {
+  co_await ctx->Compute(200);  // late to the party
+  for (int i = 0; i < 2; ++i) {
+    co_await ring->Acquire(member);
+    order->push_back(member);
+    ring->Release(member);
+  }
+}
+
+TEST_F(IxpTest, TokenWaitsForSpecificMember) {
+  // Member 1 is busy for 200 cycles; the ring must wait for it even though
+  // member 0 (on another engine conceptually) is ready — strict rotation.
+  TokenRing ring(engine_, 1);
+  std::vector<int> order;
+  const int m0 = ring.AddMember(me_.context(0));
+  const int m1 = ring.AddMember(me_.context(1));
+  me_.context(0).Install(TokenWorker(&me_.context(0), &ring, m0, &order, 2));
+  me_.context(1).Install(SlowTokenWorker(&me_.context(1), &ring, m1, &order));
+  engine_.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_GT(ring.idle_ps(), 0);  // the token idled waiting for member 1
+}
+
+// --- HwMutex ---
+
+struct MutexProbe {
+  int in_cs = 0;
+  int max_in_cs = 0;
+  std::vector<int> grant_order;
+};
+
+Task MutexWorker(HwContext* ctx, HwMutex* mutex, MutexProbe* probe, int id, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await mutex->Acquire(*ctx);
+    probe->grant_order.push_back(id);
+    probe->in_cs++;
+    probe->max_in_cs = std::max(probe->max_in_cs, probe->in_cs);
+    co_await ctx->Compute(10);
+    probe->in_cs--;
+    mutex->Release();
+    co_await ctx->Compute(5);
+  }
+}
+
+TEST_F(IxpTest, MutexEnforcesExclusion) {
+  HwMutex mutex(engine_, mem_.sram(), 47);
+  MutexProbe probe;
+  for (int i = 0; i < 4; ++i) {
+    me_.context(i).Install(MutexWorker(&me_.context(i), &mutex, &probe, i, 5));
+  }
+  engine_.RunAll();
+  EXPECT_EQ(probe.max_in_cs, 1);
+  EXPECT_EQ(probe.grant_order.size(), 20u);
+  EXPECT_FALSE(mutex.locked());
+  EXPECT_GT(mutex.contended_acquires(), 0u);
+}
+
+TEST_F(IxpTest, MutexUncontendedCostIsOneSramTrip) {
+  HwMutex mutex(engine_, mem_.sram(), 47);
+  MutexProbe probe;
+  me_.context(0).Install(MutexWorker(&me_.context(0), &mutex, &probe, 0, 1));
+  engine_.RunAll();
+  EXPECT_EQ(mutex.contended_acquires(), 0u);
+  // acquire (22) + dispatch + 10 CS + 5 tail + the release write landing
+  // (22): well under 70 cycles end to end.
+  EXPECT_LT(kIxpClock.ToCycles(engine_.now()), 70);
+}
+
+// --- SoftCore ---
+
+Task SoftProgram(SoftCore* core, MemoryChannel* ch, SimTime* t_compute, SimTime* t_mem,
+                 SimTime* t_wake, EventQueue* engine) {
+  co_await core->Compute(100);
+  *t_compute = engine->now();
+  co_await core->Read(*ch, 4);
+  *t_mem = engine->now();
+  co_await core->Block();
+  *t_wake = engine->now();
+}
+
+TEST_F(IxpTest, SoftCoreComputeMemoryBlockWake) {
+  SoftCore core(engine_, kIxpClock, "test");
+  SimTime t_compute = -1, t_mem = -1, t_wake = -1;
+  core.Install(SoftProgram(&core, &mem_.sram(), &t_compute, &t_mem, &t_wake, &engine_));
+  engine_.RunAll();
+  EXPECT_EQ(t_compute, kIxpClock.ToTime(100));
+  EXPECT_EQ(t_mem, kIxpClock.ToTime(122));  // + 22-cycle SRAM read
+  EXPECT_TRUE(core.IsBlocked());
+  engine_.RunUntil(kIxpClock.ToTime(500));
+  core.Wake();
+  engine_.RunAll();
+  EXPECT_EQ(t_wake, kIxpClock.ToTime(500));
+  EXPECT_EQ(core.busy_cycles(), 100u);
+}
+
+TEST_F(IxpTest, SoftCoreWakeWhenRunningIsCoalesced) {
+  SoftCore core(engine_, kIxpClock, "test");
+  core.Wake();  // not blocked: no-op
+  EXPECT_FALSE(core.IsBlocked());
+}
+
+TEST_F(IxpTest, PentiumClockIsFaster) {
+  SoftCore pe(engine_, kPentiumClock, "pe");
+  SimTime f = -1;
+  SimTime t_mem = -1, t_wake = -1;
+  pe.Install(SoftProgram(&pe, &mem_.sram(), &f, &t_mem, &t_wake, &engine_));
+  engine_.RunAll();
+  EXPECT_EQ(f, kPentiumClock.ToTime(100));
+  EXPECT_LT(f, kIxpClock.ToTime(100));
+}
+
+// --- HashUnit / DMA / chip assembly ---
+
+TEST(HashUnit, DeterministicAndCounting) {
+  HashUnit h;
+  const uint64_t a = h.Hash64(12345);
+  HashUnit h2;
+  EXPECT_EQ(h2.Hash64(12345), a);
+  EXPECT_NE(h.Hash64(12346), a);
+  EXPECT_EQ(h.uses(), 2u);
+}
+
+TEST(HashUnit, CombineDependsOnBothInputs) {
+  HashUnit h;
+  EXPECT_NE(h.Combine(1, 2), h.Combine(2, 1));
+  EXPECT_NE(h.Combine(1, 2), h.Combine(1, 3));
+}
+
+TEST(Dma, TransferTimeMatchesIxBus) {
+  EventQueue engine;
+  HwConfig hw = HwConfig::Default();
+  MemoryChannel ix(engine, MakeIxBusConfig(hw));
+  DmaEngine dma(engine, ix, hw.dma_setup_cycles);
+  SimTime done = -1;
+  dma.Transfer(64, [&] { done = engine.now(); });
+  engine.RunAll();
+  // setup (4 ME cycles = 20 ns) + 8 IX-bus cycles (~121 ns).
+  EXPECT_NEAR(static_cast<double>(done) / kPsPerNs, 141.2, 2.0);
+}
+
+TEST(Ixp1200, AssemblyMatchesBlockDiagram) {
+  EventQueue engine;
+  Ixp1200 chip(engine, HwConfig::Default());
+  EXPECT_EQ(chip.num_mes(), 6);
+  EXPECT_EQ(chip.me(0).num_contexts(), 4);
+  EXPECT_EQ(chip.rfifo().size(), 16);
+  EXPECT_EQ(chip.tfifo().size(), 16);
+  EXPECT_EQ(chip.memory().dram_store().size(), 32u << 20);
+  EXPECT_EQ(chip.memory().sram_store().size(), 2u << 20);
+  EXPECT_EQ(chip.memory().scratch_store().size(), 4096u);
+}
+
+TEST(HostSystem, PciBandwidthIsRoughly1Gbps) {
+  EventQueue engine;
+  HostSystem host(engine, HwConfig::Default());
+  for (int i = 0; i < 10000; ++i) {
+    host.pci().Issue(64, true, [] {});
+  }
+  engine.RunAll();
+  const double seconds = static_cast<double>(engine.now()) / kPsPerSec;
+  const double gbps = static_cast<double>(host.pci().bytes_moved()) * 8 / seconds / 1e9;
+  EXPECT_NEAR(gbps, 1.056, 0.05);
+}
+
+}  // namespace
+}  // namespace npr

@@ -1,0 +1,168 @@
+// Unit tests for the memory system: channel timing (Table 3), queueing,
+// bandwidth, backing stores.
+
+#include <gtest/gtest.h>
+
+#include "src/ixp/hw_config.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/event_queue.h"
+
+namespace npr {
+namespace {
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystemTest() : mem_(engine_, HwConfig::Default().MakeMemoryConfig()) {}
+  EventQueue engine_;
+  MemorySystem mem_;
+};
+
+// Table 3 unloaded latencies, in IXP cycles.
+struct LatencyCase {
+  const char* memory;
+  uint32_t bytes;
+  bool write;
+  int64_t expect_cycles;
+};
+
+class Table3Latency : public MemorySystemTest,
+                      public ::testing::WithParamInterface<LatencyCase> {};
+
+TEST_P(Table3Latency, UnloadedLatencyMatchesTable3) {
+  const LatencyCase& c = GetParam();
+  MemoryChannel* ch = nullptr;
+  if (std::string(c.memory) == "dram") {
+    ch = &mem_.dram();
+  } else if (std::string(c.memory) == "sram") {
+    ch = &mem_.sram();
+  } else {
+    ch = &mem_.scratch();
+  }
+  EXPECT_EQ(kIxpClock.ToCycles(ch->UnloadedLatency(c.bytes, c.write)), c.expect_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMemories, Table3Latency,
+    ::testing::Values(LatencyCase{"dram", 32, false, 52}, LatencyCase{"dram", 32, true, 40},
+                      LatencyCase{"sram", 4, false, 22}, LatencyCase{"sram", 4, true, 22},
+                      LatencyCase{"scratch", 4, false, 16},
+                      LatencyCase{"scratch", 4, true, 20}),
+    [](const auto& info) {
+      return std::string(info.param.memory) + (info.param.write ? "_write" : "_read") +
+             std::to_string(info.param.bytes) + "B";
+    });
+
+TEST_F(MemorySystemTest, CompletionCallbackFiresAtLatency) {
+  SimTime done_at = -1;
+  mem_.sram().Issue(4, false, [&] { done_at = engine_.now(); });
+  engine_.RunAll();
+  EXPECT_EQ(done_at, kIxpClock.ToTime(22));
+}
+
+TEST_F(MemorySystemTest, BackToBackAccessesQueue) {
+  // Two 32 B DRAM reads issued together: the second waits for the first's
+  // bus occupancy (4 bus cycles = 40 ns), not its full latency.
+  SimTime first = -1, second = -1;
+  mem_.dram().Issue(32, false, [&] { first = engine_.now(); });
+  mem_.dram().Issue(32, false, [&] { second = engine_.now(); });
+  engine_.RunAll();
+  EXPECT_EQ(first, 260 * kPsPerNs);          // 52 cycles
+  EXPECT_EQ(second, (260 + 40) * kPsPerNs);  // + occupancy only
+}
+
+TEST_F(MemorySystemTest, DramPeakBandwidthIs6_4Gbps) {
+  // Saturate with 64 B transfers for 1 ms and measure goodput.
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    mem_.dram().Issue(64, true, [] {});
+  }
+  engine_.RunAll();
+  const double seconds = static_cast<double>(engine_.now()) / kPsPerSec;
+  const double gbps = static_cast<double>(mem_.dram().bytes_moved()) * 8 / seconds / 1e9;
+  EXPECT_NEAR(gbps, 6.4, 0.1);
+}
+
+TEST_F(MemorySystemTest, SramPeakBandwidthIs3_2Gbps) {
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    mem_.sram().Issue(4, true, [] {});
+  }
+  engine_.RunAll();
+  const double seconds = static_cast<double>(engine_.now()) / kPsPerSec;
+  const double gbps = static_cast<double>(mem_.sram().bytes_moved()) * 8 / seconds / 1e9;
+  EXPECT_NEAR(gbps, 3.2, 0.1);
+}
+
+TEST_F(MemorySystemTest, UtilizationTracksLoad) {
+  mem_.dram().Issue(32, false, nullptr);
+  engine_.RunUntil(80 * kPsPerNs);  // occupancy is 40 ns of the 80 ns window
+  EXPECT_NEAR(mem_.dram().Utilization(0), 0.5, 0.01);
+}
+
+TEST_F(MemorySystemTest, StatsCountAccesses) {
+  mem_.scratch().Issue(4, false, nullptr);
+  mem_.scratch().Issue(4, true, nullptr);
+  mem_.scratch().Issue(4, true, nullptr);
+  engine_.RunAll();
+  EXPECT_EQ(mem_.scratch().reads(), 1u);
+  EXPECT_EQ(mem_.scratch().writes(), 2u);
+  EXPECT_EQ(mem_.scratch().bytes_moved(), 12u);
+  mem_.ResetStats();
+  EXPECT_EQ(mem_.scratch().reads(), 0u);
+}
+
+TEST_F(MemorySystemTest, QueueWaitRecordedUnderContention) {
+  for (int i = 0; i < 10; ++i) {
+    mem_.sram().Issue(4, false, nullptr);
+  }
+  engine_.RunAll();
+  EXPECT_EQ(mem_.sram().queue_wait().count(), 10u);
+  EXPECT_GT(mem_.sram().queue_wait().max(), 0u);
+}
+
+// --- BackingStore ---
+
+TEST(BackingStore, ReadWriteRoundTrip) {
+  BackingStore store("test", 1024);
+  const uint8_t data[] = {1, 2, 3, 4, 5};
+  store.Write(100, data);
+  uint8_t out[5] = {};
+  store.Read(100, out);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], data[i]);
+  }
+}
+
+TEST(BackingStore, WordAccessors) {
+  BackingStore store("test", 64);
+  store.WriteU32(8, 0xdeadbeef);
+  EXPECT_EQ(store.ReadU32(8), 0xdeadbeefu);
+  store.WriteU64(16, 0x0123456789abcdefULL);
+  EXPECT_EQ(store.ReadU64(16), 0x0123456789abcdefULL);
+}
+
+TEST(BackingStore, ZeroFills) {
+  BackingStore store("test", 64);
+  store.WriteU32(0, 0xffffffff);
+  store.Zero(0, 4);
+  EXPECT_EQ(store.ReadU32(0), 0u);
+}
+
+TEST(BackingStore, InitiallyZeroed) {
+  BackingStore store("test", 128);
+  EXPECT_EQ(store.ReadU64(0), 0u);
+  EXPECT_EQ(store.ReadU64(120), 0u);
+}
+
+#ifdef NDEBUG
+TEST(BackingStore, OutOfBoundsCountsError) {
+  BackingStore store("test", 16);
+  store.WriteU32(20, 1);  // out of bounds: rejected, counted
+  EXPECT_EQ(store.oob_errors(), 1u);
+  EXPECT_EQ(store.ReadU32(20), 0u);  // read also rejected -> zero
+  EXPECT_EQ(store.oob_errors(), 2u);
+}
+#endif
+
+}  // namespace
+}  // namespace npr

@@ -1,0 +1,195 @@
+// Property-based tests over randomized inputs:
+//   * the verifier's worst case is a sound upper bound on any dynamic run
+//     (the property admission control's safety rests on);
+//   * repeated incremental TTL updates always agree with a full recompute;
+//   * PacketQueue behaves exactly like a bounded FIFO reference model.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "src/core/packet_queue.h"
+#include "src/ixp/hash_unit.h"
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/vrp/interpreter.h"
+#include "src/vrp/verifier.h"
+
+namespace npr {
+namespace {
+
+// Generates a random *valid* VRP program: straight-line ALU/packet/SRAM/
+// hash instructions with occasional forward branches, ending in send.
+VrpProgram RandomProgram(Rng& rng, int max_len) {
+  VrpProgram program;
+  program.name = "random";
+  program.flow_state_bytes = 32;
+  const int body = static_cast<int>(rng.Range(1, static_cast<uint64_t>(max_len)));
+  for (int i = 0; i < body; ++i) {
+    VrpInstr in;
+    switch (rng.Uniform(10)) {
+      case 0:
+        in = {VrpOp::kMovI, static_cast<uint8_t>(rng.Uniform(8)), 0,
+              static_cast<int32_t>(rng.Uniform(1000))};
+        break;
+      case 1:
+        in = {VrpOp::kAdd, static_cast<uint8_t>(rng.Uniform(8)),
+              static_cast<uint8_t>(rng.Uniform(8)), 0};
+        break;
+      case 2:
+        in = {VrpOp::kXor, static_cast<uint8_t>(rng.Uniform(8)),
+              static_cast<uint8_t>(rng.Uniform(8)), 0};
+        break;
+      case 3:
+        in = {VrpOp::kLdPkt, static_cast<uint8_t>(rng.Uniform(8)),
+              static_cast<uint8_t>(rng.Uniform(16)), 0};
+        break;
+      case 4:
+        in = {VrpOp::kStPkt, static_cast<uint8_t>(rng.Uniform(8)),
+              static_cast<uint8_t>(rng.Uniform(16)), 0};
+        break;
+      case 5:
+        in = {VrpOp::kLdSram, static_cast<uint8_t>(rng.Uniform(8)), 0,
+              static_cast<int32_t>(rng.Uniform(8) * 4)};
+        break;
+      case 6:
+        in = {VrpOp::kStSram, static_cast<uint8_t>(rng.Uniform(8)), 0,
+              static_cast<int32_t>(rng.Uniform(8) * 4)};
+        break;
+      case 7:
+        in = {VrpOp::kHash, static_cast<uint8_t>(rng.Uniform(8)),
+              static_cast<uint8_t>(rng.Uniform(8)), 0};
+        break;
+      case 8: {
+        // Forward branch somewhere within the remaining body (+ send).
+        const int remaining = body - i;
+        in = {static_cast<VrpOp>(static_cast<int>(VrpOp::kBeq) + rng.Uniform(4)),
+              static_cast<uint8_t>(rng.Uniform(8)), static_cast<uint8_t>(rng.Uniform(8)),
+              static_cast<int32_t>(rng.Range(1, static_cast<uint64_t>(remaining)))};
+        break;
+      }
+      default:
+        in = {VrpOp::kAddI, static_cast<uint8_t>(rng.Uniform(8)), 0,
+              static_cast<int32_t>(rng.Uniform(100))};
+        break;
+    }
+    program.code.push_back(in);
+  }
+  program.code.push_back(VrpInstr{VrpOp::kSend, 0, 0, 0});
+  return program;
+}
+
+TEST(Property, VerifierWorstCaseBoundsEveryDynamicRun) {
+  Rng rng(0xabcdef12);
+  BackingStore sram("sram", 4096);
+  HashUnit hash;
+  VrpInterpreter interp(sram, hash);
+  int verified = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    VrpProgram program = RandomProgram(rng, 40);
+    auto v = VerifyProgram(program);
+    ASSERT_TRUE(v.ok) << Disassemble(program);
+    ++verified;
+    // Several packets with random contents: metered cost never exceeds the
+    // static worst case in any dimension.
+    for (int run = 0; run < 5; ++run) {
+      std::array<uint8_t, 64> mp;
+      for (auto& b : mp) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      auto out = interp.Run(program, mp, 128, nullptr);
+      ASSERT_NE(out.action, VrpAction::kTrap);
+      EXPECT_LE(out.metered.cycles, v.worst_case.cycles) << Disassemble(program);
+      EXPECT_LE(out.metered.sram_reads, v.worst_case.sram_reads);
+      EXPECT_LE(out.metered.sram_writes, v.worst_case.sram_writes);
+      EXPECT_LE(out.metered.hashes, v.worst_case.hashes);
+    }
+  }
+  EXPECT_EQ(verified, 200);
+}
+
+TEST(Property, AdmittedProgramsNeverTrapAtRuntime) {
+  // If the verifier's worst case fits the budget, enforcement can never
+  // fire — the soundness contract between static and dynamic checks.
+  Rng rng(0x1357);
+  BackingStore sram("sram", 4096);
+  HashUnit hash;
+  VrpInterpreter interp(sram, hash);
+  const VrpBudget budget = VrpBudget::Prototype();
+  int admitted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    VrpProgram program = RandomProgram(rng, 60);
+    auto v = VerifyProgram(program);
+    ASSERT_TRUE(v.ok);
+    if (!budget.Admits(v.worst_case)) {
+      continue;
+    }
+    ++admitted;
+    std::array<uint8_t, 64> mp;
+    for (auto& b : mp) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    auto out = interp.Run(program, mp, 256, &budget);
+    EXPECT_NE(out.action, VrpAction::kTrap) << Disassemble(program);
+  }
+  EXPECT_GT(admitted, 100);
+}
+
+TEST(Property, IncrementalTtlAgreesWithRecomputeAlways) {
+  Rng rng(0x2468);
+  for (int trial = 0; trial < 300; ++trial) {
+    Ipv4Header h;
+    h.ttl = static_cast<uint8_t>(rng.Range(2, 255));
+    h.protocol = static_cast<uint8_t>(rng.Uniform(256));
+    h.src = static_cast<uint32_t>(rng.Next());
+    h.dst = static_cast<uint32_t>(rng.Next());
+    h.identification = static_cast<uint16_t>(rng.Next());
+    h.total_length = static_cast<uint16_t>(rng.Range(20, 1500));
+    uint8_t buf[20];
+    h.Write(buf);
+    // Decrement all the way down; the header must validate at every step.
+    while (buf[8] > 1) {
+      ASSERT_TRUE(DecrementTtlInPlace(buf));
+      ASSERT_TRUE(Ipv4Header::Validate(buf))
+          << "ttl=" << static_cast<int>(buf[8]) << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Property, PacketQueueMatchesReferenceModel) {
+  Rng rng(0x9999);
+  BackingStore sram("sram", 1 << 16);
+  BackingStore scratch("scratch", 64);
+  const uint32_t capacity = 16;
+  PacketQueue queue(sram, scratch, 0, 0, capacity, 0, 0, 2048);
+  std::deque<uint32_t> reference;  // buffer addresses
+
+  for (int op = 0; op < 5000; ++op) {
+    if (rng.Chance(0.55)) {
+      PacketDescriptor d;
+      d.buffer_addr = static_cast<uint32_t>(rng.Uniform(8192)) * 2048;
+      d.mp_count = static_cast<uint16_t>(rng.Range(1, 24));
+      d.out_port = static_cast<uint8_t>(rng.Uniform(8));
+      const bool pushed = queue.Push(d);
+      if (reference.size() < capacity) {
+        ASSERT_TRUE(pushed) << "op " << op;
+        reference.push_back(d.buffer_addr);
+      } else {
+        ASSERT_FALSE(pushed) << "op " << op;
+      }
+    } else {
+      auto got = queue.Pop();
+      if (reference.empty()) {
+        ASSERT_FALSE(got.has_value()) << "op " << op;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "op " << op;
+        EXPECT_EQ(got->buffer_addr, reference.front());
+        reference.pop_front();
+      }
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace npr

@@ -1,0 +1,252 @@
+// Unit tests for routing: prefixes, the CPE trie (with a property-based
+// comparison against a naive longest-prefix reference), route table, cache.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/net/ipv4.h"
+#include "src/route/cpe_trie.h"
+#include "src/route/prefix.h"
+#include "src/route/route_cache.h"
+#include "src/route/route_table.h"
+#include "src/sim/random.h"
+
+namespace npr {
+namespace {
+
+TEST(Prefix, ParseValid) {
+  auto p = Prefix::Parse("10.1.0.0/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->addr, 0x0a010000u);
+  EXPECT_EQ(p->len, 16);
+  EXPECT_EQ(p->ToString(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ParseCanonicalizes) {
+  auto p = Prefix::Parse("10.1.2.3/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->addr, 0x0a010000u);  // host bits masked
+}
+
+TEST(Prefix, ParseRejectsGarbage) {
+  EXPECT_FALSE(Prefix::Parse("10.1.0.0"));
+  EXPECT_FALSE(Prefix::Parse("10.1.0.0/33"));
+  EXPECT_FALSE(Prefix::Parse("999.1.0.0/8"));
+  EXPECT_FALSE(Prefix::Parse("banana/8"));
+}
+
+TEST(Prefix, Contains) {
+  auto p = *Prefix::Parse("192.168.0.0/24");
+  EXPECT_TRUE(p.Contains(0xc0a80001));
+  EXPECT_FALSE(p.Contains(0xc0a80101));
+}
+
+TEST(Prefix, DefaultRouteContainsEverything) {
+  auto p = Prefix::Make(0, 0);
+  EXPECT_TRUE(p.Contains(0));
+  EXPECT_TRUE(p.Contains(0xffffffff));
+}
+
+// --- CpeTrie ---
+
+TEST(CpeTrie, EmptyLookupMisses) {
+  CpeTrie trie;
+  auto r = trie.Lookup(0x0a000001);
+  EXPECT_FALSE(r.value.has_value());
+  EXPECT_EQ(r.nodes_visited, 1);
+}
+
+TEST(CpeTrie, ExactAndLongestMatch) {
+  CpeTrie trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), 2);
+  trie.Insert(*Prefix::Parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.Lookup(0x0a050505).value, 1u);
+  EXPECT_EQ(trie.Lookup(0x0a010505).value, 2u);
+  EXPECT_EQ(trie.Lookup(0x0a010205).value, 3u);
+  EXPECT_FALSE(trie.Lookup(0x0b000001).value.has_value());
+}
+
+TEST(CpeTrie, LookupVisitsAtMostStrideLevels) {
+  CpeTrie trie({16, 8, 8});
+  trie.Insert(*Prefix::Parse("10.1.2.3/32"), 9);
+  auto r = trie.Lookup(0x0a010203);
+  EXPECT_EQ(r.value, 9u);
+  EXPECT_LE(r.nodes_visited, 3);
+}
+
+TEST(CpeTrie, LongerPrefixWinsRegardlessOfInsertOrder) {
+  for (bool long_first : {true, false}) {
+    CpeTrie trie;
+    if (long_first) {
+      trie.Insert(*Prefix::Parse("10.1.0.0/16"), 2);
+      trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+    } else {
+      trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+      trie.Insert(*Prefix::Parse("10.1.0.0/16"), 2);
+    }
+    EXPECT_EQ(trie.Lookup(0x0a010001).value, 2u) << "long_first=" << long_first;
+    EXPECT_EQ(trie.Lookup(0x0a020001).value, 1u);
+  }
+}
+
+TEST(CpeTrie, DefaultRoute) {
+  CpeTrie trie;
+  trie.Insert(Prefix::Make(0, 0), 42);
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.Lookup(0xdeadbeef).value, 42u);
+  EXPECT_EQ(trie.Lookup(0x0a000001).value, 1u);
+}
+
+// Property test: against a naive reference implementation, over random
+// prefix sets and random stride configurations.
+class CpeTrieProperty : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(CpeTrieProperty, MatchesNaiveReferenceOnRandomSets) {
+  Rng rng(0xfeedface);
+  for (int trial = 0; trial < 10; ++trial) {
+    CpeTrie trie(GetParam());
+    std::map<Prefix, uint32_t> reference;
+    for (int i = 0; i < 60; ++i) {
+      const uint8_t len = static_cast<uint8_t>(rng.Range(4, 28));
+      const Prefix p = Prefix::Make(static_cast<uint32_t>(rng.Next()), len);
+      reference[p] = static_cast<uint32_t>(i);
+      trie.Insert(p, static_cast<uint32_t>(i));
+    }
+    for (int q = 0; q < 300; ++q) {
+      // Half the probes target installed prefixes to guarantee hits.
+      uint32_t ip;
+      if (q % 2 == 0) {
+        auto it = reference.begin();
+        std::advance(it, static_cast<long>(rng.Uniform(reference.size())));
+        ip = it->first.addr | (static_cast<uint32_t>(rng.Next()) & ~it->first.Mask());
+      } else {
+        ip = static_cast<uint32_t>(rng.Next());
+      }
+      // Naive longest-prefix match.
+      std::optional<uint32_t> expect;
+      int best_len = -1;
+      for (const auto& [prefix, value] : reference) {
+        if (prefix.Contains(ip) && prefix.len > best_len) {
+          best_len = prefix.len;
+          expect = value;
+        }
+      }
+      auto got = trie.Lookup(ip);
+      EXPECT_EQ(got.value, expect) << "ip=" << Ipv4ToString(ip);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, CpeTrieProperty,
+                         ::testing::Values(std::vector<int>{16, 8, 8},
+                                           std::vector<int>{8, 8, 8, 8},
+                                           std::vector<int>{24, 8},
+                                           std::vector<int>{12, 12, 8}),
+                         [](const auto& info) {
+                           std::string name;
+                           for (int s : info.param) {
+                             name += std::to_string(s) + "_";
+                           }
+                           name.pop_back();
+                           return name;
+                         });
+
+TEST(CpeTrie, MemoryGrowsWithPrefixes) {
+  CpeTrie trie;
+  const size_t base = trie.MemoryBytes();
+  trie.Insert(*Prefix::Parse("10.1.2.0/24"), 1);
+  EXPECT_GT(trie.MemoryBytes(), base);
+}
+
+// --- RouteTable ---
+
+TEST(RouteTable, AddLookupRemove) {
+  RouteTable table;
+  EXPECT_TRUE(table.AddRoute("10.3.0.0/16", 3));
+  auto hit = table.Lookup(0x0a030101);
+  ASSERT_TRUE(hit.entry);
+  EXPECT_EQ(hit.entry->out_port, 3);
+  EXPECT_EQ(hit.entry->next_hop_mac, PortMac(3));
+  EXPECT_GE(hit.memory_accesses, 1);
+
+  EXPECT_TRUE(table.RemoveRoute(*Prefix::Parse("10.3.0.0/16")));
+  EXPECT_FALSE(table.Lookup(0x0a030101).entry);
+  EXPECT_FALSE(table.RemoveRoute(*Prefix::Parse("10.3.0.0/16")));
+}
+
+TEST(RouteTable, EpochBumpsOnMutation) {
+  RouteTable table;
+  const uint64_t e0 = table.epoch();
+  table.AddRoute("10.0.0.0/8", 0);
+  EXPECT_GT(table.epoch(), e0);
+  const uint64_t e1 = table.epoch();
+  table.RemoveRoute(*Prefix::Parse("10.0.0.0/8"));
+  EXPECT_GT(table.epoch(), e1);
+}
+
+TEST(RouteTable, ReplaceUpdatesEntry) {
+  RouteTable table;
+  table.AddRoute("10.0.0.0/8", 1);
+  table.AddRoute("10.0.0.0/8", 5);
+  EXPECT_EQ(table.Lookup(0x0a000001).entry->out_port, 5);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RouteTable, DumpListsRoutes) {
+  RouteTable table;
+  table.AddRoute("10.0.0.0/8", 0);
+  table.AddRoute("10.1.0.0/16", 1);
+  EXPECT_EQ(table.Dump().size(), 2u);
+}
+
+TEST(RouteTable, RejectsMalformedCidr) {
+  RouteTable table;
+  EXPECT_FALSE(table.AddRoute("nonsense", 0));
+}
+
+// --- RouteCache ---
+
+TEST(RouteCache, MissThenHit) {
+  RouteCache cache(8);
+  RouteEntry entry{4, PortMac(4)};
+  EXPECT_FALSE(cache.Lookup(0x0a000001, 1));
+  cache.Insert(0x0a000001, entry, 1);
+  auto hit = cache.Lookup(0x0a000001, 1);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->out_port, 4);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RouteCache, EpochChangeInvalidatesEverything) {
+  RouteCache cache(8);
+  cache.Insert(0x0a000001, RouteEntry{4, PortMac(4)}, 1);
+  EXPECT_TRUE(cache.Lookup(0x0a000001, 1));
+  EXPECT_FALSE(cache.Lookup(0x0a000001, 2));  // routes changed
+}
+
+TEST(RouteCache, DirectMappedEviction) {
+  // With a single slot, any second distinct key evicts the first.
+  RouteCache cache(0);
+  cache.Insert(1, RouteEntry{1, PortMac(1)}, 1);
+  cache.Insert(2, RouteEntry{2, PortMac(2)}, 1);
+  const bool first = cache.Lookup(1, 1).has_value();
+  const bool second = cache.Lookup(2, 1).has_value();
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(first);
+}
+
+TEST(RouteCache, HitRate) {
+  RouteCache cache(10);
+  cache.Insert(7, RouteEntry{0, PortMac(0)}, 1);
+  for (int i = 0; i < 9; ++i) {
+    cache.Lookup(7, 1);
+  }
+  cache.Lookup(8, 1);
+  EXPECT_NEAR(cache.HitRate(), 0.9, 0.001);
+}
+
+}  // namespace
+}  // namespace npr

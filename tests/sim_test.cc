@@ -1,0 +1,280 @@
+// Unit tests for the simulation core: event queue, coroutine tasks, RNG,
+// statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace npr {
+namespace {
+
+TEST(ClockDomain, IxpCycleIs5ns) {
+  EXPECT_EQ(kIxpClock.ToTime(1), 5000);
+  EXPECT_EQ(kIxpClock.ToTime(200), 1000 * kPsPerNs);
+  EXPECT_DOUBLE_EQ(kIxpClock.FrequencyHz(), 200e6);
+}
+
+TEST(ClockDomain, PentiumIs733MHz) {
+  EXPECT_NEAR(kPentiumClock.FrequencyHz(), 733e6, 1e6);
+}
+
+TEST(ClockDomain, RoundTripCycles) {
+  for (int64_t cycles : {1, 7, 100, 123456}) {
+    EXPECT_EQ(kIxpClock.ToCycles(kIxpClock.ToTime(cycles)), cycles);
+  }
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(300, [&] { order.push_back(3); });
+  q.Schedule(100, [&] { order.push_back(1); });
+  q.Schedule(200, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents) {
+  EventQueue q;
+  q.RunUntil(5000);
+  EXPECT_EQ(q.now(), 5000);
+  EXPECT_EQ(q.events_run(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(100, [&] { ++ran; });
+  q.Schedule(200, [&] { ++ran; });
+  q.RunUntil(150);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), 150);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      q.ScheduleIn(10, chain);
+    }
+  };
+  q.ScheduleIn(10, chain);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueue, ClearDropsWithoutRunning) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(10, [&] { ++ran; });
+  q.Clear();
+  q.RunAll();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunOne());
+}
+
+// --- Task ---
+
+Task Counting(int* counter, std::suspend_always* /*unused*/) {
+  ++*counter;
+  co_return;
+}
+
+TEST(Task, StartsSuspended) {
+  int counter = 0;
+  Task t = Counting(&counter, nullptr);
+  EXPECT_EQ(counter, 0);
+  t.Start();
+  EXPECT_EQ(counter, 1);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, DestroyWithoutStartIsSafe) {
+  int counter = 0;
+  {
+    Task t = Counting(&counter, nullptr);
+    (void)t;
+  }
+  EXPECT_EQ(counter, 0);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  int counter = 0;
+  Task a = Counting(&counter, nullptr);
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  b.Start();
+  EXPECT_EQ(counter, 1);
+}
+
+// --- Rng ---
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    counts[rng.Uniform(8)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // expectation 1000, loose 20% bound
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(100.0);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Rng rng(5);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  Rng rng(5);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+// --- stats ---
+
+TEST(Accumulator, Moments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.Add(v);
+  }
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Histogram, TracksExtremaAndMean) {
+  Histogram h;
+  h.Add(1);
+  h.Add(100);
+  h.Add(10000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10000u);
+  EXPECT_NEAR(h.mean(), 3367.0, 1.0);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Add(i);
+  }
+  EXPECT_LE(h.Percentile(10), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(99));
+}
+
+TEST(RateMeter, ComputesRate) {
+  RateMeter m;
+  m.StartWindow(0);
+  // 1000 events spread over 1 ms => 1M events/s.
+  for (int i = 1; i <= 1000; ++i) {
+    m.Record(static_cast<SimTime>(i) * kPsPerUs);
+  }
+  EXPECT_NEAR(m.RatePerSec(), 1e6, 1e4);
+}
+
+TEST(RateMeter, EmptyWindowIsZero) {
+  RateMeter m;
+  m.StartWindow(0);
+  EXPECT_EQ(m.RatePerSec(), 0.0);
+}
+
+}  // namespace
+}  // namespace npr

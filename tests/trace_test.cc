@@ -1,0 +1,182 @@
+// Route-config loading and trace record/replay.
+
+#include <gtest/gtest.h>
+
+#include "src/core/router.h"
+#include "src/net/trace.h"
+#include "src/net/traffic_gen.h"
+#include "src/route/route_loader.h"
+
+namespace npr {
+namespace {
+
+// --- route loader ---
+
+TEST(RouteLoader, LoadsWellFormedConfig) {
+  RouteTable table;
+  const std::string config = R"(
+    # core FIB
+    10.1.0.0/16     1
+    10.2.0.0/16     2     02:aa:bb:cc:dd:ee
+    default         0
+  )";
+  auto result = LoadRoutesFromString(config, table);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.routes_loaded, 3);
+  EXPECT_EQ(table.Lookup(Ipv4FromString("10.1.9.9")).entry->out_port, 1);
+  auto custom = table.Lookup(Ipv4FromString("10.2.1.1")).entry;
+  ASSERT_TRUE(custom);
+  EXPECT_EQ(custom->out_port, 2);
+  EXPECT_EQ(MacToString(custom->next_hop_mac), "02:aa:bb:cc:dd:ee");
+  EXPECT_EQ(table.Lookup(Ipv4FromString("99.0.0.1")).entry->out_port, 0) << "default route";
+}
+
+TEST(RouteLoader, ReportsBadLines) {
+  RouteTable table;
+  auto bad_prefix = LoadRoutesFromString("10.1.0.0/99 1\n", table);
+  EXPECT_FALSE(bad_prefix.ok);
+  EXPECT_NE(bad_prefix.error.find("line 1"), std::string::npos);
+
+  auto bad_port = LoadRoutesFromString("10.1.0.0/16 99\n", table);
+  EXPECT_FALSE(bad_port.ok);
+
+  auto bad_mac = LoadRoutesFromString("10.1.0.0/16 1 zz:zz\n", table);
+  EXPECT_FALSE(bad_mac.ok);
+
+  auto arity = LoadRoutesFromString("10.1.0.0/16\n", table);
+  EXPECT_FALSE(arity.ok);
+}
+
+TEST(RouteLoader, MissingFileFails) {
+  RouteTable table;
+  EXPECT_FALSE(LoadRoutesFromFile("/nonexistent/fib.conf", table).ok);
+}
+
+TEST(RouteLoader, ParseMacRoundTrip) {
+  MacAddr mac{};
+  ASSERT_TRUE(ParseMac("02:00:00:00:00:07", &mac));
+  EXPECT_EQ(mac, PortMac(7));
+  EXPECT_FALSE(ParseMac("02:00:00", &mac));
+}
+
+// --- trace records ---
+
+TEST(Trace, RecordRoundTrip) {
+  TraceRecord record;
+  record.at = 12'500 * kPsPerUs / 1000;  // 12.5 us
+  record.spec.src_ip = Ipv4FromString("172.16.0.1");
+  record.spec.dst_ip = Ipv4FromString("10.3.0.7");
+  record.spec.protocol = kIpProtoTcp;
+  record.spec.src_port = 1024;
+  record.spec.dst_port = 80;
+  record.spec.frame_bytes = 64;
+  record.spec.tcp_flags = 0x02;  // SYN
+
+  auto parsed = TraceRecord::Parse(record.Serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->at, record.at);
+  EXPECT_EQ(parsed->spec.src_ip, record.spec.src_ip);
+  EXPECT_EQ(parsed->spec.dst_ip, record.spec.dst_ip);
+  EXPECT_EQ(parsed->spec.protocol, kIpProtoTcp);
+  EXPECT_EQ(parsed->spec.dst_port, 80);
+  EXPECT_EQ(parsed->spec.tcp_flags, 0x02);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_FALSE(TraceRecord::Parse("not a record"));
+  auto result = ParseTrace("1.0 172.16.0.1 10.0.0.1 udp 1 2 64\njunk\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 2"), std::string::npos);
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlanks) {
+  auto result = ParseTrace("# header\n\n1.0 172.16.0.1 10.0.0.1 udp 1 2 64 -\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.records.size(), 1u);
+}
+
+TEST(Trace, RecorderCapturesSinkTraffic) {
+  TraceRecorder recorder;
+  PacketSpec spec;
+  spec.protocol = kIpProtoTcp;
+  spec.tcp_flags = 0x12;  // SYN|ACK
+  Packet p = BuildPacket(spec);
+  recorder.Record(p, 5 * kPsPerUs);
+  ASSERT_EQ(recorder.size(), 1u);
+  const std::string text = recorder.Serialize();
+  EXPECT_NE(text.find("tcp"), std::string::npos);
+  auto reparsed = ParseTrace(text);
+  ASSERT_TRUE(reparsed.ok);
+  EXPECT_EQ(reparsed.records.size(), 1u);
+  EXPECT_EQ(reparsed.records[0].spec.tcp_flags, 0x12);
+}
+
+TEST(Trace, ReplayDrivesARouter) {
+  Router router((RouterConfig()));
+  RouteTable& table = router.route_table();
+  ASSERT_TRUE(LoadRoutesFromString("10.2.0.0/16 2\n10.3.0.0/16 3\n", table).ok);
+  router.WarmRouteCache(8);
+  uint64_t to2 = 0, to3 = 0;
+  router.port(2).SetSink([&](Packet&&) { ++to2; });
+  router.port(3).SetSink([&](Packet&&) { ++to3; });
+  router.Start();
+
+  auto trace = ParseTrace(R"(
+    # three packets, interleaved destinations
+    100.0  172.16.0.1 10.2.0.1 udp 1000 53 64 -
+    200.0  172.16.0.1 10.3.0.1 tcp 1001 80 128 SA
+    300.0  172.16.0.1 10.2.0.2 udp 1002 53 64 -
+  )");
+  ASSERT_TRUE(trace.ok) << trace.error;
+  TraceReplayer replayer(router.engine(), router.port(0));
+  EXPECT_EQ(replayer.Replay(trace.records), 3);
+  router.RunForMs(2.0);
+  EXPECT_EQ(replayer.injected(), 3u);
+  EXPECT_EQ(to2, 2u);
+  EXPECT_EQ(to3, 1u);
+}
+
+TEST(Trace, RecordThenReplayReproducesWorkload) {
+  // Capture egress of one run, replay it into a second router: packet
+  // counts per port must match.
+  TraceRecorder recorder;
+  {
+    Router router((RouterConfig()));
+    for (int p = 0; p < 8; ++p) {
+      router.AddRoute("10." + std::to_string(p) + ".0.0/16", static_cast<uint8_t>(p));
+    }
+    router.WarmRouteCache(16);
+    for (int p = 0; p < 8; ++p) {
+      router.port(p).SetSink(
+          [&recorder, &router](Packet&& pkt) { recorder.Record(pkt, router.engine().now()); });
+    }
+    router.Start();
+    TrafficSpec spec;
+    spec.rate_pps = 50'000;
+    spec.dst_spread = 16;
+    TrafficGen gen(router.engine(), router.port(0), spec, 3);
+    gen.Start(4 * kPsPerMs);
+    router.RunForMs(6.0);
+  }
+  ASSERT_GT(recorder.size(), 100u);
+
+  auto reparsed = ParseTrace(recorder.Serialize());
+  ASSERT_TRUE(reparsed.ok);
+  Router router2((RouterConfig()));
+  for (int p = 0; p < 8; ++p) {
+    router2.AddRoute("10." + std::to_string(p) + ".0.0/16", static_cast<uint8_t>(p));
+  }
+  router2.WarmRouteCache(16);
+  uint64_t delivered = 0;
+  for (int p = 0; p < 8; ++p) {
+    router2.port(p).SetSink([&](Packet&&) { ++delivered; });
+  }
+  router2.Start();
+  TraceReplayer replayer(router2.engine(), router2.port(0));
+  replayer.Replay(reparsed.records);
+  router2.RunForMs(8.0);
+  EXPECT_EQ(delivered, recorder.size());
+}
+
+}  // namespace
+}  // namespace npr

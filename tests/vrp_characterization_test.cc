@@ -1,0 +1,150 @@
+// §4.3's VRP characterization, verified at its exact boundaries:
+//   * up to 240 cycles of instructions
+//   * up to 24 SRAM transfers of 4 bytes (96 bytes of persistent state)
+//   * up to 3 hardware hashes
+//   * 650 ISTORE instruction slots
+//   * 8 general-purpose registers; values do not persist across MPs
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/router.h"
+#include "src/ixp/hash_unit.h"
+#include "src/vrp/assembler.h"
+#include "src/vrp/interpreter.h"
+#include "src/vrp/verifier.h"
+
+namespace npr {
+namespace {
+
+// Builds a straight-line program with exactly `cycles` instruction cycles
+// (including its send), `sram` 4-byte reads, and `hashes` hashes.
+VrpProgram Exact(uint32_t cycles, uint32_t sram, uint32_t hashes) {
+  std::string body = ".state 96\n";
+  uint32_t used = 1;  // the trailing send
+  for (uint32_t i = 0; i < sram; ++i) {
+    body += "ldsram r1, " + std::to_string((i % 24) * 4) + "\n";
+    ++used;
+  }
+  for (uint32_t i = 0; i < hashes; ++i) {
+    body += "hash r2, r1\n";
+    ++used;
+  }
+  EXPECT_LE(used, cycles) << "test bug: too many mandatory instructions";
+  while (used < cycles) {
+    body += "addi r0, 1\n";
+    ++used;
+  }
+  body += "send\n";
+  auto result = Assemble("exact", body);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.program;
+}
+
+class Characterization : public ::testing::Test {
+ protected:
+  AdmissionResult Check(const VrpProgram& program) {
+    Router router((RouterConfig()));
+    return router.admission().CheckMicroEngine(program, /*general=*/true);
+  }
+};
+
+TEST_F(Characterization, Exactly240CyclesAdmitted) {
+  auto at_limit = Exact(240, 0, 0);
+  EXPECT_TRUE(Check(at_limit).admitted);
+  auto over = Exact(241, 0, 0);
+  EXPECT_FALSE(Check(over).admitted);
+}
+
+TEST_F(Characterization, Exactly24SramTransfersAdmitted) {
+  auto at_limit = Exact(100, 24, 0);
+  EXPECT_TRUE(Check(at_limit).admitted);
+  auto over = Exact(100, 25, 0);
+  EXPECT_FALSE(Check(over).admitted);
+}
+
+TEST_F(Characterization, ExactlyThreeHashesAdmitted) {
+  auto at_limit = Exact(50, 0, 3);
+  EXPECT_TRUE(Check(at_limit).admitted);
+  auto over = Exact(50, 0, 4);
+  EXPECT_FALSE(Check(over).admitted);
+}
+
+TEST_F(Characterization, NinetySixBytesOfStateAddressable) {
+  // Offsets 0..92 are legal with .state 96; offset 96 is not.
+  auto ok = Assemble("edge", ".state 96\nldsram r0, 92\nsend\n");
+  ASSERT_TRUE(ok.ok);
+  EXPECT_TRUE(VerifyProgram(ok.program).ok);
+  auto bad = Assemble("edge", ".state 96\nldsram r0, 96\nsend\n");
+  ASSERT_TRUE(bad.ok);
+  EXPECT_FALSE(VerifyProgram(bad.program).ok);
+}
+
+TEST_F(Characterization, EightRegistersNoMore) {
+  EXPECT_TRUE(Assemble("r", "movi r7, 1\nsend\n").ok);
+  auto program = Assemble("r", "movi r8, 1\nsend\n");
+  // The assembler accepts the token; the verifier rejects the index.
+  ASSERT_TRUE(program.ok);
+  EXPECT_FALSE(VerifyProgram(program.program).ok);
+}
+
+TEST_F(Characterization, RegistersDoNotPersistAcrossMps) {
+  // §4.3: "Values stored here do not last across invocations of the VRP."
+  BackingStore sram("sram", 256);
+  HashUnit hash;
+  VrpInterpreter interp(sram, hash);
+  // Writes r0=7 to the packet on the *second* run only if r0 persisted.
+  auto program = Assemble("persist", R"(
+    movi r1, 7
+    beq r0, r1, leaked
+    movi r0, 7
+    send
+    leaked: stpkt r1, p0
+    send
+  )");
+  ASSERT_TRUE(program.ok);
+  std::array<uint8_t, 64> mp{};
+  interp.Run(program.program, mp, 0, nullptr);
+  interp.Run(program.program, mp, 0, nullptr);
+  EXPECT_EQ(mp[3], 0) << "register state leaked across invocations";
+}
+
+TEST_F(Characterization, IstoreBoundaryAt650Slots) {
+  Router router((RouterConfig()));
+  // A general forwarder of exactly 650 instructions fits (cycle budget is
+  // checked separately, so use a rejected-by-cycles-but-ISTORE-ok probe:
+  // check ISTORE via the layout directly).
+  EXPECT_EQ(router.istore().extension_capacity(), 650u);
+  VrpProgram p650;
+  p650.code.assign(650, VrpInstr{VrpOp::kNop, 0, 0, 0});
+  p650.code.back() = VrpInstr{VrpOp::kSend, 0, 0, 0};
+  EXPECT_TRUE(router.istore().InstallGeneral(p650, 0).has_value());
+  VrpProgram one;
+  one.code = {VrpInstr{VrpOp::kSend, 0, 0, 0}};
+  EXPECT_FALSE(router.istore().InstallGeneral(one, 0).has_value());
+}
+
+TEST_F(Characterization, BudgetBindsAcrossInstalledGenerals) {
+  // Two 120-cycle generals fill the budget exactly; a third single-cycle
+  // program is rejected.
+  Router router((RouterConfig()));
+  for (int i = 0; i < 2; ++i) {
+    auto program = Exact(120, 0, 0);
+    InstallRequest req;
+    req.key = FlowKey::All();
+    req.where = Where::kMicroEngine;
+    req.program = &program;
+    auto outcome = router.Install(req);
+    ASSERT_TRUE(outcome.ok) << i << ": " << outcome.error;
+  }
+  auto tiny = Exact(2, 0, 0);
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kMicroEngine;
+  req.program = &tiny;
+  EXPECT_FALSE(router.Install(req).ok);
+}
+
+}  // namespace
+}  // namespace npr
