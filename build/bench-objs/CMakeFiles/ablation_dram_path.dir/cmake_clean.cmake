@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dram_path"
+  "../bench/ablation_dram_path.pdb"
+  "CMakeFiles/ablation_dram_path.dir/ablation_dram_path.cc.o"
+  "CMakeFiles/ablation_dram_path.dir/ablation_dram_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cluster_scale"
+  "../bench/cluster_scale.pdb"
+  "CMakeFiles/cluster_scale.dir/cluster_scale.cc.o"
+  "CMakeFiles/cluster_scale.dir/cluster_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/expensive_forwarders"
+  "../bench/expensive_forwarders.pdb"
+  "CMakeFiles/expensive_forwarders.dir/expensive_forwarders.cc.o"
+  "CMakeFiles/expensive_forwarders.dir/expensive_forwarders.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expensive_forwarders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for expensive_forwarders.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_contention"
+  "../bench/fig10_contention.pdb"
+  "CMakeFiles/fig10_contention.dir/fig10_contention.cc.o"
+  "CMakeFiles/fig10_contention.dir/fig10_contention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_vrp_budget"
+  "../bench/fig9_vrp_budget.pdb"
+  "CMakeFiles/fig9_vrp_budget.dir/fig9_vrp_budget.cc.o"
+  "CMakeFiles/fig9_vrp_budget.dir/fig9_vrp_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vrp_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_host"
+  "../bench/micro_host.pdb"
+  "CMakeFiles/micro_host.dir/micro_host.cc.o"
+  "CMakeFiles/micro_host.dir/micro_host.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/path_latency"
+  "../bench/path_latency.pdb"
+  "CMakeFiles/path_latency.dir/path_latency.cc.o"
+  "CMakeFiles/path_latency.dir/path_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/strongarm_path"
+  "../bench/strongarm_path.pdb"
+  "CMakeFiles/strongarm_path.dir/strongarm_path.cc.o"
+  "CMakeFiles/strongarm_path.dir/strongarm_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strongarm_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

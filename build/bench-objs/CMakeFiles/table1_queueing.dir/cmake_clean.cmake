@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_queueing"
+  "../bench/table1_queueing.pdb"
+  "CMakeFiles/table1_queueing.dir/table1_queueing.cc.o"
+  "CMakeFiles/table1_queueing.dir/table1_queueing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_pentium_path"
+  "../bench/table4_pentium_path.pdb"
+  "CMakeFiles/table4_pentium_path.dir/table4_pentium_path.cc.o"
+  "CMakeFiles/table4_pentium_path.dir/table4_pentium_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pentium_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

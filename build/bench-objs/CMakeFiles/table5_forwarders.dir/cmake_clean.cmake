@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_forwarders"
+  "../bench/table5_forwarders.pdb"
+  "CMakeFiles/table5_forwarders.dir/table5_forwarders.cc.o"
+  "CMakeFiles/table5_forwarders.dir/table5_forwarders.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_forwarders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/wfq_approximation"
+  "../bench/wfq_approximation.pdb"
+  "CMakeFiles/wfq_approximation.dir/wfq_approximation.cc.o"
+  "CMakeFiles/wfq_approximation.dir/wfq_approximation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfq_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall.dir/firewall.cpp.o"
+  "CMakeFiles/firewall.dir/firewall.cpp.o.d"
+  "firewall"
+  "firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ospf_router.dir/ospf_router.cpp.o"
+  "CMakeFiles/ospf_router.dir/ospf_router.cpp.o.d"
+  "ospf_router"
+  "ospf_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ospf_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

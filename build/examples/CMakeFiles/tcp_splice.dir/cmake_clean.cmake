@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_splice.dir/tcp_splice.cpp.o"
+  "CMakeFiles/tcp_splice.dir/tcp_splice.cpp.o.d"
+  "tcp_splice"
+  "tcp_splice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_splice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_dropper.dir/video_dropper.cpp.o"
+  "CMakeFiles/video_dropper.dir/video_dropper.cpp.o.d"
+  "video_dropper"
+  "video_dropper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_dropper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrpasm.dir/vrpasm.cpp.o"
+  "CMakeFiles/vrpasm.dir/vrpasm.cpp.o.d"
+  "vrpasm"
+  "vrpasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrpasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_cluster.dir/cluster_router.cc.o"
+  "CMakeFiles/npr_cluster.dir/cluster_router.cc.o.d"
+  "libnpr_cluster.a"
+  "libnpr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

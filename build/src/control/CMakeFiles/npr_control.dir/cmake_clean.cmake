@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_control.dir/ospf_lite.cc.o"
+  "CMakeFiles/npr_control.dir/ospf_lite.cc.o.d"
+  "libnpr_control.a"
+  "libnpr_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

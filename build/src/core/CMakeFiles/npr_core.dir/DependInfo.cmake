@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/npr_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/buffer_allocator.cc" "src/core/CMakeFiles/npr_core.dir/buffer_allocator.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/buffer_allocator.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/npr_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/flow_table.cc" "src/core/CMakeFiles/npr_core.dir/flow_table.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/flow_table.cc.o.d"
+  "/root/repo/src/core/input_stage.cc" "src/core/CMakeFiles/npr_core.dir/input_stage.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/input_stage.cc.o.d"
+  "/root/repo/src/core/output_stage.cc" "src/core/CMakeFiles/npr_core.dir/output_stage.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/output_stage.cc.o.d"
+  "/root/repo/src/core/packet_queue.cc" "src/core/CMakeFiles/npr_core.dir/packet_queue.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/packet_queue.cc.o.d"
+  "/root/repo/src/core/pentium_host.cc" "src/core/CMakeFiles/npr_core.dir/pentium_host.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/pentium_host.cc.o.d"
+  "/root/repo/src/core/prop_share.cc" "src/core/CMakeFiles/npr_core.dir/prop_share.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/prop_share.cc.o.d"
+  "/root/repo/src/core/queue_plan.cc" "src/core/CMakeFiles/npr_core.dir/queue_plan.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/queue_plan.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/npr_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/router.cc.o.d"
+  "/root/repo/src/core/strongarm_bridge.cc" "src/core/CMakeFiles/npr_core.dir/strongarm_bridge.cc.o" "gcc" "src/core/CMakeFiles/npr_core.dir/strongarm_bridge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vrp/CMakeFiles/npr_vrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/npr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/npr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/npr_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

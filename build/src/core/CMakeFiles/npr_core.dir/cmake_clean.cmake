@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_core.dir/admission.cc.o"
+  "CMakeFiles/npr_core.dir/admission.cc.o.d"
+  "CMakeFiles/npr_core.dir/buffer_allocator.cc.o"
+  "CMakeFiles/npr_core.dir/buffer_allocator.cc.o.d"
+  "CMakeFiles/npr_core.dir/classifier.cc.o"
+  "CMakeFiles/npr_core.dir/classifier.cc.o.d"
+  "CMakeFiles/npr_core.dir/flow_table.cc.o"
+  "CMakeFiles/npr_core.dir/flow_table.cc.o.d"
+  "CMakeFiles/npr_core.dir/input_stage.cc.o"
+  "CMakeFiles/npr_core.dir/input_stage.cc.o.d"
+  "CMakeFiles/npr_core.dir/output_stage.cc.o"
+  "CMakeFiles/npr_core.dir/output_stage.cc.o.d"
+  "CMakeFiles/npr_core.dir/packet_queue.cc.o"
+  "CMakeFiles/npr_core.dir/packet_queue.cc.o.d"
+  "CMakeFiles/npr_core.dir/pentium_host.cc.o"
+  "CMakeFiles/npr_core.dir/pentium_host.cc.o.d"
+  "CMakeFiles/npr_core.dir/prop_share.cc.o"
+  "CMakeFiles/npr_core.dir/prop_share.cc.o.d"
+  "CMakeFiles/npr_core.dir/queue_plan.cc.o"
+  "CMakeFiles/npr_core.dir/queue_plan.cc.o.d"
+  "CMakeFiles/npr_core.dir/router.cc.o"
+  "CMakeFiles/npr_core.dir/router.cc.o.d"
+  "CMakeFiles/npr_core.dir/strongarm_bridge.cc.o"
+  "CMakeFiles/npr_core.dir/strongarm_bridge.cc.o.d"
+  "libnpr_core.a"
+  "libnpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_forwarders.dir/control.cc.o"
+  "CMakeFiles/npr_forwarders.dir/control.cc.o.d"
+  "CMakeFiles/npr_forwarders.dir/native.cc.o"
+  "CMakeFiles/npr_forwarders.dir/native.cc.o.d"
+  "CMakeFiles/npr_forwarders.dir/vrp_programs.cc.o"
+  "CMakeFiles/npr_forwarders.dir/vrp_programs.cc.o.d"
+  "libnpr_forwarders.a"
+  "libnpr_forwarders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_forwarders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ixp/hw_config.cc" "src/ixp/CMakeFiles/npr_ixp.dir/hw_config.cc.o" "gcc" "src/ixp/CMakeFiles/npr_ixp.dir/hw_config.cc.o.d"
+  "/root/repo/src/ixp/hw_mutex.cc" "src/ixp/CMakeFiles/npr_ixp.dir/hw_mutex.cc.o" "gcc" "src/ixp/CMakeFiles/npr_ixp.dir/hw_mutex.cc.o.d"
+  "/root/repo/src/ixp/ixp1200.cc" "src/ixp/CMakeFiles/npr_ixp.dir/ixp1200.cc.o" "gcc" "src/ixp/CMakeFiles/npr_ixp.dir/ixp1200.cc.o.d"
+  "/root/repo/src/ixp/microengine.cc" "src/ixp/CMakeFiles/npr_ixp.dir/microengine.cc.o" "gcc" "src/ixp/CMakeFiles/npr_ixp.dir/microengine.cc.o.d"
+  "/root/repo/src/ixp/soft_core.cc" "src/ixp/CMakeFiles/npr_ixp.dir/soft_core.cc.o" "gcc" "src/ixp/CMakeFiles/npr_ixp.dir/soft_core.cc.o.d"
+  "/root/repo/src/ixp/token_ring.cc" "src/ixp/CMakeFiles/npr_ixp.dir/token_ring.cc.o" "gcc" "src/ixp/CMakeFiles/npr_ixp.dir/token_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/npr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

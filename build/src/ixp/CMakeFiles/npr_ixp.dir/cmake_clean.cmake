@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_ixp.dir/hw_config.cc.o"
+  "CMakeFiles/npr_ixp.dir/hw_config.cc.o.d"
+  "CMakeFiles/npr_ixp.dir/hw_mutex.cc.o"
+  "CMakeFiles/npr_ixp.dir/hw_mutex.cc.o.d"
+  "CMakeFiles/npr_ixp.dir/ixp1200.cc.o"
+  "CMakeFiles/npr_ixp.dir/ixp1200.cc.o.d"
+  "CMakeFiles/npr_ixp.dir/microengine.cc.o"
+  "CMakeFiles/npr_ixp.dir/microengine.cc.o.d"
+  "CMakeFiles/npr_ixp.dir/soft_core.cc.o"
+  "CMakeFiles/npr_ixp.dir/soft_core.cc.o.d"
+  "CMakeFiles/npr_ixp.dir/token_ring.cc.o"
+  "CMakeFiles/npr_ixp.dir/token_ring.cc.o.d"
+  "libnpr_ixp.a"
+  "libnpr_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/npr_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/npr_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/memory_channel.cc" "src/mem/CMakeFiles/npr_mem.dir/memory_channel.cc.o" "gcc" "src/mem/CMakeFiles/npr_mem.dir/memory_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/npr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

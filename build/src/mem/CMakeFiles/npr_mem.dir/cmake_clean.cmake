@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_mem.dir/backing_store.cc.o"
+  "CMakeFiles/npr_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/npr_mem.dir/memory_channel.cc.o"
+  "CMakeFiles/npr_mem.dir/memory_channel.cc.o.d"
+  "libnpr_mem.a"
+  "libnpr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

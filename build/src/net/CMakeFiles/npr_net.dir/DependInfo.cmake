@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/npr_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/npr_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/net/CMakeFiles/npr_net.dir/icmp.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/icmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/npr_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/mac_port.cc" "src/net/CMakeFiles/npr_net.dir/mac_port.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/mac_port.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/npr_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/pcap_writer.cc" "src/net/CMakeFiles/npr_net.dir/pcap_writer.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/pcap_writer.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/npr_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/net/CMakeFiles/npr_net.dir/trace.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/trace.cc.o.d"
+  "/root/repo/src/net/traffic_gen.cc" "src/net/CMakeFiles/npr_net.dir/traffic_gen.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/traffic_gen.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/npr_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/npr_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ixp/CMakeFiles/npr_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npr_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_net.dir/checksum.cc.o"
+  "CMakeFiles/npr_net.dir/checksum.cc.o.d"
+  "CMakeFiles/npr_net.dir/ethernet.cc.o"
+  "CMakeFiles/npr_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/npr_net.dir/icmp.cc.o"
+  "CMakeFiles/npr_net.dir/icmp.cc.o.d"
+  "CMakeFiles/npr_net.dir/ipv4.cc.o"
+  "CMakeFiles/npr_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/npr_net.dir/mac_port.cc.o"
+  "CMakeFiles/npr_net.dir/mac_port.cc.o.d"
+  "CMakeFiles/npr_net.dir/packet.cc.o"
+  "CMakeFiles/npr_net.dir/packet.cc.o.d"
+  "CMakeFiles/npr_net.dir/pcap_writer.cc.o"
+  "CMakeFiles/npr_net.dir/pcap_writer.cc.o.d"
+  "CMakeFiles/npr_net.dir/tcp.cc.o"
+  "CMakeFiles/npr_net.dir/tcp.cc.o.d"
+  "CMakeFiles/npr_net.dir/trace.cc.o"
+  "CMakeFiles/npr_net.dir/trace.cc.o.d"
+  "CMakeFiles/npr_net.dir/traffic_gen.cc.o"
+  "CMakeFiles/npr_net.dir/traffic_gen.cc.o.d"
+  "CMakeFiles/npr_net.dir/udp.cc.o"
+  "CMakeFiles/npr_net.dir/udp.cc.o.d"
+  "libnpr_net.a"
+  "libnpr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/cpe_trie.cc" "src/route/CMakeFiles/npr_route.dir/cpe_trie.cc.o" "gcc" "src/route/CMakeFiles/npr_route.dir/cpe_trie.cc.o.d"
+  "/root/repo/src/route/prefix.cc" "src/route/CMakeFiles/npr_route.dir/prefix.cc.o" "gcc" "src/route/CMakeFiles/npr_route.dir/prefix.cc.o.d"
+  "/root/repo/src/route/route_cache.cc" "src/route/CMakeFiles/npr_route.dir/route_cache.cc.o" "gcc" "src/route/CMakeFiles/npr_route.dir/route_cache.cc.o.d"
+  "/root/repo/src/route/route_loader.cc" "src/route/CMakeFiles/npr_route.dir/route_loader.cc.o" "gcc" "src/route/CMakeFiles/npr_route.dir/route_loader.cc.o.d"
+  "/root/repo/src/route/route_table.cc" "src/route/CMakeFiles/npr_route.dir/route_table.cc.o" "gcc" "src/route/CMakeFiles/npr_route.dir/route_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/npr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/npr_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_route.dir/cpe_trie.cc.o"
+  "CMakeFiles/npr_route.dir/cpe_trie.cc.o.d"
+  "CMakeFiles/npr_route.dir/prefix.cc.o"
+  "CMakeFiles/npr_route.dir/prefix.cc.o.d"
+  "CMakeFiles/npr_route.dir/route_cache.cc.o"
+  "CMakeFiles/npr_route.dir/route_cache.cc.o.d"
+  "CMakeFiles/npr_route.dir/route_loader.cc.o"
+  "CMakeFiles/npr_route.dir/route_loader.cc.o.d"
+  "CMakeFiles/npr_route.dir/route_table.cc.o"
+  "CMakeFiles/npr_route.dir/route_table.cc.o.d"
+  "libnpr_route.a"
+  "libnpr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

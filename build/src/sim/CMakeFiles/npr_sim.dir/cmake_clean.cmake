@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_sim.dir/event_queue.cc.o"
+  "CMakeFiles/npr_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/npr_sim.dir/log.cc.o"
+  "CMakeFiles/npr_sim.dir/log.cc.o.d"
+  "CMakeFiles/npr_sim.dir/random.cc.o"
+  "CMakeFiles/npr_sim.dir/random.cc.o.d"
+  "CMakeFiles/npr_sim.dir/stats.cc.o"
+  "CMakeFiles/npr_sim.dir/stats.cc.o.d"
+  "libnpr_sim.a"
+  "libnpr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

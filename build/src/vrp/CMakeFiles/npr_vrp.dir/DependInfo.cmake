@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vrp/assembler.cc" "src/vrp/CMakeFiles/npr_vrp.dir/assembler.cc.o" "gcc" "src/vrp/CMakeFiles/npr_vrp.dir/assembler.cc.o.d"
+  "/root/repo/src/vrp/budget.cc" "src/vrp/CMakeFiles/npr_vrp.dir/budget.cc.o" "gcc" "src/vrp/CMakeFiles/npr_vrp.dir/budget.cc.o.d"
+  "/root/repo/src/vrp/interpreter.cc" "src/vrp/CMakeFiles/npr_vrp.dir/interpreter.cc.o" "gcc" "src/vrp/CMakeFiles/npr_vrp.dir/interpreter.cc.o.d"
+  "/root/repo/src/vrp/isa.cc" "src/vrp/CMakeFiles/npr_vrp.dir/isa.cc.o" "gcc" "src/vrp/CMakeFiles/npr_vrp.dir/isa.cc.o.d"
+  "/root/repo/src/vrp/istore_layout.cc" "src/vrp/CMakeFiles/npr_vrp.dir/istore_layout.cc.o" "gcc" "src/vrp/CMakeFiles/npr_vrp.dir/istore_layout.cc.o.d"
+  "/root/repo/src/vrp/verifier.cc" "src/vrp/CMakeFiles/npr_vrp.dir/verifier.cc.o" "gcc" "src/vrp/CMakeFiles/npr_vrp.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ixp/CMakeFiles/npr_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npr_vrp.dir/assembler.cc.o"
+  "CMakeFiles/npr_vrp.dir/assembler.cc.o.d"
+  "CMakeFiles/npr_vrp.dir/budget.cc.o"
+  "CMakeFiles/npr_vrp.dir/budget.cc.o.d"
+  "CMakeFiles/npr_vrp.dir/interpreter.cc.o"
+  "CMakeFiles/npr_vrp.dir/interpreter.cc.o.d"
+  "CMakeFiles/npr_vrp.dir/isa.cc.o"
+  "CMakeFiles/npr_vrp.dir/isa.cc.o.d"
+  "CMakeFiles/npr_vrp.dir/istore_layout.cc.o"
+  "CMakeFiles/npr_vrp.dir/istore_layout.cc.o.d"
+  "CMakeFiles/npr_vrp.dir/verifier.cc.o"
+  "CMakeFiles/npr_vrp.dir/verifier.cc.o.d"
+  "libnpr_vrp.a"
+  "libnpr_vrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npr_vrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

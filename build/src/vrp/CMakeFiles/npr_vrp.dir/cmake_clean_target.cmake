@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnpr_vrp.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for npr_vrp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarders_test.dir/forwarders_test.cc.o"
+  "CMakeFiles/forwarders_test.dir/forwarders_test.cc.o.d"
+  "forwarders_test"
+  "forwarders_test.pdb"
+  "forwarders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/icmp_test.cc" "tests/CMakeFiles/icmp_test.dir/icmp_test.cc.o" "gcc" "tests/CMakeFiles/icmp_test.dir/icmp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/npr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/npr_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/forwarders/CMakeFiles/npr_forwarders.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/npr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrp/CMakeFiles/npr_vrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/npr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/npr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/npr_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrp_characterization_test.dir/vrp_characterization_test.cc.o"
+  "CMakeFiles/vrp_characterization_test.dir/vrp_characterization_test.cc.o.d"
+  "vrp_characterization_test"
+  "vrp_characterization_test.pdb"
+  "vrp_characterization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrp_characterization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
