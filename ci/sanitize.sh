@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under a sanitizer.
+#
+#   ci/sanitize.sh [address|undefined|thread] [extra ctest args...]
+#
+# Each sanitizer gets its own build tree (build-<san>) so switching between
+# them never mixes instrumented and plain objects.
+set -euo pipefail
+
+san="${1:-address}"
+case "$san" in
+  address|undefined|thread) ;;
+  *)
+    echo "usage: $0 [address|undefined|thread] [ctest args...]" >&2
+    exit 2
+    ;;
+esac
+shift || true
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build-$san"
+
+cmake -B "$build_dir" -S "$repo_root" -DNPR_SANITIZE="$san"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure "$@"

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/core/strongarm_bridge.h"
+#include "src/fault/fault_injector.h"
 #include "src/net/traffic_gen.h"
 #include "src/sim/log.h"
 
@@ -48,15 +49,33 @@ void InputStage::Start() {
     const int slot = cfg.token_ring_interleaved ? r / n_me : r % cfg.hw.contexts_per_me;
     members_.push_back(&core_.chip->me(me).context(slot));
   }
-  std::vector<int> member_index;
+  member_index_.clear();
+  port_of_.clear();
   for (int r = 0; r < n_ctx; ++r) {
-    member_index.push_back(ring_.AddMember(*members_[static_cast<size_t>(r)]));
+    member_index_.push_back(ring_.AddMember(*members_[static_cast<size_t>(r)]));
+    port_of_.push_back(static_cast<uint8_t>(r % cfg.num_ports()));
   }
   for (int r = 0; r < n_ctx; ++r) {
-    const uint8_t port = static_cast<uint8_t>(r % cfg.num_ports());
     HwContext* ctx = members_[static_cast<size_t>(r)];
-    ctx->Install(ContextLoop(*ctx, member_index[static_cast<size_t>(r)], r, port));
+    ctx->Install(ContextLoop(*ctx, member_index_[static_cast<size_t>(r)], r,
+                             port_of_[static_cast<size_t>(r)]));
   }
+}
+
+void InputStage::RestartContext(int ctx_index) {
+  core_.stats->context_restarts += 1;
+  const int member = member_index_[static_cast<size_t>(ctx_index)];
+  ring_.SetMemberDown(member, false);
+  HwContext* ctx = members_[static_cast<size_t>(ctx_index)];
+  ctx->Install(ContextLoop(*ctx, member, ctx_index, port_of_[static_cast<size_t>(ctx_index)]));
+}
+
+int InputStage::partial_assemblies() const {
+  int n = 0;
+  for (const PortAssembly& as : assembly_) {
+    n += as.in_packet ? 1 : 0;
+  }
+  return n;
 }
 
 Mp InputStage::SynthesizeMp(int ctx_index) {
@@ -232,9 +251,19 @@ Task InputStage::ContextLoop(HwContext& ctx, int member, int ctx_index, uint8_t 
   const StageCosts& costs = cfg.costs;
   MemorySystem& mem = core_.chip->memory();
   StageStats& st = core_.stats->input;
-  const bool protected_queues = cfg.input_queueing == InputQueueing::kProtectedPublic;
 
   for (;;) {
+    // Crash-safe point: no token, mutex, or claim is held here, so a crash
+    // loses no packet — at worst a partial assembly waits for the port's
+    // sibling context or this context's restart.
+    if (core_.fault != nullptr && core_.fault->ShouldCrashContext()) {
+      core_.stats->context_crashes += 1;
+      ring_.SetMemberDown(member, true);
+      InputStage* self = this;
+      core_.engine->ScheduleIn(core_.fault->context_restart_ps(),
+                               [self, ctx_index] { self->RestartContext(ctx_index); });
+      co_return;
+    }
     co_await ring_.Acquire(member);
     // Token critical section: port check + DMA issue (§3.2.2). The
     // calibrated overhead models the signal test and branch shadow.
@@ -363,22 +392,17 @@ Task InputStage::ContextLoop(HwContext& ctx, int member, int ctx_index, uint8_t 
           to_port = true;
           break;
         case Disposition::Act::kStrongArm:
+          // The exception queues are not in the QueuePlan (their ids are
+          // foreign to it); they are serialized by the bridge's HwMutex.
           queue = core_.sa_local_queue;
-          mutex = protected_queues ? core_.queues->MutexFor(*queue) : nullptr;
           core_.stats->exceptional += 1;
           break;
         case Disposition::Act::kPentium:
           queue = core_.sa_pentium_queue;
-          mutex = protected_queues ? core_.queues->MutexFor(*queue) : nullptr;
           core_.stats->to_pentium += 1;
           break;
         case Disposition::Act::kDrop:
           break;
-      }
-      // The exception queues are not part of the QueuePlan; they carry
-      // their own mutexes via RouterCore (see Router construction).
-      if (queue == core_.sa_local_queue || queue == core_.sa_pentium_queue) {
-        mutex = nullptr;  // serialized by the HwMutex owned by the bridge
       }
 
       if (mutex != nullptr) {

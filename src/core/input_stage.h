@@ -39,6 +39,9 @@ class InputStage {
   // Synthetic packets generated in InfiniteFifo mode.
   uint64_t synthetic_generated() const { return synthetic_seq_; }
 
+  // Ports with a packet mid-assembly (counted for packet conservation).
+  int partial_assemblies() const;
+
  private:
   // What one token-holding claim produced: an MP plus its DRAM placement
   // and (from the first MP) the packet's disposition.
@@ -68,6 +71,9 @@ class InputStage {
 
   Task ContextLoop(HwContext& ctx, int member, int ctx_index, uint8_t port);
 
+  // Reinstalls a crashed context's loop and rejoins it to the token ring.
+  void RestartContext(int ctx_index);
+
   // Claims the next MP (real port or synthesized), allocating a buffer on
   // start-of-packet. Runs inside the token critical section.
   bool ClaimNext(uint8_t port, int ctx_index, Claim* claim);
@@ -83,6 +89,8 @@ class InputStage {
   Classifier& classifier_;
   TokenRing ring_;
   std::vector<HwContext*> members_;  // ring order
+  std::vector<int> member_index_;    // ring member id per context (restart)
+  std::vector<uint8_t> port_of_;     // port served per context (restart)
   std::vector<Task> holder_;         // not used: tasks installed into contexts
   std::vector<PortAssembly> assembly_;
   Rng rng_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/fault/fault_injector.h"
+
 namespace npr {
 
 OutputStage::OutputStage(RouterCore& core)
@@ -24,9 +26,9 @@ void OutputStage::Start() {
     const int slot = r / n_me;
     members_.push_back(&core_.chip->me(me).context(slot));
   }
-  std::vector<int> member_index;
+  member_index_.clear();
   for (int r = 0; r < n_ctx; ++r) {
-    member_index.push_back(ring_.AddMember(*members_[static_cast<size_t>(r)]));
+    member_index_.push_back(ring_.AddMember(*members_[static_cast<size_t>(r)]));
   }
   if (cfg.output_fake_data) {
     // Build the eternal template packet once; the fake descriptor's buffer
@@ -44,8 +46,24 @@ void OutputStage::Start() {
 
   for (int r = 0; r < n_ctx; ++r) {
     HwContext* ctx = members_[static_cast<size_t>(r)];
-    ctx->Install(ContextLoop(*ctx, member_index[static_cast<size_t>(r)], r));
+    ctx->Install(ContextLoop(*ctx, member_index_[static_cast<size_t>(r)], r));
   }
+}
+
+void OutputStage::RestartContext(int out_ctx_index) {
+  core_.stats->context_restarts += 1;
+  const int member = member_index_[static_cast<size_t>(out_ctx_index)];
+  ring_.SetMemberDown(member, false);
+  HwContext* ctx = members_[static_cast<size_t>(out_ctx_index)];
+  ctx->Install(ContextLoop(*ctx, member, out_ctx_index));
+}
+
+int OutputStage::active_streams() const {
+  int n = 0;
+  for (const Streaming& s : streaming_) {
+    n += s.active ? 1 : 0;
+  }
+  return n;
 }
 
 void OutputStage::DeliverMpToPort(uint8_t port, const Mp& mp) {
@@ -76,6 +94,16 @@ Task OutputStage::ContextLoop(HwContext& ctx, int member, int out_ctx_index) {
   const uint32_t batch_max = 8;
 
   for (;;) {
+    // Crash-safe point: no token is held. A mid-stream packet survives in
+    // streaming_[out_ctx_index] and resumes after the restart.
+    if (core_.fault != nullptr && core_.fault->ShouldCrashContext()) {
+      core_.stats->context_crashes += 1;
+      ring_.SetMemberDown(member, true);
+      OutputStage* self = this;
+      core_.engine->ScheduleIn(core_.fault->context_restart_ps(),
+                               [self, out_ctx_index] { self->RestartContext(out_ctx_index); });
+      co_return;
+    }
     // Token critical section: keep the strictly ordered transmit FIFO
     // slots in rotation (§3.3).
     co_await ring_.Acquire(member);

@@ -33,6 +33,9 @@ class OutputStage {
   // output stage transmits them like any other packet).
   void DeliverMpToPort(uint8_t port, const Mp& mp);
 
+  // Packets currently mid-stream out of DRAM (counted for conservation).
+  int active_streams() const;
+
  private:
   struct Streaming {
     bool active = false;
@@ -46,9 +49,13 @@ class OutputStage {
   Task ContextLoop(HwContext& ctx, int member, int out_ctx_index);
   void CompletePacket(const PacketDescriptor& desc);
 
+  // Reinstalls a crashed context's loop and rejoins it to the token ring.
+  void RestartContext(int out_ctx_index);
+
   RouterCore& core_;
   TokenRing ring_;
   std::vector<HwContext*> members_;
+  std::vector<int> member_index_;  // ring member id per context (restart)
   std::vector<Streaming> streaming_;  // per output context
   // output_fake_data mode: the eternal descriptor served when queues are
   // empty (see RouterConfig).

@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/fault/fault_injector.h"
+
 namespace npr {
+
+namespace {
+
+// The fields carried by the encoded word; generation/flow/frame live only in
+// the sidecar.
+bool EncodedFieldsMatch(const PacketDescriptor& a, const PacketDescriptor& b) {
+  return a.buffer_addr == b.buffer_addr && a.mp_count == b.mp_count && a.out_port == b.out_port &&
+         a.exceptional == b.exceptional;
+}
+
+}  // namespace
 
 uint32_t PacketDescriptor::Encode(uint32_t dram_base, uint32_t buffer_bytes) const {
   const uint32_t index = (buffer_addr - dram_base) / buffer_bytes;
@@ -66,16 +79,44 @@ std::optional<PacketDescriptor> PacketQueue::Pop() {
     return std::nullopt;
   }
   const uint32_t slot = tail % capacity_;
-  const uint32_t word = sram_.ReadU32(entry_sram_addr(slot));
+  uint32_t word = sram_.ReadU32(entry_sram_addr(slot));
+  if (fault_ != nullptr) {
+    fault_->MaybeCorruptDescriptor(&word);
+  }
   PacketDescriptor d = PacketDescriptor::Decode(word, dram_base_, buffer_bytes_);
   // The hardware word is authoritative; sidecar carries what it cannot.
   d.generation = sidecar_[slot].generation;
   d.flow_handle = sidecar_[slot].flow_handle;
   d.frame_bytes = sidecar_[slot].frame_bytes;
-  assert(d.buffer_addr == sidecar_[slot].buffer_addr && "sidecar out of sync with SRAM ring");
+  if (!EncodedFieldsMatch(d, sidecar_[slot])) {
+    // A corrupted descriptor must never be followed: discard the entry and
+    // count it so packet conservation still balances.
+    assert(fault_ != nullptr && "sidecar out of sync with SRAM ring");
+    scratch_.WriteU32(tail_scratch_addr(), tail + 1);
+    ++corrupt_drops_;
+    return std::nullopt;
+  }
   scratch_.WriteU32(tail_scratch_addr(), tail + 1);
   ++pops_;
   return d;
+}
+
+uint32_t PacketQueue::CheckConsistency() const {
+  const uint32_t head = scratch_.ReadU32(head_scratch_addr());
+  const uint32_t tail = scratch_.ReadU32(tail_scratch_addr());
+  if (head - tail > capacity_) {
+    return head - tail;  // impossible occupancy: report it loudly
+  }
+  uint32_t mismatches = 0;
+  for (uint32_t i = tail; i != head; ++i) {
+    const uint32_t slot = i % capacity_;
+    const uint32_t word = sram_.ReadU32(entry_sram_addr(slot));
+    const PacketDescriptor d = PacketDescriptor::Decode(word, dram_base_, buffer_bytes_);
+    if (!EncodedFieldsMatch(d, sidecar_[slot])) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace npr

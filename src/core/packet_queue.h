@@ -19,6 +19,8 @@
 
 namespace npr {
 
+class FaultInjector;
+
 // What the 32-bit queue entry encodes, plus simulator sidecar (generation
 // for buffer-lap detection; ids for verification).
 struct PacketDescriptor {
@@ -58,7 +60,17 @@ class PacketQueue {
   uint64_t pushes() const { return pushes_; }
   uint64_t pops() const { return pops_; }
   uint64_t drops() const { return drops_; }
+  uint64_t corrupt_drops() const { return corrupt_drops_; }
   uint32_t max_depth() const { return max_depth_; }
+
+  // Fault injection: corrupts descriptor words as they are read back in
+  // Pop(). A corrupted word that disagrees with the sidecar is counted in
+  // corrupt_drops() and the entry is discarded, never followed.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
+  // Cross-checks every occupied ring slot's SRAM word against the sidecar.
+  // Returns the number of inconsistent entries (0 on a healthy queue).
+  uint32_t CheckConsistency() const;
 
   // Addresses, so pipeline stages charge the right channels.
   uint32_t head_scratch_addr() const { return scratch_base_; }
@@ -78,9 +90,12 @@ class PacketQueue {
   // Sidecar metadata, indexed like the SRAM ring.
   std::vector<PacketDescriptor> sidecar_;
 
+  FaultInjector* fault_ = nullptr;
+
   uint64_t pushes_ = 0;
   uint64_t pops_ = 0;
   uint64_t drops_ = 0;
+  uint64_t corrupt_drops_ = 0;
   uint32_t max_depth_ = 0;
 };
 

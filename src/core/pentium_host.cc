@@ -151,6 +151,7 @@ Task PentiumHost::PeLoop() {
       core_.stats->pentium_processed += 1;
 
       if (!forward && !(to_run.empty() && flow == nullptr)) {
+        core_.stats->pe_absorbed += 1;
         ReleaseBuffer(core_, hp->desc.buffer_addr);  // dropped or consumed
       }
       // Return path: DMA the (possibly modified) packet back and publish

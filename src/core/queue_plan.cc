@@ -71,23 +71,42 @@ PacketQueue& QueuePlan::QueueFor(int input_ctx, uint8_t out_port, uint32_t prior
   return *queues_[IndexFor(input_ctx, out_port, priority)];
 }
 
+// Queues not built by this plan (the bridge's exception queues) carry ids
+// outside aux_; they have no plan mutex or readiness bit.
+bool QueuePlan::Owns(const PacketQueue& queue) const {
+  return static_cast<size_t>(queue.id()) < aux_.size() &&
+         queues_[static_cast<size_t>(queue.id())].get() == &queue;
+}
+
 HwMutex* QueuePlan::MutexFor(const PacketQueue& queue) {
+  if (!Owns(queue)) {
+    return nullptr;
+  }
   return aux_[static_cast<size_t>(queue.id())].mutex;
 }
 
 void QueuePlan::MarkReady(const PacketQueue& queue) {
+  if (!Owns(queue)) {
+    return;
+  }
   const QueueAux& aux = aux_[static_cast<size_t>(queue.id())];
   const uint32_t word = scratch_store_.ReadU32(aux.ready_word);
   scratch_store_.WriteU32(aux.ready_word, word | (1u << aux.ready_bit));
 }
 
 void QueuePlan::ClearReady(const PacketQueue& queue) {
+  if (!Owns(queue)) {
+    return;
+  }
   const QueueAux& aux = aux_[static_cast<size_t>(queue.id())];
   const uint32_t word = scratch_store_.ReadU32(aux.ready_word);
   scratch_store_.WriteU32(aux.ready_word, word & ~(1u << aux.ready_bit));
 }
 
 bool QueuePlan::IsReady(const PacketQueue& queue) const {
+  if (!Owns(queue)) {
+    return false;
+  }
   const QueueAux& aux = aux_[static_cast<size_t>(queue.id())];
   return (scratch_store_.ReadU32(aux.ready_word) >> aux.ready_bit & 1) != 0;
 }

@@ -32,7 +32,11 @@ class QueuePlan {
 
   // The queue an input context must use for (port, priority).
   PacketQueue& QueueFor(int input_ctx, uint8_t out_port, uint32_t priority);
-  // The mutex protecting that queue, or nullptr under private queueing.
+  // Whether this plan built the queue. The bridge's exception queues are
+  // not in the plan; plan accessors treat them as mutex-less and not ready.
+  bool Owns(const PacketQueue& queue) const;
+  // The mutex protecting that queue, or nullptr under private queueing
+  // (and for queues the plan does not own).
   HwMutex* MutexFor(const PacketQueue& queue);
 
   // Queues an output context services, highest priority first.

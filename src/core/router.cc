@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/fault/fault_injector.h"
 #include "src/net/traffic_gen.h"
 #include "src/sim/log.h"
 
@@ -89,6 +90,29 @@ Router::Router(RouterConfig config, EventQueue* shared_engine)
   pentium_ = std::make_unique<PentiumHost>(core_, *bridge_);
   core_.bridge = bridge_.get();
   core_.pentium = pentium_.get();
+
+  if (config_.fault_plan.Any()) {
+    fault_ = std::make_unique<FaultInjector>(config_.fault_plan, engine_);
+    core_.fault = fault_.get();
+    MemorySystem& m = chip_.memory();
+    m.dram().set_fault_injector(fault_.get());
+    m.sram().set_fault_injector(fault_.get());
+    m.scratch().set_fault_injector(fault_.get());
+    // Bit flips only on the packet-payload store: descriptor words and flow
+    // state have their own fault class (descriptor corruption) with a
+    // detection path.
+    m.dram_store().set_fault_injector(fault_.get());
+    for (auto& port : ports_) {
+      port->set_fault_injector(fault_.get());
+    }
+    for (const auto& q : queues_->all_queues()) {
+      q->set_fault_injector(fault_.get());
+    }
+    sa_local_queue_->set_fault_injector(fault_.get());
+    sa_pentium_queue_->set_fault_injector(fault_.get());
+    input_->token_ring().set_fault_injector(fault_.get());
+    output_->token_ring().set_fault_injector(fault_.get());
+  }
 }
 
 Router::~Router() {

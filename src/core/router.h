@@ -22,6 +22,8 @@
 
 namespace npr {
 
+class FaultInjector;
+
 // A request through the §4.5 interface:
 //   fid = install(key, fwdr, size, where)
 struct InstallRequest {
@@ -105,6 +107,11 @@ class Router {
   OutputStage& output_stage() { return *output_; }
   QueuePlan& queues() { return *queues_; }
   CircularBufferAllocator& buffers() { return buffers_; }
+  PacketQueue& sa_local_queue() { return *sa_local_queue_; }
+  PacketQueue& sa_pentium_queue() { return *sa_pentium_queue_; }
+  // Null unless the config carries a non-empty fault plan.
+  FaultInjector* fault_injector() { return fault_.get(); }
+  bool started() const { return started_; }
 
  private:
   RouterConfig config_;
@@ -132,6 +139,8 @@ class Router {
   std::unique_ptr<QueuePlan> queues_;
   std::unique_ptr<PacketQueue> sa_local_queue_;
   std::unique_ptr<PacketQueue> sa_pentium_queue_;
+
+  std::unique_ptr<FaultInjector> fault_;
 
   RouterCore core_;
   Classifier classifier_;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/fault/fault_plan.h"
 #include "src/ixp/hw_config.h"
 #include "src/vrp/budget.h"
 
@@ -159,6 +160,10 @@ struct RouterConfig {
   // stack pool the paper describes but chose not to build. Removes the
   // buffer-lap loss hazard at the cost of an extra SRAM push/pop per packet.
   bool use_stack_buffer_pool = false;
+
+  // Deterministic fault injection (docs/fault_injection.md). The default
+  // plan injects nothing and builds no injector.
+  FaultPlan fault_plan;
 
   // §3.7 ablation: an early design had the ports DMA packets directly
   // to/from DRAM, bypassing the FIFOs — four memory accesses per byte of a

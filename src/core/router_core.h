@@ -25,6 +25,7 @@ namespace npr {
 
 class StrongArmBridge;
 class PentiumHost;
+class FaultInjector;
 
 struct RouterCore {
   // Returns the packet's sidecar metadata regardless of allocator flavor,
@@ -63,6 +64,10 @@ struct RouterCore {
 
   StrongArmBridge* bridge = nullptr;
   PentiumHost* pentium = nullptr;
+
+  // Non-null when the config carries a fault plan; stage loops poll it for
+  // context crashes.
+  FaultInjector* fault = nullptr;
 };
 
 // Sidecar metadata for a buffer under either allocator.

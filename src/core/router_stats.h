@@ -57,6 +57,17 @@ struct RouterStats {
   uint64_t icmp_generated = 0;      // errors originated on the exception path
   uint64_t pentium_processed = 0;
 
+  // Packet-conservation bookkeeping (RouterInvariants): every way a packet
+  // leaves the system other than transmission or the drop counters above.
+  uint64_t sa_lapped = 0;        // exception-queue pop hit a lapped buffer
+  uint64_t sa_absorbed = 0;      // StrongARM consumed/dropped the packet
+  uint64_t pe_absorbed = 0;      // Pentium consumed/dropped the packet
+  uint64_t icmp_originated = 0;  // ICMP errors built in fresh buffers (a source)
+
+  // Fault-injection outcomes.
+  uint64_t context_crashes = 0;
+  uint64_t context_restarts = 0;
+
   // End-to-end latency of forwarded packets, in nanoseconds.
   Histogram latency_ns;
   // Forwarding rate over the measurement window.

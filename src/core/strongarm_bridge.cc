@@ -376,6 +376,7 @@ Task StrongArmBridge::SaLoop() {
                 if (iq.Push(icmp_desc)) {
                   core_.queues->MarkReady(iq);
                   core_.stats->icmp_generated += 1;
+                  core_.stats->icmp_originated += 1;
                 } else {
                   ReleaseBuffer(core_, buf);
                 }
@@ -384,6 +385,7 @@ Task StrongArmBridge::SaLoop() {
           }
         }
         if (!forward) {
+          core_.stats->sa_absorbed += 1;
           ReleaseBuffer(core_, desc->buffer_addr);
         }
         ++local_processed_;
@@ -391,6 +393,10 @@ Task StrongArmBridge::SaLoop() {
         if (core_.config->sa_proportional_share) {
           local_pass_ += 1.0 / core_.config->sa_local_share;
         }
+      } else if (desc) {
+        // The circular buffer was lapped while the descriptor sat in the
+        // exception queue; the packet content is gone.
+        core_.stats->sa_lapped += 1;
       }
       did_work = true;
     }

@@ -1,0 +1,137 @@
+#include "src/fault/fault_injector.h"
+
+namespace npr {
+namespace {
+
+// Ethernet header size; bytes [14, 34) of a frame hold the IPv4 header.
+constexpr size_t kEthHeader = 14;
+constexpr size_t kIpHeaderEnd = kEthHeader + 20;
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMemLatencySpike:
+      return "mem_latency_spike";
+    case FaultKind::kMemBitFlip:
+      return "mem_bit_flip";
+    case FaultKind::kFrameCrcDrop:
+      return "frame_crc_drop";
+    case FaultKind::kFrameCorrupt:
+      return "frame_corrupt";
+    case FaultKind::kFrameTruncate:
+      return "frame_truncate";
+    case FaultKind::kRxStall:
+      return "rx_stall";
+    case FaultKind::kContextCrash:
+      return "context_crash";
+    case FaultKind::kTokenDrop:
+      return "token_drop";
+    case FaultKind::kDescCorrupt:
+      return "desc_corrupt";
+    case FaultKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, EventQueue& engine)
+    : plan_(plan), engine_(engine), rng_(plan.seed) {
+  if (plan_.context_crash_mean_ps > 0) {
+    next_crash_at_ =
+        engine_.now() +
+        static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.context_crash_mean_ps)));
+  }
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (uint64_t n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+SimTime FaultInjector::MemExtraLatencyPs() {
+  if (plan_.mem_latency_spike_p <= 0 || !rng_.Chance(plan_.mem_latency_spike_p)) {
+    return 0;
+  }
+  Count(FaultKind::kMemLatencySpike);
+  return plan_.mem_latency_spike_ps;
+}
+
+bool FaultInjector::MaybeFlipReadBits(std::span<uint8_t> out) {
+  if (plan_.mem_bit_flip_p <= 0 || out.empty() || !rng_.Chance(plan_.mem_bit_flip_p)) {
+    return false;
+  }
+  out[rng_.Uniform(out.size())] ^= static_cast<uint8_t>(1u << rng_.Uniform(8));
+  Count(FaultKind::kMemBitFlip);
+  return true;
+}
+
+FaultInjector::FrameFault FaultInjector::OnFrameRx(std::span<uint8_t> frame,
+                                                   size_t* truncate_to) {
+  if (plan_.frame_crc_p > 0 && rng_.Chance(plan_.frame_crc_p)) {
+    Count(FaultKind::kFrameCrcDrop);
+    return FrameFault::kCrcDrop;
+  }
+  if (plan_.frame_corrupt_p > 0 && frame.size() >= kIpHeaderEnd &&
+      rng_.Chance(plan_.frame_corrupt_p)) {
+    // Flip one bit inside the IPv4 header: the header checksum detects every
+    // single-bit error, so the packet becomes a counted dropped_invalid.
+    const size_t byte = kEthHeader + rng_.Uniform(kIpHeaderEnd - kEthHeader);
+    frame[byte] ^= static_cast<uint8_t>(1u << rng_.Uniform(8));
+    Count(FaultKind::kFrameCorrupt);
+    return FrameFault::kCorrupt;
+  }
+  if (plan_.frame_truncate_p > 0 && frame.size() > kEthHeader + 2 &&
+      rng_.Chance(plan_.frame_truncate_p)) {
+    // Keep at least the Ethernet header plus one payload byte so the frame
+    // still segments; anything shorter than a full IP header is dropped by
+    // the classifier as invalid.
+    *truncate_to = rng_.Range(kEthHeader + 1, frame.size() - 1);
+    Count(FaultKind::kFrameTruncate);
+    return FrameFault::kTruncate;
+  }
+  return FrameFault::kNone;
+}
+
+SimTime FaultInjector::RxStallPs() {
+  if (plan_.rx_stall_p <= 0 || !rng_.Chance(plan_.rx_stall_p)) {
+    return 0;
+  }
+  Count(FaultKind::kRxStall);
+  return plan_.rx_stall_ps;
+}
+
+SimTime FaultInjector::TokenOfferDelayPs() {
+  if (plan_.token_drop_p <= 0 || !rng_.Chance(plan_.token_drop_p)) {
+    return 0;
+  }
+  Count(FaultKind::kTokenDrop);
+  return plan_.token_redeliver_ps;
+}
+
+bool FaultInjector::ShouldCrashContext() {
+  if (plan_.context_crash_mean_ps <= 0 || engine_.now() < next_crash_at_) {
+    return false;
+  }
+  next_crash_at_ =
+      engine_.now() +
+      static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.context_crash_mean_ps)));
+  Count(FaultKind::kContextCrash);
+  return true;
+}
+
+bool FaultInjector::MaybeCorruptDescriptor(uint32_t* word) {
+  if (plan_.desc_corrupt_p <= 0 || !rng_.Chance(plan_.desc_corrupt_p)) {
+    return false;
+  }
+  // Only the low 24 bits are encoded descriptor state, and every one of them
+  // participates in the sidecar cross-check, so each flip is detectable.
+  *word ^= 1u << rng_.Uniform(24);
+  Count(FaultKind::kDescCorrupt);
+  return true;
+}
+
+}  // namespace npr

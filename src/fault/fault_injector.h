@@ -1,0 +1,112 @@
+// Deterministic fault injector.
+//
+// One FaultInjector instance is owned by the Router when its config carries a
+// non-empty FaultPlan, and a raw pointer to it is handed to every hook site
+// (memory channels, backing stores, MAC ports, token rings, packet queues,
+// stage context loops). Each hook asks the injector a question ("extra
+// latency for this access?", "does this frame survive the wire?") and the
+// injector answers from its private seeded Rng, so a given (plan, workload)
+// pair produces the identical fault sequence on every run.
+//
+// Hooks that a plan leaves disabled consume no Rng draws, so enabling one
+// fault class does not perturb the schedule of another.
+
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/fault/fault_plan.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+enum class FaultKind : uint8_t {
+  kMemLatencySpike,
+  kMemBitFlip,
+  kFrameCrcDrop,
+  kFrameCorrupt,
+  kFrameTruncate,
+  kRxStall,
+  kContextCrash,
+  kTokenDrop,
+  kDescCorrupt,
+  kCount,
+};
+
+inline constexpr size_t kFaultKindCount = static_cast<size_t>(FaultKind::kCount);
+
+const char* FaultKindName(FaultKind kind);
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, EventQueue& engine);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Number of faults of `kind` injected so far.
+  uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<size_t>(kind)];
+  }
+  uint64_t total_injected() const;
+
+  // --- memory channel / backing store hooks ---
+
+  // Extra latency (possibly 0) to add to one memory access.
+  SimTime MemExtraLatencyPs();
+
+  // Possibly flips one bit in the bytes being returned from a read. Returns
+  // true if a flip happened. The backing store itself is not modified.
+  bool MaybeFlipReadBits(std::span<uint8_t> out);
+
+  // --- MAC port hooks ---
+
+  enum class FrameFault : uint8_t { kNone, kCrcDrop, kCorrupt, kTruncate };
+
+  // Decides the fate of one received frame. kCorrupt flips one bit inside
+  // the IP header in place (so the checksum fails downstream); kTruncate
+  // sets *truncate_to to the surviving byte count.
+  FrameFault OnFrameRx(std::span<uint8_t> frame, size_t* truncate_to);
+
+  // Extra stall (possibly 0) before the RX path accepts a frame.
+  SimTime RxStallPs();
+
+  // --- token ring hook ---
+
+  // Extra delay (possibly 0) for one token hand-off, modelling a dropped
+  // offer that has to be redelivered.
+  SimTime TokenOfferDelayPs();
+
+  // --- context crash hooks ---
+
+  // Polled by stage context loops at their crash-safe point (top of loop,
+  // no token or claim held). Crashes follow an exponential inter-arrival
+  // process; at most one context crashes per deadline.
+  bool ShouldCrashContext();
+
+  SimTime context_restart_ps() const { return plan_.context_restart_ps; }
+
+  // --- packet queue hook ---
+
+  // Possibly flips one bit in the low 24 encoded bits of a descriptor word
+  // read back from SRAM. Returns true if a flip happened.
+  bool MaybeCorruptDescriptor(uint32_t* word);
+
+ private:
+  void Count(FaultKind kind) { injected_[static_cast<size_t>(kind)] += 1; }
+
+  const FaultPlan plan_;
+  EventQueue& engine_;
+  Rng rng_;
+  SimTime next_crash_at_ = 0;
+  std::array<uint64_t, kFaultKindCount> injected_{};
+};
+
+}  // namespace npr
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

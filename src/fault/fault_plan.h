@@ -1,0 +1,127 @@
+// Declarative fault-injection plans.
+//
+// A FaultPlan describes *what* can go wrong and how often; a FaultInjector
+// (fault_injector.h) turns the plan into concrete, seed-deterministic fault
+// events at the hook points wired through the simulator. A default-constructed
+// plan injects nothing and the router builds no injector at all, so the
+// zero-fault configuration is bit-identical to a build without this
+// subsystem. The named presets below are the "shipped" plans exercised by
+// tests/fault_test.cc and bench/fault_chaos.cc.
+
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace npr {
+
+struct FaultPlan {
+  // Seed for the injector's private Rng; the same (plan, workload) pair
+  // replays every fault at the identical simulated instant.
+  uint64_t seed = 0xfa017ULL;
+
+  // --- memory channels (DRAM/SRAM/Scratch timing) ---
+  // Per-access probability that the access takes an extra latency spike
+  // (a refresh collision, an arbitration stall).
+  double mem_latency_spike_p = 0.0;
+  SimTime mem_latency_spike_ps = 2 * kPsPerUs;
+  // Per-read probability of a single-bit flip in the returned data (the
+  // stored bytes stay intact — a transient read disturbance).
+  double mem_bit_flip_p = 0.0;
+
+  // --- MAC ports (wire-side receive faults) ---
+  double frame_crc_p = 0.0;       // frame fails CRC: dropped whole at the MAC
+  double frame_corrupt_p = 0.0;   // single-bit flip inside the IP header
+  double frame_truncate_p = 0.0;  // frame cut short on the wire
+  double rx_stall_p = 0.0;        // receive path stalls before serialization
+  SimTime rx_stall_ps = 20 * kPsPerUs;
+
+  // --- MicroEngine contexts ---
+  // Mean inter-arrival of context crashes (exponential); 0 disables. A
+  // crashed context leaves its token-ring seat, is reinstalled after
+  // `context_restart_ps`, and rejoins the rotation.
+  SimTime context_crash_mean_ps = 0;
+  SimTime context_restart_ps = 100 * kPsPerUs;
+
+  // --- token ring ---
+  // Probability a token hand-off signal is dropped and must be redelivered
+  // after `token_redeliver_ps` (models a lost inter-thread signal).
+  double token_drop_p = 0.0;
+  SimTime token_redeliver_ps = 5 * kPsPerUs;
+
+  // --- packet queues ---
+  // Per-pop probability of a single-bit corruption in the descriptor word
+  // read back from SRAM (the stored word stays intact).
+  double desc_corrupt_p = 0.0;
+
+  bool Any() const {
+    return mem_latency_spike_p > 0 || mem_bit_flip_p > 0 || frame_crc_p > 0 ||
+           frame_corrupt_p > 0 || frame_truncate_p > 0 || rx_stall_p > 0 ||
+           context_crash_mean_ps > 0 || token_drop_p > 0 || desc_corrupt_p > 0;
+  }
+
+  // --- shipped plans ---
+
+  static FaultPlan MemoryFaults(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.mem_latency_spike_p = 2e-4;
+    p.mem_bit_flip_p = 1e-4;
+    return p;
+  }
+
+  static FaultPlan FrameFaults(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.frame_crc_p = 0.02;
+    p.frame_corrupt_p = 0.02;
+    p.frame_truncate_p = 0.01;
+    p.rx_stall_p = 0.01;
+    return p;
+  }
+
+  static FaultPlan ContextCrashes(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.context_crash_mean_ps = 2 * kPsPerMs;
+    p.context_restart_ps = 50 * kPsPerUs;
+    return p;
+  }
+
+  static FaultPlan TokenFaults(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.token_drop_p = 0.01;
+    return p;
+  }
+
+  static FaultPlan DescriptorFaults(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.desc_corrupt_p = 0.005;
+    return p;
+  }
+
+  // Everything at once, rates dialed so the router stays live.
+  static FaultPlan Chaos(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.mem_latency_spike_p = 1e-4;
+    p.mem_bit_flip_p = 5e-5;
+    p.frame_crc_p = 0.01;
+    p.frame_corrupt_p = 0.01;
+    p.frame_truncate_p = 0.005;
+    p.rx_stall_p = 0.005;
+    p.context_crash_mean_ps = 3 * kPsPerMs;
+    p.context_restart_ps = 50 * kPsPerUs;
+    p.token_drop_p = 0.005;
+    p.desc_corrupt_p = 0.002;
+    return p;
+  }
+};
+
+}  // namespace npr
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

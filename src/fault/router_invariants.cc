@@ -1,0 +1,177 @@
+#include "src/fault/router_invariants.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/core/pentium_host.h"
+#include "src/core/router.h"
+#include "src/core/strongarm_bridge.h"
+
+namespace npr {
+namespace {
+
+void Violate(InvariantReport* report, std::string message) {
+  report->violations.push_back(std::move(message));
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return std::string(buf);
+}
+
+void CheckQueue(const PacketQueue& q, const char* label, InvariantReport* report) {
+  if (q.size() > q.capacity()) {
+    Violate(report, Format("%s queue %d: size %u exceeds capacity %u", label, q.id(),
+                           q.size(), q.capacity()));
+  }
+  const uint32_t bad = q.CheckConsistency();
+  if (bad != 0) {
+    Violate(report, Format("%s queue %d: %u descriptor(s) disagree with the SRAM ring",
+                           label, q.id(), bad));
+  }
+}
+
+// Every packet admitted to the pipeline (plus every ICMP error originated in
+// a fresh buffer) must be transmitted, counted as a drop, or still visibly
+// in flight somewhere. dropped_no_buffer and the MAC-level CRC drops happen
+// before ingress accounting and are deliberately outside the balance.
+void CheckConservation(Router& router, InvariantReport* report) {
+  const RouterConfig& cfg = router.config();
+  const RouterStats& stats = router.stats();
+  if (cfg.magic_drain || cfg.output_fake_data || cfg.port_mode == PortMode::kInfiniteFifo) {
+    return;  // synthetic/absorbing modes do not conserve packets
+  }
+  if (stats.window_start != 0) {
+    return;  // StartMeasurement() reset the ingress counters mid-run
+  }
+  report->conservation_checked = true;
+
+  uint64_t corrupt_drops = 0;
+  uint64_t queued = 0;
+  for (const auto& q : router.queues().all_queues()) {
+    corrupt_drops += q->corrupt_drops();
+    queued += q->size();
+  }
+  corrupt_drops += router.sa_local_queue().corrupt_drops();
+  corrupt_drops += router.sa_pentium_queue().corrupt_drops();
+  queued += router.sa_local_queue().size();
+  queued += router.sa_pentium_queue().size();
+
+  report->sources = stats.input.packets + stats.icmp_originated;
+  report->sinks = stats.forwarded + stats.dropped_invalid + stats.dropped_by_vrp +
+                  stats.dropped_queue_full + stats.lost_overwritten + stats.sa_lapped +
+                  stats.sa_absorbed + stats.pe_absorbed + corrupt_drops;
+  report->in_flight = queued + router.bridge().staging().size() +
+                      router.pentium_host().scheduler().backlog() +
+                      static_cast<uint64_t>(router.output_stage().active_streams()) +
+                      static_cast<uint64_t>(router.input_stage().partial_assemblies());
+
+  if (report->sources != report->sinks + report->in_flight) {
+    Violate(report,
+            Format("packet conservation: sources %" PRIu64 " != sinks %" PRIu64
+                   " + in-flight %" PRIu64 " (leak of %" PRId64 ")",
+                   report->sources, report->sinks, report->in_flight,
+                   static_cast<int64_t>(report->sources) -
+                       static_cast<int64_t>(report->sinks + report->in_flight)));
+  }
+}
+
+void CheckTokenLiveness(Router& router, InvariantReport* report) {
+  if (!router.started()) {
+    return;
+  }
+  const SimTime now = router.engine().now();
+  if (now <= RouterInvariants::kTokenLivenessWindowPs) {
+    return;  // not enough history to judge
+  }
+  struct Stage {
+    const char* name;
+    TokenRing* ring;
+    int contexts;
+  };
+  const Stage stages[] = {
+      {"input", &router.input_stage().token_ring(), router.input_stage().num_contexts()},
+      {"output", &router.output_stage().token_ring(), router.output_stage().num_contexts()},
+  };
+  for (const Stage& s : stages) {
+    if (s.contexts == 0 || s.ring->members_up() == 0) {
+      continue;  // stage disabled, or every context crashed (restart pending)
+    }
+    const SimTime idle = now - s.ring->last_grant_ps();
+    if (idle > RouterInvariants::kTokenLivenessWindowPs) {
+      Violate(report, Format("%s token ring: no grant for %.3f ms (%d/%d members up)",
+                             s.name, static_cast<double>(idle) / kPsPerMs,
+                             s.ring->members_up(), s.ring->size()));
+    }
+  }
+}
+
+void CheckQueues(Router& router, InvariantReport* report) {
+  for (const auto& q : router.queues().all_queues()) {
+    CheckQueue(*q, "output", report);
+  }
+  CheckQueue(router.sa_local_queue(), "sa-local", report);
+  CheckQueue(router.sa_pentium_queue(), "sa-pentium", report);
+}
+
+void CheckVrpBudget(Router& router, InvariantReport* report) {
+  const VrpBudget& budget = router.config().budget;
+  AdmissionControl& adm = router.admission();
+  if (!budget.Admits(adm.general_chain_cost())) {
+    Violate(report, "VRP budget: committed general chain exceeds the per-MP budget");
+  }
+  if (!budget.Admits(adm.max_per_flow_cost(), adm.general_chain_cost())) {
+    Violate(report,
+            "VRP budget: worst per-flow forwarder plus general chain exceeds the budget");
+  }
+  if (adm.pentium_committed_packet_rate() > adm.pentium_max_pps) {
+    Violate(report, Format("Pentium admission: committed %.0f pps exceeds the %.0f pps path",
+                           adm.pentium_committed_packet_rate(), adm.pentium_max_pps));
+  }
+}
+
+void CheckMemoryBounds(Router& router, InvariantReport* report) {
+  MemorySystem& mem = router.chip().memory();
+  const BackingStore* stores[] = {&mem.dram_store(), &mem.sram_store(), &mem.scratch_store()};
+  for (const BackingStore* store : stores) {
+    if (store->oob_errors() != 0) {
+      Violate(report, Format("memory bounds: %" PRIu64 " out-of-bounds %s accesses",
+                             store->oob_errors(), store->name().c_str()));
+    }
+  }
+}
+
+}  // namespace
+
+std::string InvariantReport::ToString() const {
+  if (ok()) {
+    return conservation_checked
+               ? Format("all invariants hold (sources %" PRIu64 " = sinks %" PRIu64
+                        " + in-flight %" PRIu64 ")",
+                        sources, sinks, in_flight)
+               : "all invariants hold (conservation not applicable)";
+  }
+  std::string out = Format("%zu invariant violation(s):", violations.size());
+  for (const std::string& v : violations) {
+    out += "\n  - ";
+    out += v;
+  }
+  return out;
+}
+
+InvariantReport RouterInvariants::CheckAll(Router& router) {
+  InvariantReport report;
+  CheckConservation(router, &report);
+  CheckTokenLiveness(router, &report);
+  CheckQueues(router, &report);
+  CheckVrpBudget(router, &report);
+  CheckMemoryBounds(router, &report);
+  return report;
+}
+
+}  // namespace npr

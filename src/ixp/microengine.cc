@@ -9,9 +9,13 @@ namespace npr {
 HwContext::HwContext(MicroEngine& me, int index) : me_(me), index_(index) {}
 
 void HwContext::Install(Task task) {
-  assert(!installed_ && "context already has a program");
+  // A context can be (re)programmed only while it has no live program: never
+  // installed, or its previous program ran to completion (crash-and-restart
+  // reinstalls a context whose loop co_returned).
+  assert((!installed_ || state_ == State::kIdle) && "context already has a live program");
   task_ = std::move(task);
   installed_ = true;
+  started_ = false;
   state_ = State::kReady;
   ready_since_ = me_.event_queue().now();
   me_.EnqueueReady(this);

@@ -90,8 +90,8 @@ class HwContext {
   };
   YieldAwaiter Yield() { return YieldAwaiter{this}; }
 
-  // Installs the context's program and makes it runnable. Must be called at
-  // most once per context.
+  // Installs the context's program and makes it runnable. A context may be
+  // reinstalled after its previous program finished (crash-and-restart).
   void Install(Task task);
 
   // Wakes a context blocked in Block(). Called by synchronization

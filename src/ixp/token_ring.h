@@ -24,6 +24,8 @@
 
 namespace npr {
 
+class FaultInjector;
+
 class TokenRing {
  public:
   // `pass_cycles` is the inter-thread signal latency (HwConfig::token_pass_cycles).
@@ -54,6 +56,19 @@ class TokenRing {
   // stall; see §3.2.2's discussion of rotation order).
   SimTime idle_ps() const { return idle_ps_; }
 
+  // Takes a member out of (or back into) the rotation — a crashed context
+  // must not wedge the ring. A down member is skipped by Offer(); if every
+  // member is down the token parks and is re-offered when one comes back.
+  // Must not be called by the current token holder.
+  void SetMemberDown(int member, bool down);
+
+  int members_up() const;
+  // Time of the most recent successful grant (liveness checks).
+  SimTime last_grant_ps() const { return last_grant_ps_; }
+
+  // Fault injection: deterministic extra delay on token hand-offs.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   friend struct Awaiter;
 
@@ -63,16 +78,20 @@ class TokenRing {
   struct Member {
     HwContext* ctx;
     bool waiting = false;
+    bool down = false;
   };
 
   EventQueue& engine_;
   const uint32_t pass_cycles_;
   std::vector<Member> members_;
+  FaultInjector* fault_ = nullptr;
   int offered_to_ = 0;     // member the token is currently offered to
   bool available_ = true;  // true when offered and not yet claimed
   bool held_ = false;
+  bool parked_ = false;    // every member down; token waits for a restart
   SimTime offer_since_ = 0;
   SimTime idle_ps_ = 0;
+  SimTime last_grant_ps_ = 0;
 };
 
 }  // namespace npr

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
 #include "src/sim/log.h"
 
 namespace npr {
@@ -34,6 +35,9 @@ void BackingStore::Read(uint32_t addr, std::span<uint8_t> out) const {
     return;
   }
   std::memcpy(out.data(), data_.data() + addr, out.size());
+  if (fault_ != nullptr && !out.empty()) {
+    fault_->MaybeFlipReadBits(out);
+  }
 }
 
 void BackingStore::WriteU32(uint32_t addr, uint32_t value) {

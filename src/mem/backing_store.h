@@ -18,6 +18,8 @@
 
 namespace npr {
 
+class FaultInjector;
+
 class BackingStore {
  public:
   BackingStore(std::string name, size_t size_bytes);
@@ -43,11 +45,16 @@ class BackingStore {
   // Number of accesses rejected for being out of bounds.
   uint64_t oob_errors() const { return oob_errors_; }
 
+  // Fault injection: single-bit flips on the data returned by Read(). The
+  // stored bytes are untouched (a transient read disturbance).
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   bool CheckRange(uint32_t addr, size_t len) const;
 
   std::string name_;
   std::vector<uint8_t> data_;
+  FaultInjector* fault_ = nullptr;
   mutable uint64_t oob_errors_ = 0;
 };
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
+
 namespace npr {
 
 MemoryChannel::MemoryChannel(EventQueue& engine, MemoryChannelConfig config)
@@ -25,8 +27,18 @@ SimTime MemoryChannel::Issue(uint32_t bytes, bool is_write, std::function<void()
   const SimTime occupancy = Occupancy(bytes);
   busy_until_ = start + occupancy;
   busy_accum_ += occupancy;
-  const SimTime done_at =
+  SimTime done_at =
       busy_until_ + (is_write ? config_.write_latency_ps : config_.read_latency_ps);
+  if (fault_ != nullptr) {
+    // An injected spike holds the bus, so later accesses queue behind it —
+    // one slow refresh stalls every context waiting on this channel.
+    const SimTime spike = fault_->MemExtraLatencyPs();
+    if (spike > 0) {
+      busy_until_ += spike;
+      busy_accum_ += spike;
+      done_at += spike;
+    }
+  }
 
   if (is_write) {
     ++writes_;

@@ -20,6 +20,8 @@
 
 namespace npr {
 
+class FaultInjector;
+
 struct MemoryChannelConfig {
   std::string name;
   // Bytes moved per bus cycle (DRAM: 8, SRAM/Scratch: 4).
@@ -52,6 +54,9 @@ class MemoryChannel {
 
   const MemoryChannelConfig& config() const { return config_; }
 
+  // Fault injection: adds deterministic latency spikes to accesses.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
   // --- statistics ---
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
@@ -68,6 +73,7 @@ class MemoryChannel {
 
   EventQueue& engine_;
   MemoryChannelConfig config_;
+  FaultInjector* fault_ = nullptr;
   SimTime busy_until_ = 0;
   SimTime busy_accum_ = 0;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
+
 namespace npr {
 
 MacPort::MacPort(EventQueue& engine, uint8_t id, double bits_per_sec, size_t rx_buffer_mps)
@@ -14,10 +16,27 @@ SimTime MacPort::WireTime(size_t frame_bytes) const {
 }
 
 void MacPort::InjectFromWire(Packet packet) {
-  const SimTime start = std::max(engine_.now(), rx_wire_busy_until_);
+  SimTime start = std::max(engine_.now(), rx_wire_busy_until_);
+  if (fault_ != nullptr) {
+    start += fault_->RxStallPs();
+  }
   const SimTime done = start + WireTime(packet.size());
   rx_wire_busy_until_ = done;
   engine_.Schedule(done, [this, p = std::move(packet)]() mutable {
+    if (fault_ != nullptr) {
+      size_t keep = 0;
+      switch (fault_->OnFrameRx(p.bytes(), &keep)) {
+        case FaultInjector::FrameFault::kCrcDrop:
+          ++rx_crc_dropped_;
+          return;
+        case FaultInjector::FrameFault::kTruncate:
+          p.Truncate(keep);
+          break;
+        case FaultInjector::FrameFault::kCorrupt:
+        case FaultInjector::FrameFault::kNone:
+          break;
+      }
+    }
     auto mps = SegmentIntoMps(p, id_);
     if (rx_mps_.size() + mps.size() > rx_buffer_mps_) {
       ++rx_dropped_;

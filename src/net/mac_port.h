@@ -20,6 +20,8 @@
 
 namespace npr {
 
+class FaultInjector;
+
 // Preamble (8) + inter-frame gap (12) per IEEE 802.3; with a 64-byte frame
 // this yields the standard 148.8 Kpps maximum on 100 Mbps Ethernet.
 inline constexpr size_t kEthWireOverheadBytes = 20;
@@ -63,9 +65,14 @@ class MacPort {
   // Receives frames leaving on this port's wire.
   void SetSink(std::function<void(Packet&&)> sink) { sink_ = std::move(sink); }
 
+  // Fault injection: wire-side receive faults (CRC drops, header
+  // corruption, truncation, RX stalls).
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
   // --- statistics ---
   uint64_t rx_frames() const { return rx_frames_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
+  uint64_t rx_crc_dropped() const { return rx_crc_dropped_; }
   uint64_t rx_mps_claimed() const { return rx_mps_claimed_; }
   uint64_t tx_frames() const { return tx_frames_; }
   size_t rx_backlog_mps() const { return rx_mps_.size(); }
@@ -86,9 +93,11 @@ class MacPort {
   std::deque<Mp> rx_mps_;
   MpReassembler tx_reassembler_;
   std::function<void(Packet&&)> sink_;
+  FaultInjector* fault_ = nullptr;
 
   uint64_t rx_frames_ = 0;
   uint64_t rx_dropped_ = 0;
+  uint64_t rx_crc_dropped_ = 0;
   uint64_t rx_mps_claimed_ = 0;
   uint64_t tx_frames_ = 0;
 };

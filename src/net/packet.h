@@ -47,6 +47,15 @@ class Packet {
   // Number of MPs the MAC will split this frame into.
   size_t mp_count() const { return (frame_.size() + 63) / 64; }
 
+  // Cuts the frame short (wire truncation fault). Always keeps at least the
+  // Ethernet header plus one byte so l3() stays a valid view.
+  void Truncate(size_t n) {
+    const size_t floor = kEthHeaderBytes + 1;
+    if (n < frame_.size()) {
+      frame_.resize(n < floor ? floor : n);
+    }
+  }
+
   // --- simulator metadata ---
   uint32_t id() const { return id_; }
   void set_id(uint32_t id) { id_ = id; }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/router.h"
+#include "src/fault/router_invariants.h"
 #include "src/forwarders/vrp_programs.h"
 #include "src/net/traffic_gen.h"
 
@@ -39,6 +40,8 @@ RunSummary OneRun(uint64_t seed) {
     gens.back()->Start(8 * kPsPerMs);
   }
   router.RunForMs(10.0);
+  EXPECT_TRUE(RouterInvariants::CheckAll(router).ok())
+      << RouterInvariants::CheckAll(router).ToString();
   RunSummary s;
   s.forwarded = router.stats().forwarded;
   s.exceptional = router.stats().exceptional;
@@ -106,6 +109,9 @@ TEST(EndToEnd, TrimodalSizeMixAtLineRateNoLoss) {
   EXPECT_GT(delivered_by_size[1518], 100u);
   // Multi-MP accounting: MPs processed must exceed packets processed.
   EXPECT_GT(router.stats().input.mps, router.stats().input.packets);
+  const InvariantReport inv = RouterInvariants::CheckAll(router);
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+  EXPECT_TRUE(inv.conservation_checked);
 }
 
 TEST(EndToEnd, LongRunWithMonitorsStaysStable) {
@@ -146,6 +152,10 @@ TEST(EndToEnd, LongRunWithMonitorsStaysStable) {
   EXPECT_EQ(router.stats().dropped_queue_full, 0u);
   EXPECT_EQ(router.stats().lost_overwritten, 0u);
   EXPECT_EQ(router.stats().vrp_traps, 0u);
+  router.RunForMs(2.0);  // drain in-flight packets for an exact balance
+  const InvariantReport inv = RouterInvariants::CheckAll(router);
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+  EXPECT_TRUE(inv.conservation_checked);
 }
 
 TEST(EndToEnd, IdPreservationUnderLoad) {
@@ -179,6 +189,8 @@ TEST(EndToEnd, IdPreservationUnderLoad) {
   router.RunForMs(24.0);
   EXPECT_EQ(duplicates, 0u);
   EXPECT_GT(seen.size(), 9000u);
+  const InvariantReport inv = RouterInvariants::CheckAll(router);
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
 }
 
 }  // namespace

@@ -135,6 +135,81 @@ TEST(Property, AdmittedProgramsNeverTrapAtRuntime) {
   EXPECT_GT(admitted, 100);
 }
 
+// Generates an *arbitrary* instruction — most are invalid (out-of-range
+// registers, misaligned or out-of-bounds flow-state offsets, backward or
+// zero branches, missing terminators). The verifier is the only gate.
+VrpInstr ArbitraryInstr(Rng& rng, int remaining) {
+  VrpInstr in;
+  in.op = static_cast<VrpOp>(rng.Uniform(static_cast<uint64_t>(VrpOp::kNop) + 1));
+  in.a = static_cast<uint8_t>(rng.Uniform(9));   // 8 is out of range
+  in.b = static_cast<uint8_t>(rng.Uniform(17));  // >= 8 / >= 16 invalid per class
+  switch (rng.Uniform(4)) {
+    case 0:
+      in.imm = static_cast<int32_t>(rng.Uniform(8) * 4);  // aligned, small
+      break;
+    case 1:
+      in.imm = static_cast<int32_t>(rng.Range(1, static_cast<uint64_t>(remaining + 2)));
+      break;
+    case 2:
+      in.imm = static_cast<int32_t>(rng.Uniform(64)) - 8;  // may be negative
+      break;
+    default:
+      in.imm = static_cast<int32_t>(rng.Uniform(1000));
+      break;
+  }
+  return in;
+}
+
+TEST(Property, FuzzedProgramsAcceptedByVerifierNeverTrap) {
+  // Robustness contract of the extension interface (§4.6): whatever
+  // garbage is thrown at install(), anything the verifier accepts runs to
+  // completion within its own declared worst case — so admission can trust
+  // the static bound and a hostile or buggy forwarder cannot trap in the
+  // fast path after admission.
+  Rng rng(0xf0221);
+  BackingStore sram("sram", 4096);
+  HashUnit hash;
+  VrpInterpreter interp(sram, hash);
+  int accepted = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    VrpProgram program;
+    program.name = "fuzz";
+    program.flow_state_bytes = 32;
+    const int body = static_cast<int>(rng.Range(1, 5));
+    for (int i = 0; i < body; ++i) {
+      program.code.push_back(ArbitraryInstr(rng, body - i));
+    }
+    if (rng.Chance(0.85)) {
+      program.code.push_back(VrpInstr{VrpOp::kSend, 0, 0, 0});
+    }
+    const auto v = VerifyProgram(program);
+    if (!v.ok) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    // The program's own worst case, declared as a hard runtime budget: the
+    // interpreter's enforcement must never fire.
+    const VrpBudget declared{v.worst_case.cycles, v.worst_case.sram_transfers(),
+                             v.worst_case.hashes, 650};
+    for (int run = 0; run < 4; ++run) {
+      std::array<uint8_t, 64> mp;
+      for (auto& byte : mp) {
+        byte = static_cast<uint8_t>(rng.Next());
+      }
+      const auto out = interp.Run(program, mp, 256, &declared);
+      ASSERT_NE(out.action, VrpAction::kTrap) << Disassemble(program);
+      EXPECT_LE(out.metered.cycles, v.worst_case.cycles) << Disassemble(program);
+      EXPECT_LE(out.metered.sram_transfers(), v.worst_case.sram_transfers());
+      EXPECT_LE(out.metered.hashes, v.worst_case.hashes);
+    }
+  }
+  // The generator must actually exercise both sides of the gate.
+  EXPECT_GT(accepted, 50);
+  EXPECT_GT(rejected, 50);
+}
+
 TEST(Property, IncrementalTtlAgreesWithRecomputeAlways) {
   Rng rng(0x2468);
   for (int trial = 0; trial < 300; ++trial) {

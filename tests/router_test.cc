@@ -9,6 +9,7 @@
 
 #include "src/control/ospf_lite.h"
 #include "src/core/router.h"
+#include "src/fault/router_invariants.h"
 #include "src/forwarders/control.h"
 #include "src/forwarders/native.h"
 #include "src/forwarders/vrp_programs.h"
@@ -41,6 +42,14 @@ class RouterTest : public ::testing::Test {
     router->SetExceptionHandler(std::make_unique<FullIpForwarder>());
     router->WarmRouteCache(64);
     return router;
+  }
+
+  // Structural health check run at the end of a test, after traffic has
+  // drained. Conservation is skipped automatically for runs that opened a
+  // measurement window.
+  static void ExpectInvariants(Router& router) {
+    const InvariantReport inv = RouterInvariants::CheckAll(router);
+    EXPECT_TRUE(inv.ok()) << inv.ToString();
   }
 
   Received received_;
@@ -76,6 +85,7 @@ TEST_F(RouterTest, ForwardsPacketsCorrectly) {
   EXPECT_EQ(eth->src, PortMac(3));
   EXPECT_EQ(eth->dst, PortMac(3));  // next hop MAC per route convention
   EXPECT_EQ(router->stats().forwarded, 1u);
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, PayloadSurvivesDramRoundTrip) {
@@ -96,6 +106,7 @@ TEST_F(RouterTest, PayloadSurvivesDramRoundTrip) {
   for (size_t i = kEthHeaderBytes + kIpv4MinHeaderBytes; i < original.size(); ++i) {
     ASSERT_EQ(got.bytes()[i], original[i]) << "payload corrupted at byte " << i;
   }
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, SustainsLineRateWithoutLoss) {
@@ -122,6 +133,8 @@ TEST_F(RouterTest, SustainsLineRateWithoutLoss) {
     rx_drops += router->port(p).rx_dropped();
   }
   EXPECT_EQ(rx_drops, 0u);
+  router->RunForMs(4.0);  // drain
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, OptionPacketsTakeStrongArmPathAndGetProcessed) {
@@ -139,6 +152,7 @@ TEST_F(RouterTest, OptionPacketsTakeStrongArmPathAndGetProcessed) {
   auto ip = Ipv4Header::Parse(received_.packets.at(0).l3());
   EXPECT_EQ(ip->ttl, 63);  // full IP decremented it
   EXPECT_TRUE(Ipv4Header::Validate(received_.packets.at(0).l3()));
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, RouteMissResolvesViaSlowPathThenFastPath) {
@@ -157,6 +171,7 @@ TEST_F(RouterTest, RouteMissResolvesViaSlowPathThenFastPath) {
   router->RunForMs(2.0);
   EXPECT_EQ(router->stats().exceptional, 1u) << "second packet should hit the route cache";
   EXPECT_EQ(received_.per_port[5], 2u);
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, UnroutablePacketAnsweredWithIcmp) {
@@ -175,6 +190,7 @@ TEST_F(RouterTest, UnroutablePacketAnsweredWithIcmp) {
   auto ip = Ipv4Header::Parse(received_.packets.at(0).l3());
   ASSERT_TRUE(ip);
   EXPECT_EQ(ip->protocol, kIpProtoIcmp);
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, CorruptPacketsDropped) {
@@ -188,6 +204,7 @@ TEST_F(RouterTest, CorruptPacketsDropped) {
   router->RunForMs(1.0);
   EXPECT_EQ(router->stats().dropped_invalid, 1u);
   EXPECT_EQ(router->stats().forwarded, 0u);
+  ExpectInvariants(*router);
 }
 
 // --- install / remove / getdata / setdata (§4.5) ---
@@ -229,6 +246,7 @@ TEST_F(RouterTest, InstalledPortFilterDropsMatchingTraffic) {
   router->port(0).InjectFromWire(BuildPacket(blocked));
   router->RunForMs(1.0);
   EXPECT_EQ(received_.per_port[2], 2u);
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, SynMonitorCountsReadableViaGetData) {
@@ -263,6 +281,7 @@ TEST_F(RouterTest, SynMonitorCountsReadableViaGetData) {
   std::memcpy(&count, state.data(), 4);
   EXPECT_EQ(count, 5u);
   EXPECT_EQ(received_.per_port[1], 8u) << "monitoring must not drop anything";
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, AdmissionRejectsOverBudgetInstall) {
@@ -319,6 +338,7 @@ TEST_F(RouterTest, PentiumFlowRoundTrips) {
   EXPECT_EQ(router->stats().to_pentium, 10u);
   EXPECT_EQ(router->stats().pentium_processed, 10u);
   EXPECT_EQ(received_.per_port[6], 10u) << "Pentium-processed packets re-enter the data path";
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, ControlPlaneUpdatesRoutesViaOspf) {
@@ -359,6 +379,7 @@ TEST_F(RouterTest, ControlPlaneUpdatesRoutesViaOspf) {
   router->port(0).InjectFromWire(BuildPacket(data));
   router->RunForMs(3.0);
   EXPECT_EQ(received_.per_port[7], 1u);
+  ExpectInvariants(*router);
 }
 
 // --- robustness (§4.7) ---
@@ -390,6 +411,8 @@ TEST_F(RouterTest, MonitoringSuiteDoesNotBreakLineRate) {
   router->RunForMs(8.0);
   EXPECT_NEAR(router->ForwardingRateMpps(), 1.128, 0.03);
   EXPECT_EQ(router->stats().dropped_queue_full, 0u);
+  router->RunForMs(3.0);  // drain
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, BufferLapLossIsDetected) {
@@ -413,6 +436,8 @@ TEST_F(RouterTest, BufferLapLossIsDetected) {
   }
   router->RunForMs(10.0);
   EXPECT_GT(router->stats().lost_overwritten, 0u);
+  router->RunForMs(8.0);  // let the congested port drain
+  ExpectInvariants(*router);
 }
 
 TEST_F(RouterTest, LatencyIsMicroseconds) {
@@ -429,6 +454,7 @@ TEST_F(RouterTest, LatencyIsMicroseconds) {
   // dominated by wire and queueing, well under a millisecond.
   EXPECT_LT(router->stats().latency_ns.max(), 1'000'000u);
   EXPECT_GT(router->stats().latency_ns.min(), 100u);
+  ExpectInvariants(*router);
 }
 
 }  // namespace
