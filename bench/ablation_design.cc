@@ -78,5 +78,6 @@ int main() {
   Note("losses); the pool converts that to explicit allocation failures and a");
   Note("small rate cost from the extra SRAM push/pop — the §3.2.3 trade the");
   Note("paper describes and declined.");
+  bench::EmitJson("ablation_design");
   return 0;
 }

@@ -26,6 +26,7 @@ int main() {
     router.StartMeasurement();
     const SimTime t0 = router.engine().now();
     router.RunForMs(10.0);
+    RecordEvents(router.engine().events_run());
     direct = router.ForwardingRateMpps();
     dram_util = router.chip().memory().dram().Utilization(t0);
   }
@@ -36,5 +37,6 @@ int main() {
               dram_util * 100);
   Note("the direct design moves every byte through DRAM four times; the FIFO");
   Note("design halves the DRAM traffic for 64-byte packets (§3.7).");
+  bench::EmitJson("ablation_dram_path");
   return 0;
 }

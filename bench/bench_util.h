@@ -4,6 +4,8 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -14,6 +16,35 @@
 
 namespace npr {
 namespace bench {
+
+// --- machine-readable results (BENCH_<name>.json) ---
+//
+// Row() records every paper-vs-measured row as it is printed; EmitJson()
+// dumps them plus wall-clock time and simulation-event throughput so CI
+// (ci/perf_smoke.sh) can check bands without scraping stdout.
+
+struct RowRec {
+  std::string label;
+  double paper = 0.0;
+  double measured = 0.0;
+  std::string unit;
+};
+
+struct JsonState {
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  std::vector<RowRec> rows;
+  uint64_t events_run = 0;
+};
+
+inline JsonState& State() {
+  static JsonState state;
+  return state;
+}
+
+// Adds simulation events executed (EventQueue::events_run deltas) to the
+// bench total. MeasureMpps does this automatically; benches that drive the
+// engine directly call it themselves.
+inline void RecordEvents(uint64_t events) { State().events_run += events; }
 
 // The §3.5.1 measurement setup: FIFO-recycling "infinitely fast ports",
 // MicroEngines only.
@@ -34,9 +65,11 @@ inline void AddDefaultRoutes(Router& router) {
 
 // Runs warmup + measurement; returns the forwarding rate in Mpps.
 inline double MeasureMpps(Router& router, double warm_ms = 2.0, double measure_ms = 10.0) {
+  const uint64_t events_before = router.engine().events_run();
   router.RunForMs(warm_ms);
   router.StartMeasurement();
   router.RunForMs(measure_ms);
+  RecordEvents(router.engine().events_run() - events_before);
   return router.ForwardingRateMpps();
 }
 
@@ -65,9 +98,55 @@ inline void Row(const std::string& label, double paper, double measured,
   const double delta = paper != 0 ? (measured - paper) / paper * 100.0 : 0.0;
   std::printf("%-44s %8.3f %-4s %8.3f %-4s %+6.1f%%\n", label.c_str(), paper, unit, measured,
               unit, delta);
+  State().rows.push_back(RowRec{label, paper, measured, unit});
 }
 
 inline void Note(const std::string& text) { std::printf("  note: %s\n", text.c_str()); }
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Writes BENCH_<name>.json in the current directory: every Row() emitted so
+// far, wall-clock time since the process started, and events/sec through
+// the simulation core. Call once, at the end of main().
+inline void EmitJson(const std::string& name) {
+  const JsonState& st = State();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - st.start).count();
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(name).c_str());
+  std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
+  std::fprintf(f, "  \"events_run\": %llu,\n", static_cast<unsigned long long>(st.events_run));
+  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
+               wall > 0 ? static_cast<double>(st.events_run) / wall : 0.0);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < st.rows.size(); ++i) {
+    const RowRec& r = st.rows[i];
+    const double delta = r.paper != 0 ? (r.measured - r.paper) / r.paper * 100.0 : 0.0;
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"paper\": %.6g, \"measured\": %.6g, "
+                 "\"unit\": \"%s\", \"delta_pct\": %.2f}%s\n",
+                 JsonEscape(r.label).c_str(), r.paper, r.measured, JsonEscape(r.unit).c_str(),
+                 delta, i + 1 < st.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace bench
 }  // namespace npr

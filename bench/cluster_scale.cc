@@ -85,6 +85,7 @@ Point RunCluster(double remote_fraction) {
   point.goodput_kpps = static_cast<double>(delivered - delivered_before) / seconds / 1e3;
   point.fabric_frames = cluster.fabric().forwarded();
   point.drops = cluster.TotalDrops();
+  bench::RecordEvents(cluster.engine().events_run());
   return point;
 }
 
@@ -108,5 +109,6 @@ int main() {
   Note("gigabit fabric and are forwarded at both the ingress and egress node,");
   Note("doubling their pipeline cost — goodput should hold with zero drops, the");
   Note("paper's premise for the multi-chassis design (§6).");
+  bench::EmitJson("cluster_scale");
   return 0;
 }

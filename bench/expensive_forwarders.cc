@@ -100,5 +100,6 @@ int main() {
   Note("all exceed the 240-cycle VRP budget, which is why they run on the");
   Note("StrongARM or Pentium (§4.4); the VRP-admissible examples are in the");
   Note("table5_forwarders bench.");
+  bench::EmitJson("expensive_forwarders");
   return 0;
 }

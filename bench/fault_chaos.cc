@@ -41,6 +41,7 @@ ChaosResult RunPlan(const FaultPlan& plan) {
     gens.back()->Start(static_cast<SimTime>(kTrafficMs * kPsPerMs));
   }
   router.RunForMs(kTrafficMs + kDrainMs);
+  bench::RecordEvents(router.engine().events_run());
 
   ChaosResult r;
   const RouterStats& stats = router.stats();
@@ -103,5 +104,6 @@ int main() {
   }
   bench::Note("faults degrade throughput but must never wedge the pipeline,");
   bench::Note("leak a packet from the conservation balance, or corrupt queue state.");
+  bench::EmitJson("fault_chaos");
   return all_ok ? 0 : 1;
 }

@@ -55,5 +55,6 @@ int main() {
   Note("the reclaimable-overhead effect: once VRP processing paces the input");
   Note("below the serialized enqueue rate, lock contention costs nothing —");
   Note("'these resources can be reclaimed by increasing the VRP budget'.");
+  bench::EmitJson("fig10_contention");
   return 0;
 }

@@ -25,10 +25,7 @@ double OutputPoint(int contexts) {
   Router router(std::move(cfg));
   bench::AddDefaultRoutes(router);
   router.Start();
-  router.RunForMs(2.0);
-  router.StartMeasurement();
-  router.RunForMs(10.0);
-  return router.ForwardingRateMpps();
+  return bench::MeasureMpps(router);
 }
 
 }  // namespace
@@ -47,5 +44,6 @@ int main() {
   Note("input gains little beyond 16 contexts — serialized access to the DMA");
   Note("state machine (the token ring) dominates (§3.5.1).");
   Note("the dip comes from packing each point onto the minimum number of MEs.");
+  bench::EmitJson("fig7_context_scaling");
   return 0;
 }

@@ -43,5 +43,6 @@ int main() {
   Row("rate at 32 combined blocks", 1.0, combined_at_32);
   Note("the paper reads Figure 9 as: 'at an aggregate forwarding rate of");
   Note("1 Mpps, the VRP has a budget of 32 blocks' of 10 reg ops + 4 B SRAM.");
+  bench::EmitJson("fig9_vrp_budget");
   return 0;
 }

@@ -63,6 +63,7 @@ LatencyResult Measure(Where level) {
     }
   }
   router.RunForMs(40.0);
+  bench::RecordEvents(router.engine().events_run());
 
   LatencyResult r;
   r.mean_ns = router.stats().latency_ns.mean();
@@ -97,5 +98,6 @@ int main() {
   Note("pipeline; our measured figure adds the store-and-forward wait between");
   Note("the stages and the token rotation at light load.");
   Note("expected ordering: A < B < C, each level adding its access cost (§2).");
+  bench::EmitJson("path_latency");
   return 0;
 }

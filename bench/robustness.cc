@@ -82,6 +82,7 @@ PentiumPoint RunPentiumShare(double fraction) {
   point.fast_path_mpps = router.ForwardingRateMpps();
   point.regular_drops = router.queues().TotalDrops();
   point.pentium_path_drops = router.stats().dropped_queue_full - point.regular_drops;
+  bench::RecordEvents(router.engine().events_run());
   return point;
 }
 
@@ -115,6 +116,7 @@ FloodPoint RunExceptionalFlood(double fraction) {
   point.sa_kpps =
       static_cast<double>(router.stats().sa_local_processed - sa_before) / seconds / 1e3;
   point.regular_drops = router.queues().TotalDrops();
+  bench::RecordEvents(router.engine().events_run());
   return point;
 }
 
@@ -153,5 +155,6 @@ int main() {
   Note("regular packets are never dropped: the MicroEngines budget enough");
   Note("resources to classify and enqueue every packet at line speed; only the");
   Note("exceptional stream is clipped once the StrongARM saturates (§4.7).");
+  bench::EmitJson("robustness");
   return 0;
 }

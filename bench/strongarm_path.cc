@@ -39,6 +39,7 @@ double SaRateKpps(bool interrupts) {
   router.RunForMs(30.0);
   const double seconds =
       static_cast<double>(router.engine().now() - t0) / static_cast<double>(kPsPerSec);
+  bench::RecordEvents(router.engine().events_run());
   return static_cast<double>(router.stats().sa_local_processed - before) / seconds / 1e3;
 }
 
@@ -58,5 +59,6 @@ int main() {
   Note("no additional cycles remain for packet work at this rate (§3.6);");
   Note("interrupt dispatch costs ~600 cycles per packet in our model.");
   std::printf("  interrupt/polling ratio: %.2f\n", interrupts / polling);
+  bench::EmitJson("strongarm_path");
   return 0;
 }

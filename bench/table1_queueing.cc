@@ -28,10 +28,7 @@ double OutputOnly(OutputServicing os) {
   Router router(std::move(cfg));
   bench::AddDefaultRoutes(router);
   router.Start();
-  router.RunForMs(2.0);
-  router.StartMeasurement();
-  router.RunForMs(10.0);
-  return router.ForwardingRateMpps();
+  return bench::MeasureMpps(router);
 }
 
 double LineRate8x100() {
@@ -86,5 +83,6 @@ int main() {
   Row("fastest feasible system (I.2 + O.1)", 3.47, FastestFeasibleSystem());
   Note("the paper quotes the input-stage isolation bound; this row runs both");
   Note("stages together end to end, so it is bounded by min(I.2, O.1).");
+  bench::EmitJson("table1_queueing");
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
   router.RunForMs(2.0);
   router.StartMeasurement();
   router.RunForMs(10.0);
+  RecordEvents(router.engine().events_run());
 
   const StageStats& in = router.stats().input;
   const StageStats& out = router.stats().output;
@@ -53,5 +54,6 @@ int main() {
   const double per_packet_ns = (280 + mem_delay) * 5.0;
   Row("packets in flight (delay / interval)", 12.3, per_packet_ns / interval_ns, "pkts");
   Row("fraction of optimistic 4.29 Mpps bound", 0.80, rate / 4.286, "x");
+  bench::EmitJson("table2_instr_counts");
   return 0;
 }

@@ -38,7 +38,7 @@ double MeasureCycles(const char* memory, uint32_t bytes, bool write) {
   Probe probe;
   chip.me(0).context(0).Install(
       MeasureOne(&chip.me(0).context(0), ch, bytes, write, &probe, &engine));
-  engine.RunAll();
+  bench::RecordEvents(engine.RunAll());
   return static_cast<double>(kIxpClock.ToCycles(probe.done - probe.start));
 }
 
@@ -66,7 +66,7 @@ int main() {
     for (int i = 0; i < 20000; ++i) {
       chip.memory().dram().Issue(64, true, [] {});
     }
-    engine.RunAll();
+    bench::RecordEvents(engine.RunAll());
     const double gbps = static_cast<double>(chip.memory().dram().bytes_moved()) * 8 /
                         (static_cast<double>(engine.now()) / kPsPerSec) / 1e9;
     Row("DRAM sustained (64-bit x 100 MHz)", 6.4, gbps, "Gbps");
@@ -77,10 +77,11 @@ int main() {
     for (int i = 0; i < 50000; ++i) {
       chip.memory().sram().Issue(4, true, [] {});
     }
-    engine.RunAll();
+    bench::RecordEvents(engine.RunAll());
     const double gbps = static_cast<double>(chip.memory().sram().bytes_moved()) * 8 /
                         (static_cast<double>(engine.now()) / kPsPerSec) / 1e9;
     Row("SRAM sustained (32-bit x 100 MHz)", 3.2, gbps, "Gbps");
   }
+  bench::EmitJson("table3_memory_latency");
   return 0;
 }

@@ -39,6 +39,7 @@ Result RunFeed(size_t frame_bytes) {
   const double sa_util = router.chip().strongarm().Utilization(t0);
   r.pentium_spare = (1.0 - pe_util) * kPentiumClock.FrequencyHz() / (r.kpps * 1e3);
   r.strongarm_spare = (1.0 - sa_util) * kIxpClock.FrequencyHz() / (r.kpps * 1e3);
+  bench::RecordEvents(router.engine().events_run());
   return r;
 }
 
@@ -63,5 +64,6 @@ int main() {
   Row("1500 B: StrongARM spare cycles/packet", 4200, large.strongarm_spare, "cy");
   Note("64 B is StrongARM-bound (374 cy/packet bridge cost); 1500 B is bound by");
   Note("the 32-bit x 33 MHz PCI bus (2 x 1500 B x 43.6 Kpps ~= 1.05 Gbps).");
+  bench::EmitJson("table4_pentium_path");
   return 0;
 }

@@ -77,5 +77,6 @@ int main() {
                 v.ok && budget.Admits(v.worst_case) ? "ADMITTED" : "REJECTED",
                 v.worst_case.cycles, v.worst_case.sram_transfers());
   }
+  bench::EmitJson("table5_forwarders");
   return 0;
 }

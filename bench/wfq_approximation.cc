@@ -94,6 +94,7 @@ FairnessResult RunPolicy(Policy policy) {
     gens.back()->Start(30 * kPsPerMs);
   }
   router.RunForMs(35.0);
+  bench::RecordEvents(router.engine().events_run());
   return result;
 }
 
@@ -123,5 +124,6 @@ int main() {
   Note("the port's slack; the WFQ approximation approaches the configured 3:1 —");
   Note("weighted fairness from a 13-instruction VRP program, as §3.4.1");
   Note("conjectured. (Exact 3:1 would need per-queue WFQ at the output too.)");
+  bench::EmitJson("wfq_approximation");
   return 0;
 }

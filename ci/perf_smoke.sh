@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Performance smoke test: a Release build must still reproduce Table 1
+# within its tolerance bands and push simulation events at full speed.
+#
+#   ci/perf_smoke.sh [build-dir]     (default: build-perf)
+#
+# Checks, via the BENCH_*.json files the benches emit:
+#   1. every bench/table1_queueing row within +/-15% of the paper value
+#      (the repo's own EXPERIMENTS.md bands are tighter; this is a smoke
+#      test, not the acceptance run);
+#   2. bench/sim_core event-core throughput above checked-in floors.
+#
+# The floors are ~1/3 of the development-box numbers (docs/perf.md) to
+# leave room for slower CI machines while still catching a regression to
+# the old priority-queue core (which would land well below them).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-perf}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" --target table1_queueing sim_core
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+cd "$out_dir"
+
+"$build_dir/bench/sim_core"
+"$build_dir/bench/table1_queueing"
+
+python3 - "$out_dir" <<'EOF'
+import json
+import sys
+
+out_dir = sys.argv[1]
+failures = []
+
+# --- Table 1: every row within +/-15% of the paper value ---
+TABLE1_BAND_PCT = 15.0
+with open(f"{out_dir}/BENCH_table1_queueing.json") as f:
+    table1 = json.load(f)
+for row in table1["rows"]:
+    if abs(row["delta_pct"]) > TABLE1_BAND_PCT:
+        failures.append(
+            f"table1 row {row['label']!r}: measured {row['measured']:.3f} "
+            f"{row['unit']} vs paper {row['paper']:.3f} "
+            f"({row['delta_pct']:+.1f}%, band +/-{TABLE1_BAND_PCT:.0f}%)")
+
+# --- event core: throughput floors, in M events/sec ---
+CORE_FLOORS_MEV = {
+    "self-rescheduling fixed deltas (hot path)": 15.0,
+    "same-instant fan-out bursts of 32": 15.0,
+    "coroutine suspend/resume": 15.0,
+    "mixed wheel levels + far-future heap": 8.0,
+}
+with open(f"{out_dir}/BENCH_sim_core.json") as f:
+    core = json.load(f)
+rates = {row["label"]: row["measured"] for row in core["rows"]}
+for label, floor in CORE_FLOORS_MEV.items():
+    measured = rates.get(label)
+    if measured is None:
+        failures.append(f"sim_core row {label!r} missing")
+    elif measured < floor:
+        failures.append(
+            f"sim_core {label!r}: {measured:.1f} Mev/s below floor {floor:.1f}")
+
+# End-to-end sanity: table1 drives the full router model; anything below
+# this means the core regression leaked into the real workload.
+TABLE1_EPS_FLOOR = 2.0e6
+eps = table1["events_per_sec"]
+if eps < TABLE1_EPS_FLOOR:
+    failures.append(
+        f"table1_queueing events/sec {eps:.0f} below floor {TABLE1_EPS_FLOOR:.0f}")
+
+if failures:
+    print("perf smoke FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+print(f"perf smoke OK: table1 rows within +/-{TABLE1_BAND_PCT:.0f}%, "
+      f"core floors met, table1 at {eps/1e6:.1f}M events/sec")
+EOF

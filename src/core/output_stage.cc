@@ -73,6 +73,12 @@ void OutputStage::DeliverMpToPort(uint8_t port, const Mp& mp) {
   }
 }
 
+void OutputStage::DeliverHeadFromDma() {
+  auto [port, mp] = std::move(dma_in_flight_.front());
+  dma_in_flight_.pop_front();
+  DeliverMpToPort(port, mp);
+}
+
 void OutputStage::CompletePacket(const PacketDescriptor& desc) {
   RouterStats& stats = *core_.stats;
   stats.forwarded += 1;
@@ -252,9 +258,9 @@ Task OutputStage::ContextLoop(HwContext& ctx, int member, int out_ctx_index) {
     }
     const bool last = cur.next_mp == cur.desc.mp_count;
     if (cfg.port_mode == PortMode::kReal) {
-      const uint8_t port = cur.desc.out_port;
       OutputStage* self = this;
-      core_.chip->tx_dma().Transfer(64, [self, port, mp] { self->DeliverMpToPort(port, mp); });
+      dma_in_flight_.emplace_back(cur.desc.out_port, mp);
+      core_.chip->tx_dma().Transfer(64, [self] { self->DeliverHeadFromDma(); });
     }
     if (last) {
       st.packets += 1;

@@ -10,6 +10,8 @@
 #ifndef SRC_CORE_OUTPUT_STAGE_H_
 #define SRC_CORE_OUTPUT_STAGE_H_
 
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "src/core/router_core.h"
@@ -49,6 +51,12 @@ class OutputStage {
   Task ContextLoop(HwContext& ctx, int member, int out_ctx_index);
   void CompletePacket(const PacketDescriptor& desc);
 
+  // Delivers the oldest MP handed to the transmit DMA. The IX bus is a
+  // single FIFO server with a fixed setup delay, so completions arrive in
+  // issue order; parking MPs here (instead of in each completion event's
+  // capture) keeps the per-MP DMA event allocation-free.
+  void DeliverHeadFromDma();
+
   // Reinstalls a crashed context's loop and rejoins it to the token ring.
   void RestartContext(int out_ctx_index);
 
@@ -61,6 +69,7 @@ class OutputStage {
   // empty (see RouterConfig).
   PacketDescriptor fake_desc_;
   bool fake_ready_ = false;
+  std::deque<std::pair<uint8_t, Mp>> dma_in_flight_;  // (port, mp), bus FIFO order
 };
 
 }  // namespace npr

@@ -11,10 +11,12 @@
 #define SRC_IXP_DMA_H_
 
 #include <cstdint>
-#include <functional>
+#include <deque>
+#include <utility>
 
 #include "src/ixp/hw_config.h"
 #include "src/mem/memory_channel.h"
+#include "src/sim/event_fn.h"
 #include "src/sim/event_queue.h"
 
 namespace npr {
@@ -29,19 +31,35 @@ class DmaEngine {
   DmaEngine& operator=(const DmaEngine&) = delete;
 
   // Starts a transfer of `bytes` bytes; `done` runs when the data has fully
-  // crossed the IX bus. Transfers queue FIFO on the bus.
-  void Transfer(uint32_t bytes, std::function<void()> done) {
-    engine_.ScheduleIn(kIxpClock.ToTime(setup_cycles_), [this, bytes, done = std::move(done)]() mutable {
-      ix_bus_.Issue(bytes, /*is_write=*/true, std::move(done));
-    });
+  // crossed the IX bus. Transfers queue FIFO on the bus. The pending request
+  // rides in a deque rather than the setup event's capture so the event
+  // itself stays allocation-free; setup delays are identical, so completions
+  // pop in issue order.
+  void Transfer(uint32_t bytes, EventFn done) {
+    pending_.push_back(Pending{bytes, std::move(done)});
+    engine_.ScheduleRaw(engine_.now() + kIxpClock.ToTime(setup_cycles_), &DmaEngine::IssueHead,
+                        this);
   }
 
   uint64_t transfers() const { return ix_bus_.writes(); }
 
  private:
+  struct Pending {
+    uint32_t bytes;
+    EventFn done;
+  };
+
+  static void IssueHead(void* self_raw) {
+    auto* self = static_cast<DmaEngine*>(self_raw);
+    Pending p = std::move(self->pending_.front());
+    self->pending_.pop_front();
+    self->ix_bus_.Issue(p.bytes, /*is_write=*/true, std::move(p.done));
+  }
+
   EventQueue& engine_;
   MemoryChannel& ix_bus_;
   const uint32_t setup_cycles_;
+  std::deque<Pending> pending_;
 };
 
 // Builds the IX-bus channel from the hardware config.

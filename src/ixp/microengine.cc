@@ -128,10 +128,15 @@ void MicroEngine::OnBlocked(HwContext* ctx) {
 void MicroEngine::OnComputeStart(HwContext* ctx, uint32_t cycles) {
   assert(running_ == ctx);
   busy_cycles_ += cycles;
-  engine_.ScheduleIn(kIxpClock.ToTime(cycles), [ctx] {
-    assert(ctx->state_ == HwContext::State::kRunning);
-    ctx->ResumeNow();
-  });
+  // A computing context keeps the pipeline: it resumes directly, with no
+  // dispatch in between (fn-ptr + context, the queue's cheapest shape).
+  engine_.ScheduleRaw(engine_.now() + kIxpClock.ToTime(cycles),
+                      [](void* c) {
+                        auto* running = static_cast<HwContext*>(c);
+                        assert(running->state_ == HwContext::State::kRunning);
+                        running->ResumeNow();
+                      },
+                      ctx);
 }
 
 void MicroEngine::Dispatch() {

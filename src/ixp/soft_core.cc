@@ -16,16 +16,15 @@ void SoftCore::Resume() {
 }
 
 void SoftCore::ComputeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  // A single-context core has nothing to dispatch on wakeup: the scheduled
+  // event resumes the coroutine directly, with no bookkeeping in between.
   SoftCore* c = core;
-  c->pending_ = h;
   c->busy_cycles_ += cycles;
-  c->engine_.ScheduleIn(c->clock_.ToTime(static_cast<int64_t>(cycles)), [c] { c->Resume(); });
+  c->engine_.ScheduleResumeIn(c->clock_.ToTime(static_cast<int64_t>(cycles)), h);
 }
 
 void SoftCore::MemAwaiter::await_suspend(std::coroutine_handle<> h) {
-  SoftCore* c = core;
-  c->pending_ = h;
-  channel->Issue(bytes, is_write, [c] { c->Resume(); });
+  channel->Issue(bytes, is_write, EventFn::Resume(h));
 }
 
 void SoftCore::BlockAwaiter::await_suspend(std::coroutine_handle<> h) {
@@ -41,7 +40,7 @@ void SoftCore::Wake() {
   blocked_ = false;
   // Wakeup is delivered through the event queue to keep resumption ordering
   // deterministic with respect to the waking event.
-  engine_.ScheduleIn(0, [this] { Resume(); });
+  engine_.ScheduleRaw(engine_.now(), [](void* c) { static_cast<SoftCore*>(c)->Resume(); }, this);
 }
 
 }  // namespace npr

@@ -106,6 +106,8 @@ class SoftCore {
   Task task_;
   bool started_ = false;
   bool blocked_ = false;
+  // Suspension point parked in Block(); Compute/Read/Write resume their
+  // handle straight from the event queue and never store it here.
   std::coroutine_handle<> pending_;
   uint64_t busy_cycles_ = 0;
 };

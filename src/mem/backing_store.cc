@@ -11,61 +11,16 @@ namespace npr {
 BackingStore::BackingStore(std::string name, size_t size_bytes)
     : name_(std::move(name)), data_(size_bytes, 0) {}
 
-bool BackingStore::CheckRange(uint32_t addr, size_t len) const {
-  if (static_cast<size_t>(addr) + len > data_.size()) {
-    ++oob_errors_;
-    NPR_ERROR("%s: out-of-bounds access addr=%u len=%zu size=%zu", name_.c_str(), addr, len,
-              data_.size());
-    assert(false && "backing store out-of-bounds access");
-    return false;
-  }
-  return true;
+bool BackingStore::RangeFailure(uint32_t addr, size_t len) const {
+  ++oob_errors_;
+  NPR_ERROR("%s: out-of-bounds access addr=%u len=%zu size=%zu", name_.c_str(), addr, len,
+            data_.size());
+  assert(false && "backing store out-of-bounds access");
+  return false;
 }
 
-void BackingStore::Write(uint32_t addr, std::span<const uint8_t> bytes) {
-  if (!CheckRange(addr, bytes.size())) {
-    return;
-  }
-  std::memcpy(data_.data() + addr, bytes.data(), bytes.size());
-}
-
-void BackingStore::Read(uint32_t addr, std::span<uint8_t> out) const {
-  if (!CheckRange(addr, out.size())) {
-    std::memset(out.data(), 0, out.size());
-    return;
-  }
-  std::memcpy(out.data(), data_.data() + addr, out.size());
-  if (fault_ != nullptr && !out.empty()) {
-    fault_->MaybeFlipReadBits(out);
-  }
-}
-
-void BackingStore::WriteU32(uint32_t addr, uint32_t value) {
-  uint8_t bytes[4];
-  std::memcpy(bytes, &value, 4);
-  Write(addr, bytes);
-}
-
-uint32_t BackingStore::ReadU32(uint32_t addr) const {
-  uint8_t bytes[4] = {};
-  Read(addr, bytes);
-  uint32_t value;
-  std::memcpy(&value, bytes, 4);
-  return value;
-}
-
-void BackingStore::WriteU64(uint32_t addr, uint64_t value) {
-  uint8_t bytes[8];
-  std::memcpy(bytes, &value, 8);
-  Write(addr, bytes);
-}
-
-uint64_t BackingStore::ReadU64(uint32_t addr) const {
-  uint8_t bytes[8] = {};
-  Read(addr, bytes);
-  uint64_t value;
-  std::memcpy(&value, bytes, 8);
-  return value;
+void BackingStore::FaultFlip(std::span<uint8_t> out) const {
+  fault_->MaybeFlipReadBits(out);
 }
 
 void BackingStore::Zero(uint32_t addr, size_t len) {

@@ -28,16 +28,51 @@ class BackingStore {
   const std::string& name() const { return name_; }
 
   // Byte-span accessors. Addresses are bounds-checked (assert in debug,
-  // clamped no-op in release with an error counter).
-  void Write(uint32_t addr, std::span<const uint8_t> bytes);
-  void Read(uint32_t addr, std::span<uint8_t> out) const;
+  // clamped no-op in release with an error counter). Inline: queue words
+  // and MP payloads cross these on every simulated memory reference.
+  void Write(uint32_t addr, std::span<const uint8_t> bytes) {
+    if (!CheckRange(addr, bytes.size())) {
+      return;
+    }
+    std::memcpy(data_.data() + addr, bytes.data(), bytes.size());
+  }
+  void Read(uint32_t addr, std::span<uint8_t> out) const {
+    if (!CheckRange(addr, out.size())) {
+      std::memset(out.data(), 0, out.size());
+      return;
+    }
+    std::memcpy(out.data(), data_.data() + addr, out.size());
+    if (fault_ != nullptr && !out.empty()) {
+      FaultFlip(out);
+    }
+  }
 
   // 32-bit little-endian word accessors (queue entries, flow state words).
-  void WriteU32(uint32_t addr, uint32_t value);
-  uint32_t ReadU32(uint32_t addr) const;
+  void WriteU32(uint32_t addr, uint32_t value) {
+    uint8_t bytes[4];
+    std::memcpy(bytes, &value, 4);
+    Write(addr, bytes);
+  }
+  uint32_t ReadU32(uint32_t addr) const {
+    uint8_t bytes[4] = {};
+    Read(addr, bytes);
+    uint32_t value;
+    std::memcpy(&value, bytes, 4);
+    return value;
+  }
 
-  void WriteU64(uint32_t addr, uint64_t value);
-  uint64_t ReadU64(uint32_t addr) const;
+  void WriteU64(uint32_t addr, uint64_t value) {
+    uint8_t bytes[8];
+    std::memcpy(bytes, &value, 8);
+    Write(addr, bytes);
+  }
+  uint64_t ReadU64(uint32_t addr) const {
+    uint8_t bytes[8] = {};
+    Read(addr, bytes);
+    uint64_t value;
+    std::memcpy(&value, bytes, 8);
+    return value;
+  }
 
   // Zero-fills [addr, addr + len).
   void Zero(uint32_t addr, size_t len);
@@ -50,7 +85,15 @@ class BackingStore {
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
  private:
-  bool CheckRange(uint32_t addr, size_t len) const;
+  bool CheckRange(uint32_t addr, size_t len) const {
+    if (static_cast<size_t>(addr) + len > data_.size()) [[unlikely]] {
+      return RangeFailure(addr, len);
+    }
+    return true;
+  }
+  // Cold halves, out of line: error reporting and fault-injection flips.
+  bool RangeFailure(uint32_t addr, size_t len) const;
+  void FaultFlip(std::span<uint8_t> out) const;
 
   std::string name_;
   std::vector<uint8_t> data_;

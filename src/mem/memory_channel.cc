@@ -19,7 +19,7 @@ SimTime MemoryChannel::Occupancy(uint32_t bytes) const {
   return static_cast<SimTime>(bus_cycles) * config_.bus_cycle_ps;
 }
 
-SimTime MemoryChannel::Issue(uint32_t bytes, bool is_write, std::function<void()> done) {
+SimTime MemoryChannel::Issue(uint32_t bytes, bool is_write, EventFn done) {
   assert(bytes > 0);
   const SimTime now = engine_.now();
   const SimTime start = std::max(now, busy_until_);

@@ -11,9 +11,9 @@
 #define SRC_MEM_MEMORY_CHANNEL_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "src/sim/event_fn.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
@@ -43,7 +43,7 @@ class MemoryChannel {
   // Issues an access of `bytes` bytes. `done` runs (via the event queue)
   // when the access completes; it may be empty for posted writes the issuer
   // does not wait on. Returns the completion time.
-  SimTime Issue(uint32_t bytes, bool is_write, std::function<void()> done);
+  SimTime Issue(uint32_t bytes, bool is_write, EventFn done);
 
   // Round-trip latency an access issued right now would see (queueing
   // included), without actually issuing it.

@@ -44,7 +44,8 @@ TrafficGen::TrafficGen(EventQueue& engine, MacPort& port, TrafficSpec spec, uint
 
 void TrafficGen::Start(SimTime until) {
   until_ = until;
-  engine_.ScheduleIn(0, [this] { EmitOne(); });
+  engine_.ScheduleRaw(engine_.now(), [](void* g) { static_cast<TrafficGen*>(g)->EmitOne(); },
+                      this);
 }
 
 void TrafficGen::EmitOne() {
@@ -56,7 +57,8 @@ void TrafficGen::EmitOne() {
   const SimTime gap = spec_.poisson
                           ? static_cast<SimTime>(rng_.Exponential(static_cast<double>(gap_ps_)))
                           : gap_ps_;
-  engine_.ScheduleIn(std::max<SimTime>(gap, 1), [this] { EmitOne(); });
+  engine_.ScheduleRaw(engine_.now() + std::max<SimTime>(gap, 1),
+                      [](void* g) { static_cast<TrafficGen*>(g)->EmitOne(); }, this);
 }
 
 Packet TrafficGen::NextPacket() {

@@ -1,0 +1,156 @@
+// Small-buffer callable for simulation events.
+//
+// The event core runs millions of callbacks per simulated millisecond, almost
+// all of which capture one or two pointers (a context to resume, a channel to
+// poke). std::function heap-allocates anything larger than its tiny SBO and
+// always pays a manager-function indirection; EventFn instead stores small
+// trivially-copyable callables inline in the event node, has dedicated
+// representations for `fn-ptr + context` and `coroutine_handle` (the two hot
+// shapes), and boxes only large per-frame captures (e.g. a Packet moved into
+// a MAC completion) on the heap.
+//
+// EventFn is move-only: events are scheduled once and run once.
+
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <coroutine>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace npr {
+
+class EventFn {
+ public:
+  // Three pointers of inline storage: enough for every per-cycle callback in
+  // the simulator ([this], [ctx], [self, port], [m, c], ...).
+  static constexpr size_t kInlineBytes = 24;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  // Raw fast path: a plain function pointer plus context, no type erasure.
+  EventFn(void (*fn)(void*), void* ctx) noexcept {
+    const RawThunk thunk{fn, ctx};
+    std::memcpy(buf_, &thunk, sizeof(thunk));
+    invoke_ = &InvokeRaw;
+  }
+
+  // Coroutine fast path: resumes `h` when the event fires.
+  static EventFn Resume(std::coroutine_handle<> h) noexcept {
+    EventFn fn;
+    void* addr = h.address();
+    std::memcpy(fn.buf_, &addr, sizeof(addr));
+    fn.invoke_ = &InvokeCoro;
+    return fn;
+  }
+
+  // Generic callables. Small trivially-copyable ones are stored inline;
+  // anything else is boxed on the heap (cold, per-frame paths only).
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                                        std::is_invocable_v<std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(void*) &&
+                  std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = &InvokeInline<D>;
+    } else {
+      D* boxed = new D(std::forward<F>(f));
+      std::memcpy(buf_, &boxed, sizeof(boxed));
+      invoke_ = &InvokeBoxed<D>;
+      destroy_ = &DestroyBoxed<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  // Runs the callable. The callable must be non-empty and not moved-from.
+  void operator()() { invoke_(this); }
+
+  // Destroys the callable (if any) and leaves the EventFn empty. Cheaper
+  // than assigning EventFn() when the storage is about to be reused.
+  void Reset() noexcept {
+    if (destroy_ != nullptr) {
+      destroy_(this);
+    }
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  struct RawThunk {
+    void (*fn)(void*);
+    void* ctx;
+  };
+
+  static void InvokeRaw(EventFn* self) {
+    RawThunk thunk;
+    std::memcpy(&thunk, self->buf_, sizeof(thunk));
+    thunk.fn(thunk.ctx);
+  }
+
+  static void InvokeCoro(EventFn* self) {
+    void* addr;
+    std::memcpy(&addr, self->buf_, sizeof(addr));
+    std::coroutine_handle<>::from_address(addr).resume();
+  }
+
+  template <typename D>
+  static void InvokeInline(EventFn* self) {
+    (*std::launder(reinterpret_cast<D*>(self->buf_)))();
+  }
+
+  template <typename D>
+  static D* Boxed(const EventFn* self) {
+    D* boxed;
+    std::memcpy(&boxed, self->buf_, sizeof(boxed));
+    return boxed;
+  }
+
+  template <typename D>
+  static void InvokeBoxed(EventFn* self) {
+    (*Boxed<D>(self))();
+  }
+
+  template <typename D>
+  static void DestroyBoxed(EventFn* self) {
+    delete Boxed<D>(self);
+  }
+
+  // Inline callables are trivially copyable and boxed ones live behind a
+  // pointer, so a move is a memcpy plus disowning the source.
+  void MoveFrom(EventFn& other) noexcept {
+    invoke_ = other.invoke_;
+    destroy_ = other.destroy_;
+    std::memcpy(buf_, other.buf_, kInlineBytes);
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  void (*invoke_)(EventFn*) = nullptr;
+  void (*destroy_)(EventFn*) = nullptr;
+  alignas(void*) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace npr
+
+#endif  // SRC_SIM_EVENT_FN_H_

@@ -5,22 +5,6 @@
 
 namespace npr {
 
-void Accumulator::Add(double x) {
-  ++n_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
-void Histogram::Add(uint64_t value) {
-  acc_.Add(static_cast<double>(value));
-  const int bucket = value == 0 ? 0 : std::bit_width(value);
-  buckets_[std::min(bucket, kBuckets - 1)]++;
-}
-
 double Histogram::Percentile(double p) const {
   if (acc_.count() == 0) {
     return 0.0;

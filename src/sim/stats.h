@@ -4,6 +4,7 @@
 #define SRC_SIM_STATS_H_
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -17,7 +18,15 @@ namespace npr {
 // Running mean / variance / extrema over a stream of samples (Welford).
 class Accumulator {
  public:
-  void Add(double x);
+  void Add(double x) {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
 
   uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
@@ -41,7 +50,11 @@ class Accumulator {
 // Power-of-two bucketed histogram for latency distributions.
 class Histogram {
  public:
-  void Add(uint64_t value);
+  void Add(uint64_t value) {
+    acc_.Add(static_cast<double>(value));
+    const int bucket = value == 0 ? 0 : std::bit_width(value);
+    buckets_[std::min(bucket, kBuckets - 1)]++;
+  }
 
   uint64_t count() const { return acc_.count(); }
   double mean() const { return acc_.mean(); }

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -97,6 +102,181 @@ TEST(EventQueue, ClearDropsWithoutRunning) {
 TEST(EventQueue, RunOneReturnsFalseWhenEmpty) {
   EventQueue q;
   EXPECT_FALSE(q.RunOne());
+}
+
+// The wheel buckets time in 4096 ps ticks; same-instant FIFO must hold for
+// instants that share a bucket with earlier *and* later neighbours.
+TEST(EventQueue, SameInstantFifoSharingBucketWithNeighbours) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(8192 + 10, [&] { order.push_back(100); });  // same bucket, earlier t
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(8192 + 50, [&order, i] { order.push_back(i); });
+  }
+  q.Schedule(8192 + 90, [&] { order.push_back(200); });  // same bucket, later t
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{100, 0, 1, 2, 3, 4, 200}));
+}
+
+TEST(EventQueue, ScheduleAtNowFromCallbackRunsBeforeLaterEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(100, [&] {
+    order.push_back(1);
+    // Same instant, scheduled mid-dispatch: must run after the current
+    // event (FIFO) but before anything later.
+    q.Schedule(q.now(), [&] { order.push_back(2); });
+  });
+  q.Schedule(100, [&] { order.push_back(3); });
+  q.Schedule(101, [&] { order.push_back(4); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 4}));
+  EXPECT_EQ(q.now(), 101);
+}
+
+TEST(EventQueue, ScheduleIntoDrainedWindowKeepsOrder) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.Schedule(200, [&] { times.push_back(q.now()); });
+  q.RunUntil(150);  // drains the bucket holding 200 into the ready list
+  q.Schedule(160, [&] { times.push_back(q.now()); });
+  q.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{160, 200}));
+}
+
+// Regression test for the window-boundary cascade: an event parked one
+// level up in the incoming window must run before a level-0 event that a
+// callback schedules after the cursor has already crossed the boundary.
+TEST(EventQueue, WindowCrossingCascadesBeforeFreshLevel0Events) {
+  constexpr SimTime kWindow = SimTime{1} << 22;  // level-0 span: 1024 x 4096 ps
+  EventQueue q;
+  std::vector<int> order;
+  // Parked at level 1 (scheduled while the cursor is still in window 0).
+  q.Schedule(kWindow + 2 * 4096, [&] { order.push_back(1); });
+  // Last bucket of window 0; its callback schedules into window 1 at a time
+  // *later* than the parked event but at level 0.
+  q.Schedule(kWindow - 4096, [&] {
+    order.push_back(0);
+    q.Schedule(kWindow + 3 * 4096, [&] { order.push_back(2); });
+  });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), kWindow + 3 * 4096);
+}
+
+// Exercise every carry level: level-1 window (2^22 ps), level-2 window
+// (2^32 ps), and the far-future heap past the wheels' span (2^42 ps).
+TEST(EventQueue, BoundaryCrossingsRunAtExactTimes) {
+  const std::vector<SimTime> deltas = {
+      1,
+      4096,
+      (SimTime{1} << 22) - 1, (SimTime{1} << 22), (SimTime{1} << 22) + 1,
+      (SimTime{1} << 32) - 1, (SimTime{1} << 32), (SimTime{1} << 32) + 1,
+      (SimTime{1} << 42) - 1, (SimTime{1} << 42), (SimTime{1} << 42) + 1,
+      (SimTime{3} << 42) + 12345,
+  };
+  EventQueue q;
+  std::vector<SimTime> fired;
+  for (SimTime t : deltas) {
+    q.Schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  q.RunAll();
+  EXPECT_EQ(fired, deltas);  // already ascending; each fires at its own t
+}
+
+TEST(EventQueue, RunAllReportsTruncation) {
+  EventQueue q;
+  // Self-perpetuating chain: two pending at all times.
+  struct Chain {
+    EventQueue* q;
+    static void Tick(void* self) {
+      Chain* c = static_cast<Chain*>(self);
+      c->q->ScheduleRaw(c->q->now() + 10, &Chain::Tick, c);
+      c->q->ScheduleRaw(c->q->now() + 20, &Chain::Tick, c);
+    }
+  };
+  Chain chain{&q};
+  q.ScheduleRaw(10, &Chain::Tick, &chain);
+  const uint64_t ran = q.RunAll(1000);
+  EXPECT_EQ(ran, 1000u);
+  EXPECT_GT(q.pending(), 0u);
+  q.Clear();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+struct ResumeProbe {
+  struct promise_type {
+    ResumeProbe get_return_object() {
+      return {std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {}
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+struct ResumeAt {
+  EventQueue* q;
+  SimTime t;
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) { q->ScheduleResume(t, h); }
+  void await_resume() {}
+};
+
+ResumeProbe ResumeTwice(EventQueue* q, std::vector<SimTime>* seen) {
+  co_await ResumeAt{q, 5000};
+  seen->push_back(q->now());
+  co_await ResumeAt{q, 2 * kPsPerMs};  // far enough to park above level 0
+  seen->push_back(q->now());
+}
+
+TEST(EventQueue, ScheduleResumeDrivesCoroutine) {
+  EventQueue q;
+  std::vector<SimTime> seen;
+  ResumeProbe probe = ResumeTwice(&q, &seen);
+  probe.handle.resume();  // run to the first co_await
+  q.RunAll();
+  EXPECT_EQ(seen, (std::vector<SimTime>{5000, 2 * kPsPerMs}));
+  probe.handle.destroy();
+}
+
+// Randomized schedule shapes vs a trivially-correct oracle: execution order
+// must equal a stable sort by time of the events in scheduling order (that
+// is what "deterministic FIFO within an instant" means), and every event
+// must fire exactly at its scheduled time.
+TEST(EventQueue, RandomizedOrderMatchesStableSortOracle) {
+  const std::vector<SimTime> horizons = {0,     1,          4096,        50'000,
+                                         1 << 22, 1 << 24, SimTime{1} << 32,
+                                         SimTime{1} << 43};
+  Rng rng(0xC0FFEE);
+  EventQueue q;
+  std::vector<std::pair<SimTime, int>> scheduled;  // (t, id) in schedule order
+  std::vector<std::pair<SimTime, int>> ran;
+  int next_id = 0;
+  std::function<void()> schedule_random = [&] {
+    const SimTime horizon = horizons[rng.Uniform(horizons.size())];
+    const SimTime t = q.now() + static_cast<SimTime>(rng.Uniform(static_cast<uint64_t>(horizon) + 1));
+    const int id = next_id++;
+    scheduled.emplace_back(t, id);
+    q.Schedule(t, [&, id] {
+      ran.emplace_back(q.now(), id);
+      // Occasionally breed follow-up events (tests mid-dispatch inserts).
+      if (rng.Chance(0.2) && next_id < 4000) {
+        schedule_random();
+        schedule_random();
+      }
+    });
+  };
+  for (int i = 0; i < 500; ++i) {
+    schedule_random();
+  }
+  q.RunAll();
+  ASSERT_EQ(ran.size(), scheduled.size());
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(ran, scheduled);
 }
 
 // --- Task ---
