@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Chaos smoke test: a Release build must survive every shipped fault plan
+# AND self-heal within its repair budgets.
+#
+#   ci/chaos_smoke.sh [build-dir]     (default: build-perf)
+#
+# Runs bench/fault_chaos under a fixed seed matrix. The bench itself exits
+# non-zero on a permanent stall, a post-recovery invariant violation, or a
+# fault class that never recovered; this script additionally holds the
+# MTTD/MTTR rows in BENCH_fault_chaos.json to their budgets and requires
+# the path-A rate after a chaos burst to be within 5% of fault-free.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-perf}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" --target fault_chaos
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+cd "$out_dir"
+
+# Fixed seed matrix: alternates first, the default seed last so the JSON
+# checked below comes from the canonical run. Every seed must exit 0 (the
+# bench fails itself on permanent stalls, invariant violations after
+# recovery, or a fault class that never recovered).
+for seed in 0x5eed1 0x5eed2 0xfa017; do
+  echo "--- fault_chaos seed $seed ---"
+  "$build_dir/bench/fault_chaos" "$seed"
+done
+
+python3 - "$out_dir" <<'EOF'
+import json
+import sys
+
+out_dir = sys.argv[1]
+failures = []
+
+# MTTR/MTTD budgets in microseconds, per fault class. These are the
+# HealthConfig deadlines plus watchdog granularity (tokens, contexts) or
+# the injected hang length (Pentium); see docs/health.md.
+BUDGETS_US = {
+    "recovery: token regen MTTD": 300.0,
+    "recovery: token regen MTTR": 1000.0,
+    "recovery: context restore MTTD": 700.0,
+    "recovery: context restore MTTR": 2000.0,
+    "recovery: pentium degrade MTTD": 400.0,
+    "recovery: pentium degrade MTTR": 2500.0,
+}
+RATIO_ROW = "recovery: path-A rate ratio after chaos"
+RATIO_FLOOR = 0.95
+
+with open(f"{out_dir}/BENCH_fault_chaos.json") as f:
+    chaos = json.load(f)
+rows = {row["label"]: row for row in chaos["rows"]}
+
+for label, budget in BUDGETS_US.items():
+    row = rows.get(label)
+    if row is None:
+        failures.append(f"row {label!r} missing")
+    elif row["measured"] <= 0:
+        failures.append(f"{label}: no recoveries measured")
+    elif row["measured"] > budget:
+        failures.append(
+            f"{label}: {row['measured']:.1f} us over budget {budget:.1f} us")
+
+ratio = rows.get(RATIO_ROW)
+if ratio is None:
+    failures.append(f"row {RATIO_ROW!r} missing")
+elif ratio["measured"] < RATIO_FLOOR:
+    failures.append(
+        f"{RATIO_ROW}: {ratio['measured']:.3f} below floor {RATIO_FLOOR}")
+
+if failures:
+    print("chaos smoke FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+print("chaos smoke OK: all fault classes recovered within budget, "
+      f"path-A ratio {ratio['measured']:.3f} >= {RATIO_FLOOR}")
+EOF

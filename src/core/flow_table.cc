@@ -39,6 +39,15 @@ const FlowMeta* FlowTable::LookupTuple(const FlowKey& key) const {
   return it == by_key_.end() ? nullptr : &by_fid_.at(it->second);
 }
 
+const FlowMeta* FlowTable::FindByProgram(uint32_t me_program_id) const {
+  for (const auto& [fid, meta] : by_fid_) {
+    if (meta.where == Where::kMicroEngine && meta.me_program_id == me_program_id) {
+      return &meta;
+    }
+  }
+  return nullptr;
+}
+
 std::vector<const FlowMeta*> FlowTable::Generals(Where where) const {
   std::vector<const FlowMeta*> out;
   for (const auto& [fid, meta] : by_fid_) {

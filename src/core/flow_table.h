@@ -70,6 +70,11 @@ class FlowTable {
   // generals live in the ISTORE chain instead).
   std::vector<const FlowMeta*> Generals(Where where) const;
 
+  // Resolves a MicroEngine ISTORE handle back to its flow (quarantine
+  // eviction goes through the fid-keyed control interface). Nullptr if no
+  // installed flow references the program.
+  const FlowMeta* FindByProgram(uint32_t me_program_id) const;
+
   size_t size() const { return by_fid_.size(); }
 
  private:

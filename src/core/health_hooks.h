@@ -1,0 +1,33 @@
+// Abstract health-monitor hooks.
+//
+// The data path (input stage, bridge) needs to notify the health subsystem
+// and query degraded-mode policy, but npr_core cannot depend on npr_health
+// (which links against it). This minimal interface lives in src/core; the
+// HealthMonitor in src/health implements it and attaches itself through
+// Router::set_health_hooks(). A null pointer (the default) means no health
+// monitoring — the zero-overhead configuration.
+
+#ifndef SRC_CORE_HEALTH_HOOKS_H_
+#define SRC_CORE_HEALTH_HOOKS_H_
+
+#include <cstdint>
+
+namespace npr {
+
+class HealthHooks {
+ public:
+  virtual ~HealthHooks() = default;
+
+  // A VRP program (ISTORE handle `program_id`) trapped at runtime. Called
+  // synchronously from the input stage's classify path; implementations
+  // must only record/schedule, never mutate the ISTORE inline.
+  virtual void OnVrpTrap(uint32_t program_id) = 0;
+
+  // True while the Pentium is considered unresponsive and Pentium-bound
+  // packets should be shed at the bridge instead of wedging path C.
+  virtual bool ShedPentiumBound() const = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_HEALTH_HOOKS_H_

@@ -63,11 +63,27 @@ void InputStage::Start() {
 }
 
 void InputStage::RestartContext(int ctx_index) {
-  core_.stats->context_restarts += 1;
   const int member = member_index_[static_cast<size_t>(ctx_index)];
-  ring_.SetMemberDown(member, false);
   HwContext* ctx = members_[static_cast<size_t>(ctx_index)];
+  // Idempotent: the health monitor and the scheduled restart can race; only
+  // the first one reinstalls the loop (a crash marks the member down before
+  // its loop co_returns, so member-up means the context is live).
+  if (!ring_.member_down(member)) {
+    return;
+  }
+  core_.stats->context_restarts += 1;
+  ring_.SetMemberDown(member, false);
   ctx->Install(ContextLoop(*ctx, member, ctx_index, port_of_[static_cast<size_t>(ctx_index)]));
+}
+
+void InputStage::RecoverContext(int ctx_index) { RestartContext(ctx_index); }
+
+bool InputStage::ContextDown(int ctx_index) const {
+  return ring_.member_down(member_index_[static_cast<size_t>(ctx_index)]);
+}
+
+SimTime InputStage::ContextDownSincePs(int ctx_index) const {
+  return ring_.member_down_since_ps(member_index_[static_cast<size_t>(ctx_index)]);
 }
 
 int InputStage::partial_assemblies() const {
@@ -189,10 +205,15 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
 
   // Per-flow VRP program (at most one, §4.6), then the general chain, IP
   // last being the built-in transform above.
-  if (outcome.flow != nullptr && outcome.flow->where == Where::kMicroEngine) {
+  if (outcome.flow != nullptr && outcome.flow->where == Where::kMicroEngine &&
+      !core_.istore->IsThrottled(outcome.flow->me_program_id)) {
     const VrpProgram* program = core_.istore->Get(outcome.flow->me_program_id);
     if (program != nullptr) {
       auto run = core_.vrp->Run(*program, mp_bytes, outcome.flow->state_addr, &cfg.budget);
+      if (core_.fault != nullptr && run.action != VrpAction::kTrap &&
+          core_.fault->ShouldTrapVrp()) {
+        run.action = VrpAction::kTrap;
+      }
       vrp_cost->cycles += run.metered.cycles;
       vrp_cost->sram_reads += run.metered.sram_reads;
       vrp_cost->sram_writes += run.metered.sram_writes;
@@ -212,6 +233,9 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
       }
       if (run.action == VrpAction::kTrap) {
         core_.stats->vrp_traps += 1;
+        if (core_.health != nullptr) {
+          core_.health->OnVrpTrap(outcome.flow->me_program_id);
+        }
         disp.act = Disposition::Act::kStrongArm;
         return disp;
       }
@@ -219,6 +243,10 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
   }
   for (const auto& general : core_.istore->GeneralChain()) {
     auto run = core_.vrp->Run(*general.program, mp_bytes, general.state_addr, &cfg.budget);
+    if (core_.fault != nullptr && run.action != VrpAction::kTrap &&
+        core_.fault->ShouldTrapVrp()) {
+      run.action = VrpAction::kTrap;
+    }
     vrp_cost->cycles += run.metered.cycles;
     vrp_cost->sram_reads += run.metered.sram_reads;
     vrp_cost->sram_writes += run.metered.sram_writes;
@@ -230,6 +258,9 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
     }
     if (run.action == VrpAction::kTrap) {
       core_.stats->vrp_traps += 1;
+      if (core_.health != nullptr) {
+        core_.health->OnVrpTrap(general.id);
+      }
       disp.act = Disposition::Act::kStrongArm;
       return disp;
     }
@@ -259,9 +290,14 @@ Task InputStage::ContextLoop(HwContext& ctx, int member, int ctx_index, uint8_t 
     if (core_.fault != nullptr && core_.fault->ShouldCrashContext()) {
       core_.stats->context_crashes += 1;
       ring_.SetMemberDown(member, true);
-      InputStage* self = this;
-      core_.engine->ScheduleIn(core_.fault->context_restart_ps(),
-                               [self, ctx_index] { self->RestartContext(ctx_index); });
+      // A lost restart models the recovery path itself failing: nothing is
+      // scheduled, and only a health monitor (if attached) brings the
+      // context back.
+      if (!core_.fault->ShouldLoseRestart()) {
+        InputStage* self = this;
+        core_.engine->ScheduleIn(core_.fault->context_restart_ps(),
+                                 [self, ctx_index] { self->RestartContext(ctx_index); });
+      }
       co_return;
     }
     co_await ring_.Acquire(member);

@@ -36,6 +36,14 @@ class InputStage {
   TokenRing& token_ring() { return ring_; }
   int num_contexts() const { return static_cast<int>(members_.size()); }
 
+  // Health-monitor recovery interface. RecoverContext reinstalls a crashed
+  // context whose scheduled restart was lost; it is a no-op if the context
+  // is up (or a restart already ran), so watchdog and normal restart can
+  // race safely.
+  void RecoverContext(int ctx_index);
+  bool ContextDown(int ctx_index) const;
+  SimTime ContextDownSincePs(int ctx_index) const;
+
   // Synthetic packets generated in InfiniteFifo mode.
   uint64_t synthetic_generated() const { return synthetic_seq_; }
 

@@ -51,11 +51,27 @@ void OutputStage::Start() {
 }
 
 void OutputStage::RestartContext(int out_ctx_index) {
-  core_.stats->context_restarts += 1;
   const int member = member_index_[static_cast<size_t>(out_ctx_index)];
-  ring_.SetMemberDown(member, false);
   HwContext* ctx = members_[static_cast<size_t>(out_ctx_index)];
+  // Idempotent: the health monitor and the scheduled restart can race; only
+  // the first one reinstalls the loop (a crash marks the member down before
+  // its loop co_returns, so member-up means the context is live).
+  if (!ring_.member_down(member)) {
+    return;
+  }
+  core_.stats->context_restarts += 1;
+  ring_.SetMemberDown(member, false);
   ctx->Install(ContextLoop(*ctx, member, out_ctx_index));
+}
+
+void OutputStage::RecoverContext(int out_ctx_index) { RestartContext(out_ctx_index); }
+
+bool OutputStage::ContextDown(int out_ctx_index) const {
+  return ring_.member_down(member_index_[static_cast<size_t>(out_ctx_index)]);
+}
+
+SimTime OutputStage::ContextDownSincePs(int out_ctx_index) const {
+  return ring_.member_down_since_ps(member_index_[static_cast<size_t>(out_ctx_index)]);
 }
 
 int OutputStage::active_streams() const {
@@ -105,9 +121,13 @@ Task OutputStage::ContextLoop(HwContext& ctx, int member, int out_ctx_index) {
     if (core_.fault != nullptr && core_.fault->ShouldCrashContext()) {
       core_.stats->context_crashes += 1;
       ring_.SetMemberDown(member, true);
-      OutputStage* self = this;
-      core_.engine->ScheduleIn(core_.fault->context_restart_ps(),
-                               [self, out_ctx_index] { self->RestartContext(out_ctx_index); });
+      // A lost restart leaves the context down until a health monitor (if
+      // attached) reinstalls it.
+      if (!core_.fault->ShouldLoseRestart()) {
+        OutputStage* self = this;
+        core_.engine->ScheduleIn(core_.fault->context_restart_ps(),
+                                 [self, out_ctx_index] { self->RestartContext(out_ctx_index); });
+      }
       co_return;
     }
     // Token critical section: keep the strictly ordered transmit FIFO

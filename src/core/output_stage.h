@@ -30,6 +30,11 @@ class OutputStage {
   TokenRing& token_ring() { return ring_; }
   int num_contexts() const { return static_cast<int>(members_.size()); }
 
+  // Health-monitor recovery interface (see InputStage for semantics).
+  void RecoverContext(int out_ctx_index);
+  bool ContextDown(int out_ctx_index) const;
+  SimTime ContextDownSincePs(int out_ctx_index) const;
+
   // Completes a packet on behalf of the StrongARM/Pentium return path
   // (those processors hand packets back to ordinary output queues; the
   // output stage transmits them like any other packet).

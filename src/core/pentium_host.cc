@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/strongarm_bridge.h"
+#include "src/fault/fault_injector.h"
 #include "src/net/ipv4.h"
 
 namespace npr {
@@ -27,6 +28,15 @@ Task PentiumHost::PeLoop() {
 
   for (;;) {
     bool did_work = false;
+
+    // Injected hang: the Pentium burns cycles without touching a packet,
+    // which is what the watchdog's stalled-progress check detects.
+    if (core_.fault != nullptr) {
+      const SimTime hang_ps = core_.fault->PentiumHangPs();
+      if (hang_ps > 0) {
+        co_await pe.Compute(static_cast<uint64_t>(hang_ps / pe.clock().cycle_ps));
+      }
+    }
 
     // --- intake: one I2O entry per pass, so service (below) is never
     // starved when the StrongARM refills the queue faster than the copy

@@ -113,6 +113,11 @@ class Router {
   FaultInjector* fault_injector() { return fault_.get(); }
   bool started() const { return started_; }
 
+  // Attaches (or detaches, with nullptr) the health-monitor hook points the
+  // data path consults: trap notification and degraded-mode shedding. The
+  // hooks object must outlive the attachment.
+  void set_health_hooks(HealthHooks* hooks) { core_.health = hooks; }
+
  private:
   RouterConfig config_;
   std::unique_ptr<EventQueue> owned_engine_;  // null when the engine is shared

@@ -10,6 +10,7 @@
 #include "src/core/buffer_allocator.h"
 #include "src/core/flow_table.h"
 #include "src/core/forwarder.h"
+#include "src/core/health_hooks.h"
 #include "src/core/packet_queue.h"
 #include "src/core/queue_plan.h"
 #include "src/core/router_config.h"
@@ -68,6 +69,10 @@ struct RouterCore {
   // Non-null when the config carries a fault plan; stage loops poll it for
   // context crashes.
   FaultInjector* fault = nullptr;
+
+  // Non-null when a HealthMonitor is attached (Router::set_health_hooks);
+  // the data path notifies it of traps and queries degraded-mode policy.
+  HealthHooks* health = nullptr;
 };
 
 // Sidecar metadata for a buffer under either allocator.

@@ -5,6 +5,8 @@
 #define SRC_CORE_ROUTER_STATS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
@@ -68,6 +70,14 @@ struct RouterStats {
   uint64_t context_crashes = 0;
   uint64_t context_restarts = 0;
 
+  // Self-healing subsystem (src/health): detection and recovery counters.
+  uint64_t watchdog_fired = 0;          // any health deadline tripped
+  uint64_t tokens_regenerated = 0;      // lost tokens re-issued
+  uint64_t forwarders_quarantined = 0;  // trapping forwarders auto-removed
+  uint64_t ctrl_retries = 0;            // control messages resent after timeout
+  uint64_t ctrl_timeouts = 0;           // control ops abandoned (max retries)
+  uint64_t pkts_shed_degraded = 0;      // path-C packets shed while degraded
+
   // End-to-end latency of forwarded packets, in nanoseconds.
   Histogram latency_ns;
   // Forwarding rate over the measurement window.
@@ -83,6 +93,22 @@ struct RouterStats {
     latency_ns.Reset();
   }
 };
+
+// One-line summary of the self-healing counters for end-to-end output.
+inline std::string HealthSummary(const RouterStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "health: watchdog_fired=%llu tokens_regenerated=%llu "
+                "forwarders_quarantined=%llu ctrl_retries=%llu ctrl_timeouts=%llu "
+                "pkts_shed_degraded=%llu",
+                static_cast<unsigned long long>(s.watchdog_fired),
+                static_cast<unsigned long long>(s.tokens_regenerated),
+                static_cast<unsigned long long>(s.forwarders_quarantined),
+                static_cast<unsigned long long>(s.ctrl_retries),
+                static_cast<unsigned long long>(s.ctrl_timeouts),
+                static_cast<unsigned long long>(s.pkts_shed_degraded));
+  return std::string(buf);
+}
 
 }  // namespace npr
 

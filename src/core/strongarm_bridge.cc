@@ -59,6 +59,23 @@ Task StrongArmBridge::SaLoop() {
   for (;;) {
     bool did_work = false;
 
+    // --- 0. Degraded mode: the health monitor declared the Pentium
+    // unresponsive, so Pentium-bound packets are shed here instead of
+    // piling into the bounded host queues (path A keeps its token-ring
+    // cadence; path B resumes when the watchdog clears).
+    if (core_.health != nullptr && core_.health->ShedPentiumBound() &&
+        core_.sa_pentium_queue != nullptr && !core_.sa_pentium_queue->empty()) {
+      co_await sa.Compute(hw.sa_dequeue_cycles);
+      co_await sa.Read(mem.scratch(), 4);
+      co_await sa.Read(mem.sram(), 4);
+      auto desc = core_.sa_pentium_queue->Pop();
+      if (desc) {
+        core_.stats->pkts_shed_degraded += 1;
+        ReleaseBuffer(core_, desc->buffer_addr);
+      }
+      did_work = true;
+    }
+
     // --- 1. Pentium-bound packets ---
     // Default policy (the paper's prototype): strict precedence over local
     // work. With sa_proportional_share, a stride scheduler splits the
@@ -70,7 +87,7 @@ Task StrongArmBridge::SaLoop() {
       take_pentium = pentium_pass_ <= local_pass_;
     }
     const bool pentium_ready = core_.config->enable_pentium && !to_pentium_.free_q.empty();
-    if (take_pentium && pentium_ready && core_.sa_pentium_queue != nullptr &&
+    if (!did_work && take_pentium && pentium_ready && core_.sa_pentium_queue != nullptr &&
         !core_.sa_pentium_queue->empty()) {
       co_await sa.Compute(hw.sa_dequeue_cycles);
       co_await sa.Read(mem.scratch(), 4);

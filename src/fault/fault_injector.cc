@@ -29,6 +29,20 @@ const char* FaultKindName(FaultKind kind) {
       return "token_drop";
     case FaultKind::kDescCorrupt:
       return "desc_corrupt";
+    case FaultKind::kTokenLost:
+      return "token_lost";
+    case FaultKind::kRestartLost:
+      return "restart_lost";
+    case FaultKind::kPentiumHang:
+      return "pentium_hang";
+    case FaultKind::kVrpTrap:
+      return "vrp_trap";
+    case FaultKind::kCtrlDrop:
+      return "ctrl_drop";
+    case FaultKind::kCtrlDup:
+      return "ctrl_dup";
+    case FaultKind::kCtrlDelay:
+      return "ctrl_delay";
     case FaultKind::kCount:
       break;
   }
@@ -42,6 +56,11 @@ FaultInjector::FaultInjector(const FaultPlan& plan, EventQueue& engine)
         engine_.now() +
         static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.context_crash_mean_ps)));
   }
+  if (plan_.pentium_hang_mean_ps > 0) {
+    next_hang_at_ =
+        engine_.now() +
+        static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.pentium_hang_mean_ps)));
+  }
 }
 
 uint64_t FaultInjector::total_injected() const {
@@ -53,7 +72,7 @@ uint64_t FaultInjector::total_injected() const {
 }
 
 SimTime FaultInjector::MemExtraLatencyPs() {
-  if (plan_.mem_latency_spike_p <= 0 || !rng_.Chance(plan_.mem_latency_spike_p)) {
+  if (!armed_ || plan_.mem_latency_spike_p <= 0 || !rng_.Chance(plan_.mem_latency_spike_p)) {
     return 0;
   }
   Count(FaultKind::kMemLatencySpike);
@@ -61,7 +80,7 @@ SimTime FaultInjector::MemExtraLatencyPs() {
 }
 
 bool FaultInjector::MaybeFlipReadBits(std::span<uint8_t> out) {
-  if (plan_.mem_bit_flip_p <= 0 || out.empty() || !rng_.Chance(plan_.mem_bit_flip_p)) {
+  if (!armed_ || plan_.mem_bit_flip_p <= 0 || out.empty() || !rng_.Chance(plan_.mem_bit_flip_p)) {
     return false;
   }
   out[rng_.Uniform(out.size())] ^= static_cast<uint8_t>(1u << rng_.Uniform(8));
@@ -71,6 +90,9 @@ bool FaultInjector::MaybeFlipReadBits(std::span<uint8_t> out) {
 
 FaultInjector::FrameFault FaultInjector::OnFrameRx(std::span<uint8_t> frame,
                                                    size_t* truncate_to) {
+  if (!armed_) {
+    return FrameFault::kNone;
+  }
   if (plan_.frame_crc_p > 0 && rng_.Chance(plan_.frame_crc_p)) {
     Count(FaultKind::kFrameCrcDrop);
     return FrameFault::kCrcDrop;
@@ -97,7 +119,7 @@ FaultInjector::FrameFault FaultInjector::OnFrameRx(std::span<uint8_t> frame,
 }
 
 SimTime FaultInjector::RxStallPs() {
-  if (plan_.rx_stall_p <= 0 || !rng_.Chance(plan_.rx_stall_p)) {
+  if (!armed_ || plan_.rx_stall_p <= 0 || !rng_.Chance(plan_.rx_stall_p)) {
     return 0;
   }
   Count(FaultKind::kRxStall);
@@ -105,15 +127,23 @@ SimTime FaultInjector::RxStallPs() {
 }
 
 SimTime FaultInjector::TokenOfferDelayPs() {
-  if (plan_.token_drop_p <= 0 || !rng_.Chance(plan_.token_drop_p)) {
+  if (!armed_ || plan_.token_drop_p <= 0 || !rng_.Chance(plan_.token_drop_p)) {
     return 0;
   }
   Count(FaultKind::kTokenDrop);
   return plan_.token_redeliver_ps;
 }
 
+bool FaultInjector::ShouldLoseToken() {
+  if (!armed_ || plan_.token_lost_p <= 0 || !rng_.Chance(plan_.token_lost_p)) {
+    return false;
+  }
+  Count(FaultKind::kTokenLost);
+  return true;
+}
+
 bool FaultInjector::ShouldCrashContext() {
-  if (plan_.context_crash_mean_ps <= 0 || engine_.now() < next_crash_at_) {
+  if (!armed_ || plan_.context_crash_mean_ps <= 0 || engine_.now() < next_crash_at_) {
     return false;
   }
   next_crash_at_ =
@@ -123,8 +153,57 @@ bool FaultInjector::ShouldCrashContext() {
   return true;
 }
 
+bool FaultInjector::ShouldLoseRestart() {
+  if (!armed_ || plan_.restart_lost_p <= 0 || !rng_.Chance(plan_.restart_lost_p)) {
+    return false;
+  }
+  Count(FaultKind::kRestartLost);
+  return true;
+}
+
+SimTime FaultInjector::PentiumHangPs() {
+  if (!armed_ || plan_.pentium_hang_mean_ps <= 0 || engine_.now() < next_hang_at_) {
+    return 0;
+  }
+  next_hang_at_ =
+      engine_.now() +
+      static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.pentium_hang_mean_ps)));
+  last_hang_at_ = engine_.now();
+  Count(FaultKind::kPentiumHang);
+  return plan_.pentium_hang_ps;
+}
+
+FaultInjector::CtrlFault FaultInjector::OnCtrlMessage(SimTime* extra_delay_ps) {
+  *extra_delay_ps = 0;
+  if (!armed_) {
+    return CtrlFault::kNone;
+  }
+  if (plan_.ctrl_drop_p > 0 && rng_.Chance(plan_.ctrl_drop_p)) {
+    Count(FaultKind::kCtrlDrop);
+    return CtrlFault::kDrop;
+  }
+  if (plan_.ctrl_dup_p > 0 && rng_.Chance(plan_.ctrl_dup_p)) {
+    Count(FaultKind::kCtrlDup);
+    return CtrlFault::kDup;
+  }
+  if (plan_.ctrl_delay_p > 0 && rng_.Chance(plan_.ctrl_delay_p)) {
+    Count(FaultKind::kCtrlDelay);
+    *extra_delay_ps = plan_.ctrl_delay_ps;
+    return CtrlFault::kDelay;
+  }
+  return CtrlFault::kNone;
+}
+
+bool FaultInjector::ShouldTrapVrp() {
+  if (!armed_ || plan_.vrp_trap_p <= 0 || !rng_.Chance(plan_.vrp_trap_p)) {
+    return false;
+  }
+  Count(FaultKind::kVrpTrap);
+  return true;
+}
+
 bool FaultInjector::MaybeCorruptDescriptor(uint32_t* word) {
-  if (plan_.desc_corrupt_p <= 0 || !rng_.Chance(plan_.desc_corrupt_p)) {
+  if (!armed_ || plan_.desc_corrupt_p <= 0 || !rng_.Chance(plan_.desc_corrupt_p)) {
     return false;
   }
   // Only the low 24 bits are encoded descriptor state, and every one of them

@@ -36,6 +36,13 @@ enum class FaultKind : uint8_t {
   kContextCrash,
   kTokenDrop,
   kDescCorrupt,
+  kTokenLost,
+  kRestartLost,
+  kPentiumHang,
+  kVrpTrap,
+  kCtrlDrop,
+  kCtrlDup,
+  kCtrlDelay,
   kCount,
 };
 
@@ -76,11 +83,15 @@ class FaultInjector {
   // Extra stall (possibly 0) before the RX path accepts a frame.
   SimTime RxStallPs();
 
-  // --- token ring hook ---
+  // --- token ring hooks ---
 
   // Extra delay (possibly 0) for one token hand-off, modelling a dropped
   // offer that has to be redelivered.
   SimTime TokenOfferDelayPs();
+
+  // True when this hand-off loses the token outright (the offer never
+  // arrives; recovery requires regeneration).
+  bool ShouldLoseToken();
 
   // --- context crash hooks ---
 
@@ -91,11 +102,44 @@ class FaultInjector {
 
   SimTime context_restart_ps() const { return plan_.context_restart_ps; }
 
+  // True when the scheduled restart of a crashed context is lost (the
+  // restart event must not be scheduled; a watchdog recovers the context).
+  bool ShouldLoseRestart();
+
+  // --- Pentium hook ---
+
+  // Polled by the Pentium loop at its top. Nonzero when a hang is due: the
+  // loop busies itself for the returned duration, ignoring doorbells.
+  // Hangs follow an exponential inter-arrival process.
+  SimTime PentiumHangPs();
+
+  // Simulated instant the most recent Pentium hang began (MTTD accounting).
+  SimTime last_pentium_hang_at() const { return last_hang_at_; }
+
+  // --- control channel hook ---
+
+  enum class CtrlFault : uint8_t { kNone, kDrop, kDup, kDelay };
+
+  // Decides the fate of one control message (or ack). kDelay sets
+  // *extra_delay_ps to the added transit time.
+  CtrlFault OnCtrlMessage(SimTime* extra_delay_ps);
+
+  // --- VRP runtime hook ---
+
+  // True when this program run traps at runtime despite static admission.
+  bool ShouldTrapVrp();
+
   // --- packet queue hook ---
 
   // Possibly flips one bit in the low 24 encoded bits of a descriptor word
   // read back from SRAM. Returns true if a flip happened.
   bool MaybeCorruptDescriptor(uint32_t* word);
+
+  // Disarming stops all *new* fault injection (every hook answers
+  // "no fault" without consuming Rng draws). Used by recovery experiments
+  // to end the fault burst and measure the healed router.
+  void set_armed(bool armed) { armed_ = armed; }
+  bool armed() const { return armed_; }
 
  private:
   void Count(FaultKind kind) { injected_[static_cast<size_t>(kind)] += 1; }
@@ -103,7 +147,10 @@ class FaultInjector {
   const FaultPlan plan_;
   EventQueue& engine_;
   Rng rng_;
+  bool armed_ = true;
   SimTime next_crash_at_ = 0;
+  SimTime next_hang_at_ = 0;
+  SimTime last_hang_at_ = 0;
   std::array<uint64_t, kFaultKindCount> injected_{};
 };
 

@@ -50,16 +50,47 @@ struct FaultPlan {
   // after `token_redeliver_ps` (models a lost inter-thread signal).
   double token_drop_p = 0.0;
   SimTime token_redeliver_ps = 5 * kPsPerUs;
+  // Probability a token hand-off is lost outright: the offer is never
+  // delivered and the ring wedges until something (the HealthMonitor)
+  // regenerates the token. Distinct from token_drop_p, which self-heals.
+  double token_lost_p = 0.0;
 
   // --- packet queues ---
   // Per-pop probability of a single-bit corruption in the descriptor word
   // read back from SRAM (the stored word stays intact).
   double desc_corrupt_p = 0.0;
 
+  // --- crash-restart path ---
+  // Probability the scheduled restart of a crashed context is itself lost
+  // (the restart event never fires); only a watchdog can bring the context
+  // back.
+  double restart_lost_p = 0.0;
+
+  // --- Pentium ---
+  // Mean inter-arrival of Pentium hangs (exponential); 0 disables. A hang
+  // makes the Pentium unresponsive for `pentium_hang_ps`: doorbells
+  // coalesce, I2O work piles up, and path C must shed until it returns.
+  SimTime pentium_hang_mean_ps = 0;
+  SimTime pentium_hang_ps = 1 * kPsPerMs;
+
+  // --- control channel (StrongARM<->Pentium install/remove/getdata/setdata) ---
+  double ctrl_drop_p = 0.0;   // message (or its ack) vanishes in transit
+  double ctrl_dup_p = 0.0;    // message is delivered twice
+  double ctrl_delay_p = 0.0;  // message is delayed by ctrl_delay_ps
+  SimTime ctrl_delay_ps = 150 * kPsPerUs;
+
+  // --- VRP runtime ---
+  // Per-program-run probability that an admitted forwarder traps at runtime
+  // anyway (a flipped ISTORE bit, an unmodelled data-dependent path). This
+  // is what the quarantine escalation exists to contain.
+  double vrp_trap_p = 0.0;
+
   bool Any() const {
     return mem_latency_spike_p > 0 || mem_bit_flip_p > 0 || frame_crc_p > 0 ||
            frame_corrupt_p > 0 || frame_truncate_p > 0 || rx_stall_p > 0 ||
-           context_crash_mean_ps > 0 || token_drop_p > 0 || desc_corrupt_p > 0;
+           context_crash_mean_ps > 0 || token_drop_p > 0 || token_lost_p > 0 ||
+           desc_corrupt_p > 0 || restart_lost_p > 0 || pentium_hang_mean_ps > 0 ||
+           ctrl_drop_p > 0 || ctrl_dup_p > 0 || ctrl_delay_p > 0 || vrp_trap_p > 0;
   }
 
   // --- shipped plans ---
@@ -118,6 +149,27 @@ struct FaultPlan {
     p.context_restart_ps = 50 * kPsPerUs;
     p.token_drop_p = 0.005;
     p.desc_corrupt_p = 0.002;
+    return p;
+  }
+
+  // The recovery chaos preset: faults that leave the router degraded
+  // *forever* unless a HealthMonitor closes the loop — lost tokens, lost
+  // restarts, Pentium hangs, runtime VRP traps, and a lossy control
+  // channel. Only run this plan with health monitoring attached; without
+  // it the wedges it creates are permanent by design.
+  static FaultPlan RecoveryChaos(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.token_lost_p = 3e-5;
+    p.context_crash_mean_ps = 4 * kPsPerMs;
+    p.context_restart_ps = 50 * kPsPerUs;
+    p.restart_lost_p = 0.5;
+    p.pentium_hang_mean_ps = 5 * kPsPerMs;
+    p.pentium_hang_ps = 1 * kPsPerMs;
+    p.vrp_trap_p = 2e-4;
+    p.ctrl_drop_p = 0.2;
+    p.ctrl_dup_p = 0.1;
+    p.ctrl_delay_p = 0.2;
     return p;
   }
 };

@@ -65,7 +65,8 @@ void CheckConservation(Router& router, InvariantReport* report) {
   report->sources = stats.input.packets + stats.icmp_originated;
   report->sinks = stats.forwarded + stats.dropped_invalid + stats.dropped_by_vrp +
                   stats.dropped_queue_full + stats.lost_overwritten + stats.sa_lapped +
-                  stats.sa_absorbed + stats.pe_absorbed + corrupt_drops;
+                  stats.sa_absorbed + stats.pe_absorbed + stats.pkts_shed_degraded +
+                  corrupt_drops;
   report->in_flight = queued + router.bridge().staging().size() +
                       router.pentium_host().scheduler().backlog() +
                       static_cast<uint64_t>(router.output_stage().active_streams()) +
@@ -101,6 +102,19 @@ void CheckTokenLiveness(Router& router, InvariantReport* report) {
   for (const Stage& s : stages) {
     if (s.contexts == 0 || s.ring->members_up() == 0) {
       continue;  // stage disabled, or every context crashed (restart pending)
+    }
+    if (s.ring->token_lost()) {
+      // The token is not merely slow — it is gone, and no grant can ever
+      // happen until something regenerates it. That is only a violation
+      // once the recovery window has elapsed with nobody acting; inside
+      // the window a health monitor is expected to be mid-recovery.
+      const SimTime lost_for = now - s.ring->token_lost_since_ps();
+      if (lost_for > RouterInvariants::kTokenLivenessWindowPs) {
+        Violate(report,
+                Format("%s token ring: token lost %.3f ms ago and not regenerated",
+                       s.name, static_cast<double>(lost_for) / kPsPerMs));
+      }
+      continue;  // do not double-report via the last-grant age below
     }
     const SimTime idle = now - s.ring->last_grant_ps();
     if (idle > RouterInvariants::kTokenLivenessWindowPs) {

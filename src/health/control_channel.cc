@@ -1,0 +1,268 @@
+#include "src/health/control_channel.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/fault/fault_injector.h"
+
+namespace npr {
+
+ControlChannel::ControlChannel(Router& router, ControlChannelConfig config)
+    : router_(router), cfg_(config), rng_(config.seed) {}
+
+const char* ControlChannel::OpName(Op op) {
+  switch (op) {
+    case Op::kInstall:
+      return "install";
+    case Op::kRemove:
+      return "remove";
+    case Op::kGetData:
+      return "getdata";
+    case Op::kSetData:
+      return "setdata";
+  }
+  return "?";
+}
+
+void ControlChannel::Note(const char* fmt, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  char line[256];
+  snprintf(line, sizeof(line), "t=%" PRIu64 " %s",
+           static_cast<uint64_t>(router_.engine().now()), buf);
+  trace_.emplace_back(line);
+}
+
+uint64_t ControlChannel::Install(const InstallRequest& request, Callback done) {
+  Pending p;
+  p.op = Op::kInstall;
+  p.request = request;
+  if (request.program != nullptr) {
+    p.program = *request.program;
+    p.has_program = true;
+  }
+  p.done = std::move(done);
+  return Submit(std::move(p));
+}
+
+uint64_t ControlChannel::Remove(uint32_t fid, Callback done) {
+  Pending p;
+  p.op = Op::kRemove;
+  p.fid = fid;
+  p.done = std::move(done);
+  return Submit(std::move(p));
+}
+
+uint64_t ControlChannel::GetData(uint32_t fid, Callback done) {
+  Pending p;
+  p.op = Op::kGetData;
+  p.fid = fid;
+  p.done = std::move(done);
+  return Submit(std::move(p));
+}
+
+uint64_t ControlChannel::SetData(uint32_t fid, std::vector<uint8_t> data, Callback done) {
+  Pending p;
+  p.op = Op::kSetData;
+  p.fid = fid;
+  p.data = std::move(data);
+  p.done = std::move(done);
+  return Submit(std::move(p));
+}
+
+uint64_t ControlChannel::Submit(Pending pending) {
+  const uint64_t seq = next_seq_++;
+  pending_[seq] = std::move(pending);
+  SendAttempt(seq);
+  return seq;
+}
+
+int ControlChannel::LinkCrossing(uint64_t seq, const char* what, SimTime* extra_delay_ps) {
+  *extra_delay_ps = 0;
+  FaultInjector* fault = router_.fault_injector();
+  if (fault == nullptr) {
+    return 1;
+  }
+  const FaultInjector::CtrlFault f = fault->OnCtrlMessage(extra_delay_ps);
+  switch (f) {
+    case FaultInjector::CtrlFault::kDrop:
+      Note("seq=%" PRIu64 " %s dropped by link", seq, what);
+      return 0;
+    case FaultInjector::CtrlFault::kDup:
+      Note("seq=%" PRIu64 " %s duplicated by link", seq, what);
+      return 2;
+    case FaultInjector::CtrlFault::kDelay:
+      Note("seq=%" PRIu64 " %s delayed %" PRIu64 " ps by link", seq, what,
+           static_cast<uint64_t>(*extra_delay_ps));
+      return 1;
+    case FaultInjector::CtrlFault::kNone:
+      break;
+  }
+  return 1;
+}
+
+void ControlChannel::SendAttempt(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end() || it->second.acked || it->second.failed) {
+    return;
+  }
+  Pending& p = it->second;
+  if (p.attempt >= cfg_.max_attempts) {
+    p.failed = true;
+    Note("seq=%" PRIu64 " %s failed after %d attempts", seq, OpName(p.op), p.attempt);
+    if (p.done) {
+      CtrlResult r;
+      r.ok = false;
+      r.error = "control channel: max attempts exhausted";
+      p.result = r;
+      p.done(r);
+    }
+    return;
+  }
+  p.attempt += 1;
+  const int attempt = p.attempt;
+  Note("seq=%" PRIu64 " %s attempt=%d send", seq, OpName(p.op), attempt);
+
+  SimTime extra = 0;
+  const int copies = LinkCrossing(seq, "request", &extra);
+  for (int c = 0; c < copies; ++c) {
+    // A duplicated message arrives as two back-to-back deliveries.
+    const SimTime delay =
+        cfg_.link_delay_ps + extra + static_cast<SimTime>(c) * (cfg_.link_delay_ps / 4 + 1);
+    router_.engine().ScheduleIn(delay, [this, seq] { DeliverRequest(seq); });
+  }
+  router_.engine().ScheduleIn(cfg_.ack_timeout_ps,
+                              [this, seq, attempt] { OnAttemptTimeout(seq, attempt); });
+}
+
+void ControlChannel::DeliverRequest(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return;
+  }
+  // Receiver side: execute once, re-ack duplicates from the cache.
+  auto done = executed_.find(seq);
+  if (done == executed_.end()) {
+    CtrlResult r = Execute(it->second);
+    executed_count_ += 1;
+    Note("seq=%" PRIu64 " %s executed ok=%d", seq, OpName(it->second.op), r.ok ? 1 : 0);
+    done = executed_.emplace(seq, std::move(r)).first;
+  } else {
+    Note("seq=%" PRIu64 " duplicate delivery, re-ack from cache", seq);
+  }
+  SendAck(seq, done->second);
+}
+
+CtrlResult ControlChannel::Execute(const Pending& pending) {
+  CtrlResult r;
+  switch (pending.op) {
+    case Op::kInstall: {
+      InstallRequest req = pending.request;
+      if (pending.has_program) {
+        req.program = &pending.program;
+      }
+      const InstallOutcome out = router_.Install(req);
+      r.ok = out.ok;
+      r.fid = out.fid;
+      r.error = out.error;
+      break;
+    }
+    case Op::kRemove:
+      r.ok = router_.Remove(pending.fid);
+      break;
+    case Op::kGetData:
+      r.data = router_.GetData(pending.fid);
+      r.ok = !r.data.empty();
+      break;
+    case Op::kSetData:
+      r.ok = router_.SetData(pending.fid,
+                             std::span<const uint8_t>(pending.data.data(), pending.data.size()));
+      break;
+  }
+  return r;
+}
+
+void ControlChannel::SendAck(uint64_t seq, const CtrlResult& result) {
+  SimTime extra = 0;
+  const int copies = LinkCrossing(seq, "ack", &extra);
+  for (int c = 0; c < copies; ++c) {
+    const SimTime delay =
+        cfg_.link_delay_ps + extra + static_cast<SimTime>(c) * (cfg_.link_delay_ps / 4 + 1);
+    CtrlResult copy = result;
+    router_.engine().ScheduleIn(
+        delay, [this, seq, r = std::move(copy)] { DeliverAck(seq, r); });
+  }
+}
+
+void ControlChannel::DeliverAck(uint64_t seq, CtrlResult result) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end() || it->second.acked || it->second.failed) {
+    return;  // duplicate or late ack
+  }
+  Pending& p = it->second;
+  p.acked = true;
+  p.result = std::move(result);
+  Note("seq=%" PRIu64 " %s acked ok=%d attempts=%d", seq, OpName(p.op),
+       p.result.ok ? 1 : 0, p.attempt);
+  if (p.done) {
+    p.done(p.result);
+  }
+}
+
+void ControlChannel::OnAttemptTimeout(uint64_t seq, int attempt) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end() || it->second.acked || it->second.failed) {
+    return;
+  }
+  Pending& p = it->second;
+  if (p.attempt != attempt) {
+    return;  // a newer attempt owns the timer
+  }
+  router_.stats().ctrl_timeouts += 1;
+  if (p.attempt >= cfg_.max_attempts) {
+    SendAttempt(seq);  // reports the failure
+    return;
+  }
+  router_.stats().ctrl_retries += 1;
+  // Deterministic exponential backoff with seeded jitter.
+  SimTime backoff = cfg_.backoff_base_ps << (p.attempt - 1);
+  if (cfg_.backoff_jitter > 0) {
+    const double j = (rng_.NextDouble() * 2.0 - 1.0) * cfg_.backoff_jitter;
+    backoff = static_cast<SimTime>(static_cast<double>(backoff) * (1.0 + j));
+  }
+  Note("seq=%" PRIu64 " attempt=%d timeout, retry in %" PRIu64 " ps", seq, attempt,
+       static_cast<uint64_t>(backoff));
+  router_.engine().ScheduleIn(backoff, [this, seq] { SendAttempt(seq); });
+}
+
+bool ControlChannel::acked(uint64_t seq) const {
+  auto it = pending_.find(seq);
+  return it != pending_.end() && it->second.acked;
+}
+
+bool ControlChannel::failed(uint64_t seq) const {
+  auto it = pending_.find(seq);
+  return it != pending_.end() && it->second.failed;
+}
+
+const CtrlResult* ControlChannel::result(uint64_t seq) const {
+  auto it = pending_.find(seq);
+  if (it == pending_.end() || !(it->second.acked || it->second.failed)) {
+    return nullptr;
+  }
+  return &it->second.result;
+}
+
+size_t ControlChannel::in_flight() const {
+  size_t n = 0;
+  for (const auto& [seq, p] : pending_) {
+    n += (!p.acked && !p.failed) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace npr

@@ -1,0 +1,122 @@
+// Hardened StrongARM <-> Pentium control channel.
+//
+// The paper's install/remove/getdata/setdata interface (§4.5) assumes the
+// PCI control path delivers every message. This wrapper makes the channel
+// robust to a lossy link: every request carries a sequence number, the
+// receiver acknowledges execution, and the sender retries on per-attempt
+// timeouts with deterministic seeded exponential backoff. The receiver
+// caches results by sequence number, so retries and duplicated deliveries
+// are idempotent — a Remove that executed but whose ack was dropped is not
+// re-executed, and the cached outcome is re-acked.
+//
+// Link faults (drop / duplicate / delay, applied to requests and acks
+// alike) come from the router's FaultInjector via OnCtrlMessage; with no
+// injector attached the link is perfect. All timing and randomness are
+// deterministic: the same seed yields a bit-identical trace().
+
+#ifndef SRC_HEALTH_CONTROL_CHANNEL_H_
+#define SRC_HEALTH_CONTROL_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/router.h"
+#include "src/sim/random.h"
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+struct ControlChannelConfig {
+  uint64_t seed = 0xc7a1c7a1ULL;
+  // One-way request/ack latency over the (simulated) PCI control path.
+  SimTime link_delay_ps = 10 * kPsPerUs;
+  // Per-attempt ack deadline; a miss counts a ctrl_timeout and retries.
+  SimTime ack_timeout_ps = 200 * kPsPerUs;
+  // Retry n waits base * 2^(n-1), jittered by +/- `backoff_jitter`.
+  SimTime backoff_base_ps = 100 * kPsPerUs;
+  double backoff_jitter = 0.25;
+  int max_attempts = 8;
+};
+
+// Uniform result for all four control operations.
+struct CtrlResult {
+  bool ok = false;
+  uint32_t fid = 0;             // Install
+  std::vector<uint8_t> data;    // GetData
+  std::string error;
+};
+
+class ControlChannel {
+ public:
+  using Callback = std::function<void(const CtrlResult&)>;
+
+  ControlChannel(Router& router, ControlChannelConfig config = ControlChannelConfig{});
+
+  // Each submits one control message and returns its sequence number.
+  // The request (including any VRP program payload) is copied; execution
+  // and the callback happen at simulated ack time.
+  uint64_t Install(const InstallRequest& request, Callback done = nullptr);
+  uint64_t Remove(uint32_t fid, Callback done = nullptr);
+  uint64_t GetData(uint32_t fid, Callback done = nullptr);
+  uint64_t SetData(uint32_t fid, std::vector<uint8_t> data, Callback done = nullptr);
+
+  // Sender-side status for a sequence number.
+  bool acked(uint64_t seq) const;
+  bool failed(uint64_t seq) const;  // gave up after max_attempts
+  const CtrlResult* result(uint64_t seq) const;
+  size_t in_flight() const;
+
+  // Deterministic event log ("t=<ps> seq=<n> ..."); bit-identical across
+  // same-seed runs.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  uint64_t executed_count() const { return executed_count_; }
+
+ private:
+  enum class Op : uint8_t { kInstall, kRemove, kGetData, kSetData };
+
+  struct Pending {
+    Op op = Op::kInstall;
+    InstallRequest request;      // kInstall (program pointer fixed up below)
+    VrpProgram program;          // owned copy of the install payload
+    bool has_program = false;
+    uint32_t fid = 0;            // kRemove / kGetData / kSetData
+    std::vector<uint8_t> data;   // kSetData payload
+    Callback done;
+    int attempt = 0;
+    bool acked = false;
+    bool failed = false;
+    CtrlResult result;
+  };
+
+  static const char* OpName(Op op);
+
+  uint64_t Submit(Pending pending);
+  void SendAttempt(uint64_t seq);
+  void DeliverRequest(uint64_t seq);
+  void SendAck(uint64_t seq, const CtrlResult& result);
+  void DeliverAck(uint64_t seq, CtrlResult result);
+  void OnAttemptTimeout(uint64_t seq, int attempt);
+  // Applies link faults to one crossing. Returns the number of copies to
+  // deliver (0 = dropped) and the extra delay for each.
+  int LinkCrossing(uint64_t seq, const char* what, SimTime* extra_delay_ps);
+  CtrlResult Execute(const Pending& pending);
+  void Note(const char* fmt, ...);
+
+  Router& router_;
+  ControlChannelConfig cfg_;
+  Rng rng_;
+  uint64_t next_seq_ = 1;
+  std::map<uint64_t, Pending> pending_;
+  // Receiver-side idempotency cache: seq -> executed result.
+  std::map<uint64_t, CtrlResult> executed_;
+  uint64_t executed_count_ = 0;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_HEALTH_CONTROL_CHANNEL_H_

@@ -43,6 +43,7 @@ void TokenRing::SetMemberDown(int member, bool down) {
     assert(!(held_ && offered_to_ == member) && "token holder cannot go down");
     m.down = true;
     m.waiting = false;
+    m.down_since = engine_.now();
     if (available_ && offered_to_ == member) {
       // The token was sitting on the dying member's doorstep; pass it on so
       // the rotation survives.
@@ -74,10 +75,27 @@ void TokenRing::Release(int member) {
   const int next = (member + 1) % size();
   SimTime delay = kIxpClock.ToTime(pass_cycles_);
   if (fault_ != nullptr) {
+    if (fault_->ShouldLoseToken()) {
+      // The hand-off signal vanishes entirely: no offer is scheduled, the
+      // ring wedges, and only RecoverLostToken() can revive it.
+      lost_ = true;
+      lost_next_ = next;
+      lost_since_ = engine_.now();
+      return;
+    }
     // A dropped inter-thread signal: the offer is redelivered late.
     delay += fault_->TokenOfferDelayPs();
   }
   engine_.ScheduleIn(delay, [this, next] { Offer(next); });
+}
+
+bool TokenRing::RecoverLostToken() {
+  if (!lost_) {
+    return false;
+  }
+  lost_ = false;
+  Offer(lost_next_);
+  return true;
 }
 
 void TokenRing::Offer(int member) {

@@ -66,6 +66,26 @@ class TokenRing {
   // Time of the most recent successful grant (liveness checks).
   SimTime last_grant_ps() const { return last_grant_ps_; }
 
+  // True while the token has been lost to an injected hand-off fault: no
+  // offer is in flight and no member holds it, so the ring is wedged until
+  // RecoverLostToken() regenerates it.
+  bool token_lost() const { return lost_; }
+  SimTime token_lost_since_ps() const { return lost_since_; }
+
+  // Regenerates a lost token by re-issuing the swallowed offer. Safe to
+  // call any time: a no-op unless the token is actually lost (regenerating
+  // a merely-slow token would put two tokens in the rotation and break
+  // mutual exclusion). Returns true if a token was regenerated.
+  bool RecoverLostToken();
+
+  // Member liveness, indexed by AddMember order (watchdog bookkeeping).
+  bool member_down(int member) const {
+    return members_[static_cast<size_t>(member)].down;
+  }
+  SimTime member_down_since_ps(int member) const {
+    return members_[static_cast<size_t>(member)].down_since;
+  }
+
   // Fault injection: deterministic extra delay on token hand-offs.
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
@@ -79,6 +99,7 @@ class TokenRing {
     HwContext* ctx;
     bool waiting = false;
     bool down = false;
+    SimTime down_since = 0;
   };
 
   EventQueue& engine_;
@@ -89,6 +110,9 @@ class TokenRing {
   bool available_ = true;  // true when offered and not yet claimed
   bool held_ = false;
   bool parked_ = false;    // every member down; token waits for a restart
+  bool lost_ = false;      // injected loss; awaiting regeneration
+  int lost_next_ = 0;      // member the swallowed offer was bound for
+  SimTime lost_since_ = 0;
   SimTime offer_since_ = 0;
   SimTime idle_ps_ = 0;
   SimTime last_grant_ps_ = 0;

@@ -50,14 +50,27 @@ const VrpProgram* IStoreLayout::Get(uint32_t id) const {
   return it == entries_.end() ? nullptr : &it->second.program;
 }
 
+void IStoreLayout::SetThrottled(uint32_t id, bool throttled) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.throttled = throttled;
+  }
+}
+
+bool IStoreLayout::IsThrottled(uint32_t id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.throttled;
+}
+
 std::vector<IStoreLayout::GeneralEntry> IStoreLayout::GeneralChain() const {
   // Stored in reverse order from the end of the store: the most recently
   // installed general executes first; the first-installed (minimal IP)
   // executes last.
   std::vector<std::pair<uint64_t, GeneralEntry>> generals;
   for (const auto& [id, entry] : entries_) {
-    if (entry.general) {
-      generals.emplace_back(entry.install_seq, GeneralEntry{&entry.program, entry.state_addr});
+    if (entry.general && !entry.throttled) {
+      generals.emplace_back(entry.install_seq,
+                            GeneralEntry{&entry.program, entry.state_addr, id});
     }
   }
   std::sort(generals.begin(), generals.end(),

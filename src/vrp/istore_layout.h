@@ -38,12 +38,19 @@ class IStoreLayout {
   struct GeneralEntry {
     const VrpProgram* program;
     uint32_t state_addr;
+    uint32_t id;  // install handle (trap attribution / quarantine)
   };
 
   // Frees a forwarder's slots. Returns false for unknown handles.
   bool Remove(uint32_t id);
 
   const VrpProgram* Get(uint32_t id) const;
+
+  // Quarantine throttle: a throttled forwarder keeps its slots but is
+  // skipped by the classify path (packets take the default IP transform)
+  // until the throttle lifts. Unknown handles are ignored / not throttled.
+  void SetThrottled(uint32_t id, bool throttled);
+  bool IsThrottled(uint32_t id) const;
 
   // General forwarders in execution (fall-through) order.
   std::vector<GeneralEntry> GeneralChain() const;
@@ -65,6 +72,7 @@ class IStoreLayout {
     uint32_t slots;
     uint64_t install_seq;
     uint32_t state_addr;
+    bool throttled = false;
   };
 
   const uint32_t capacity_;       // slots available to extensions (650)

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "src/core/router.h"
+#include "src/fault/fault_injector.h"
 #include "src/fault/router_invariants.h"
 #include "src/forwarders/vrp_programs.h"
+#include "src/health/health_monitor.h"
 #include "src/net/traffic_gen.h"
 
 namespace npr {
@@ -156,6 +158,47 @@ TEST(EndToEnd, LongRunWithMonitorsStaysStable) {
   const InvariantReport inv = RouterInvariants::CheckAll(router);
   EXPECT_TRUE(inv.ok()) << inv.ToString();
   EXPECT_TRUE(inv.conservation_checked);
+}
+
+TEST(EndToEnd, SelfHealingLongRunUnderRecoveryChaos) {
+  // 60 ms of line-rate traffic with the full recovery-chaos plan and the
+  // health monitor attached: every fault class fires, every one recovers,
+  // forwarding never permanently stalls, and the run closes with the
+  // invariants intact. Prints the health counter summary for the log.
+  RouterConfig cfg;
+  cfg.fault_plan = FaultPlan::RecoveryChaos();
+  Router router(std::move(cfg));
+  for (int p = 0; p < router.num_ports(); ++p) {
+    router.AddRoute("10." + std::to_string(p) + ".0.0/16", static_cast<uint8_t>(p));
+  }
+  router.WarmRouteCache(32);
+  router.Start();
+  HealthMonitor health(router);
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  for (int p = 0; p < 4; ++p) {
+    TrafficSpec spec;
+    spec.rate_pps = 120'000;
+    spec.dst_spread = 16;
+    gens.push_back(std::make_unique<TrafficGen>(router.engine(), router.port(p), spec,
+                                                static_cast<uint64_t>(p + 900)));
+    gens.back()->Start(55 * kPsPerMs);
+  }
+  uint64_t last_forwarded = 0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    router.RunForMs(10.0);
+    EXPECT_GT(router.stats().forwarded, last_forwarded)
+        << "permanent stall in epoch " << epoch;
+    last_forwarded = router.stats().forwarded;
+  }
+  ASSERT_NE(router.fault_injector(), nullptr);
+  router.fault_injector()->set_armed(false);  // end the burst, let it heal
+  router.RunForMs(10.0);
+  EXPECT_GT(router.stats().forwarded, last_forwarded) << "no recovery after disarm";
+  EXPECT_GT(router.stats().watchdog_fired, 0u);
+  EXPECT_FALSE(health.events().empty());
+  std::printf("[ e2e ] %s\n", HealthSummary(router.stats()).c_str());
+  const InvariantReport inv = RouterInvariants::CheckAll(router);
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
 }
 
 TEST(EndToEnd, IdPreservationUnderLoad) {

@@ -1,0 +1,515 @@
+// Self-healing subsystem: watchdog detection and recovery per fault class,
+// quarantine escalation for trapping forwarders, the retry/timeout-hardened
+// control channel, and determinism of all of the above.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/router.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/router_invariants.h"
+#include "src/forwarders/native.h"
+#include "src/forwarders/vrp_programs.h"
+#include "src/health/control_channel.h"
+#include "src/health/health_monitor.h"
+#include "src/net/traffic_gen.h"
+
+namespace npr {
+namespace {
+
+std::unique_ptr<Router> MakeRouter(RouterConfig cfg = RouterConfig{}) {
+  auto router = std::make_unique<Router>(std::move(cfg));
+  for (int p = 0; p < router->num_ports(); ++p) {
+    router->AddRoute("10." + std::to_string(p) + ".0.0/16", static_cast<uint8_t>(p));
+  }
+  router->WarmRouteCache(32);
+  return router;
+}
+
+void DriveTraffic(Router& router, std::vector<std::unique_ptr<TrafficGen>>* gens,
+                  double traffic_ms, int ports = 4, uint64_t rate_pps = 120'000) {
+  for (int p = 0; p < ports; ++p) {
+    TrafficSpec spec;
+    spec.rate_pps = rate_pps;
+    spec.dst_spread = 16;
+    gens->push_back(std::make_unique<TrafficGen>(router.engine(), router.port(p), spec,
+                                                 static_cast<uint64_t>(500 + p)));
+    gens->back()->Start(static_cast<SimTime>(traffic_ms * kPsPerMs));
+  }
+}
+
+size_t CountEvents(const HealthMonitor& health, RecoveryEvent::Kind kind) {
+  size_t n = 0;
+  for (const RecoveryEvent& e : health.events()) {
+    n += e.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+// --- token-loss detection and regeneration ---
+
+TEST(HealthMonitorTest, LostTokenIsRegeneratedWithinDeadline) {
+  FaultPlan plan;
+  plan.token_lost_p = 5e-5;
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  HealthMonitor health(*router);
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  DriveTraffic(*router, &gens, 10.0);
+  router->RunForMs(13.0);
+
+  EXPECT_GT(router->stats().tokens_regenerated, 0u);
+  EXPECT_GT(router->stats().watchdog_fired, 0u);
+  EXPECT_GT(router->stats().forwarded, 1000u);
+  ASSERT_GT(CountEvents(health, RecoveryEvent::Kind::kTokenRegen), 0u);
+  const HealthConfig& hc = health.config();
+  for (const RecoveryEvent& e : health.events()) {
+    if (e.kind != RecoveryEvent::Kind::kTokenRegen) {
+      continue;
+    }
+    // Detection waits out the deadline, then lands on a watchdog tick.
+    EXPECT_GE(e.mttd_ps(), hc.token_deadline_ps);
+    EXPECT_LE(e.mttd_ps(), hc.token_deadline_ps + 2 * hc.scan_interval_ps);
+    EXPECT_EQ(e.recovered_at, e.detected_at);  // regeneration is immediate
+  }
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// Regression: the liveness invariant must tell "token lost awaiting
+// regeneration" apart from "token in flight", and must not fire inside the
+// recovery window.
+TEST(HealthMonitorTest, TokenLivenessInvariantReportsUnrecoveredLoss) {
+  FaultPlan plan;
+  plan.token_lost_p = 1.0;  // first release loses the token, nobody recovers
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  DriveTraffic(*router, &gens, 2.0, /*ports=*/1);
+  router->RunForMs(13.0);
+
+  EXPECT_TRUE(router->input_stage().token_ring().token_lost());
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  ASSERT_FALSE(report.ok());
+  bool saw_lost = false;
+  for (const std::string& v : report.violations) {
+    saw_lost = saw_lost || v.find("token lost") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_lost) << report.ToString();
+}
+
+TEST(HealthMonitorTest, TokenLossInsideRecoveryWindowIsNotAViolation) {
+  // Same loss, but checked while a monitor would still be mid-recovery: the
+  // loss is younger than the liveness window, so no violation yet. The
+  // injector starts disarmed so the loss lands at a controlled instant.
+  FaultPlan plan;
+  plan.token_lost_p = 1.0;
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  ASSERT_NE(router->fault_injector(), nullptr);
+  router->fault_injector()->set_armed(false);
+  router->RunForMs(6.0);  // token circulates fault-free past the window
+  ASSERT_FALSE(router->input_stage().token_ring().token_lost());
+
+  router->fault_injector()->set_armed(true);  // next release loses the token
+  router->RunForMs(0.5);
+  ASSERT_TRUE(router->input_stage().token_ring().token_lost());
+  const SimTime lost_for =
+      router->engine().now() - router->input_stage().token_ring().token_lost_since_ps();
+  ASSERT_LT(lost_for, RouterInvariants::kTokenLivenessWindowPs);
+  const InvariantReport in_window = RouterInvariants::CheckAll(*router);
+  for (const std::string& v : in_window.violations) {
+    EXPECT_EQ(v.find("token lost"), std::string::npos) << v;
+  }
+
+  router->RunForMs(6.0);  // nobody recovers: now it is a violation
+  const InvariantReport after = RouterInvariants::CheckAll(*router);
+  bool saw_lost = false;
+  for (const std::string& v : after.violations) {
+    saw_lost = saw_lost || v.find("token lost") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_lost) << after.ToString();
+}
+
+// --- lost context restarts ---
+
+TEST(HealthMonitorTest, LostRestartsAreRecoveredByTheWatchdog) {
+  FaultPlan plan;
+  plan.context_crash_mean_ps = 2 * kPsPerMs;
+  plan.context_restart_ps = 50 * kPsPerUs;
+  plan.restart_lost_p = 1.0;  // every scheduled restart is lost
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  HealthMonitor health(*router);
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  DriveTraffic(*router, &gens, 10.0);
+  router->RunForMs(13.0);
+
+  EXPECT_GT(router->stats().context_crashes, 0u);
+  // With every restart lost, only the watchdog brings contexts back.
+  EXPECT_GT(router->stats().context_restarts, 0u);
+  ASSERT_GT(CountEvents(health, RecoveryEvent::Kind::kContextRestore), 0u);
+  const HealthConfig& hc = health.config();
+  for (const RecoveryEvent& e : health.events()) {
+    if (e.kind != RecoveryEvent::Kind::kContextRestore) {
+      continue;
+    }
+    EXPECT_GE(e.mttd_ps(), hc.context_deadline_ps);
+    EXPECT_LE(e.mttd_ps(), hc.context_deadline_ps + 2 * hc.scan_interval_ps);
+  }
+  EXPECT_GT(router->stats().forwarded, 1000u);
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- Pentium hang: degraded-mode shedding and recovery ---
+
+TEST(HealthMonitorTest, PentiumHangShedsLoadAndRecovers) {
+  FaultPlan plan;
+  plan.pentium_hang_mean_ps = 4 * kPsPerMs;
+  plan.pentium_hang_ps = 1500 * kPsPerUs;
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  cfg.port_mode = PortMode::kInfiniteFifo;
+  cfg.enable_strongarm = true;
+  cfg.enable_pentium = true;
+  cfg.synthetic_pentium_fraction = 0.3;
+  auto router = MakeRouter(std::move(cfg));
+  const int idx =
+      router->pe_forwarders().Register(std::make_unique<FixedCostForwarder>("svc", 100));
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kPentium;
+  req.native_index = idx;
+  req.expected_pps = 100'000;
+  ASSERT_TRUE(router->Install(req).ok);
+  router->Start();
+  HealthMonitor health(*router);
+
+  router->RunForMs(14.0);
+
+  ASSERT_GT(CountEvents(health, RecoveryEvent::Kind::kPentiumDegrade), 0u);
+  EXPECT_GT(router->stats().pkts_shed_degraded, 0u)
+      << "degraded mode must shed Pentium-bound packets";
+  bool recovered = false;
+  for (const RecoveryEvent& e : health.events()) {
+    if (e.kind == RecoveryEvent::Kind::kPentiumDegrade && e.recovered_at > 0) {
+      recovered = true;
+      EXPECT_GT(e.recovered_at, e.detected_at);
+    }
+  }
+  EXPECT_TRUE(recovered) << "the degraded mark must clear once the host resumes";
+  // Path A must have kept forwarding throughout the hang.
+  EXPECT_GT(router->stats().forwarded, 10'000u);
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- quarantine escalation ---
+
+TEST(HealthMonitorTest, TrappingForwarderIsThrottledThenEvicted) {
+  FaultPlan plan;
+  plan.vrp_trap_p = 1.0;  // every VRP run traps
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  HealthMonitor health(*router);
+
+  VrpProgram monitor = BuildSynMonitor();
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kMicroEngine;
+  req.program = &monitor;
+  const InstallOutcome outcome = router->Install(req);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_EQ(router->flow_table().size(), 1u);
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  DriveTraffic(*router, &gens, 8.0, /*ports=*/1);
+  router->RunForMs(10.0);
+
+  // warn -> throttle (cooldown) -> more traps -> evict.
+  EXPECT_EQ(router->stats().forwarders_quarantined, 1u);
+  EXPECT_EQ(router->flow_table().size(), 0u) << "eviction removes the flow binding";
+  EXPECT_GE(router->stats().vrp_traps, health.config().evict_after_traps);
+  EXPECT_EQ(CountEvents(health, RecoveryEvent::Kind::kQuarantine), 1u);
+  // Path A keeps running on default IP after the eviction.
+  EXPECT_GT(router->stats().forwarded, 500u);
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(HealthMonitorTest, FaultFreeBehaviorIsUnchangedByMonitoring) {
+  // The watchdog only observes on the fault-free path: attaching it must
+  // not change what the router forwards.
+  uint64_t forwarded[2] = {0, 0};
+  for (int with_health = 0; with_health < 2; ++with_health) {
+    auto router = MakeRouter();
+    router->Start();
+    std::unique_ptr<HealthMonitor> health;
+    if (with_health == 1) {
+      health = std::make_unique<HealthMonitor>(*router);
+    }
+    std::vector<std::unique_ptr<TrafficGen>> gens;
+    DriveTraffic(*router, &gens, 6.0);
+    router->RunForMs(8.0);
+    forwarded[with_health] = router->stats().forwarded;
+    if (health != nullptr) {
+      EXPECT_EQ(router->stats().watchdog_fired, 0u);
+      EXPECT_TRUE(health->events().empty());
+    }
+  }
+  EXPECT_EQ(forwarded[0], forwarded[1]);
+}
+
+// --- hardened control channel ---
+
+TEST(ControlChannelTest, PerfectLinkInstallAndRemoveAck) {
+  auto router = MakeRouter();
+  router->Start();
+  ControlChannel channel(*router);
+
+  VrpProgram monitor = BuildSynMonitor();
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kMicroEngine;
+  req.program = &monitor;
+  uint32_t fid = 0;
+  const uint64_t seq =
+      channel.Install(req, [&fid](const CtrlResult& r) { fid = r.fid; });
+  router->RunForMs(1.0);
+  ASSERT_TRUE(channel.acked(seq));
+  ASSERT_NE(channel.result(seq), nullptr);
+  EXPECT_TRUE(channel.result(seq)->ok) << channel.result(seq)->error;
+  EXPECT_NE(fid, 0u);
+  EXPECT_EQ(router->flow_table().size(), 1u);
+
+  const uint64_t rm = channel.Remove(fid);
+  router->RunForMs(1.0);
+  ASSERT_TRUE(channel.acked(rm));
+  EXPECT_TRUE(channel.result(rm)->ok);
+  EXPECT_EQ(router->flow_table().size(), 0u);
+  EXPECT_EQ(channel.executed_count(), 2u);
+  EXPECT_EQ(router->stats().ctrl_retries, 0u);
+  EXPECT_EQ(router->stats().ctrl_timeouts, 0u);
+  EXPECT_EQ(channel.in_flight(), 0u);
+}
+
+TEST(ControlChannelTest, LossyLinkConvergesToCorrectInstalledSet) {
+  FaultPlan plan;
+  plan.ctrl_drop_p = 0.25;
+  plan.ctrl_dup_p = 0.15;
+  plan.ctrl_delay_p = 0.25;
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  ControlChannelConfig ccfg;
+  ccfg.max_attempts = 10;
+  ControlChannel channel(*router, ccfg);
+
+  VrpProgram monitor = BuildSynMonitor();
+  VrpProgram filter = BuildPortFilter();
+  InstallRequest a;
+  a.key = FlowKey::All();
+  a.where = Where::kMicroEngine;
+  a.program = &monitor;
+  InstallRequest b = a;
+  b.program = &filter;
+
+  uint32_t fid_a = 0;
+  uint32_t fid_b = 0;
+  std::vector<uint64_t> seqs;
+  seqs.push_back(channel.Install(a, [&](const CtrlResult& r) { fid_a = r.fid; }));
+  seqs.push_back(channel.Install(b, [&](const CtrlResult& r) { fid_b = r.fid; }));
+  router->RunForMs(20.0);
+  ASSERT_TRUE(channel.acked(seqs[0]));
+  ASSERT_TRUE(channel.acked(seqs[1]));
+  ASSERT_NE(fid_a, 0u);
+  ASSERT_NE(fid_b, 0u);
+  EXPECT_EQ(router->flow_table().size(), 2u);
+
+  // Remove one; the surviving set must be exactly {b}.
+  const uint64_t rm = channel.Remove(fid_a);
+  router->RunForMs(20.0);
+  ASSERT_TRUE(channel.acked(rm));
+  EXPECT_TRUE(channel.result(rm)->ok);
+  EXPECT_EQ(router->flow_table().size(), 1u);
+  EXPECT_EQ(router->flow_table().Get(fid_a), nullptr);
+  EXPECT_NE(router->flow_table().Get(fid_b), nullptr);
+
+  // Idempotency: dropped acks and duplicated deliveries must not execute a
+  // message twice — three messages, exactly three executions.
+  EXPECT_EQ(channel.executed_count(), 3u);
+  EXPECT_EQ(channel.in_flight(), 0u);
+}
+
+TEST(ControlChannelTest, RetriesAndTimeoutsAreCountedUnderLoss) {
+  FaultPlan plan;
+  plan.ctrl_drop_p = 0.6;  // heavy loss: retries are certain
+  RouterConfig cfg;
+  cfg.fault_plan = plan;
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  ControlChannelConfig ccfg;
+  ccfg.max_attempts = 8;  // worst-case backoff tail fits the run below
+  ControlChannel channel(*router, ccfg);
+
+  VrpProgram monitor = BuildSynMonitor();
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kMicroEngine;
+  req.program = &monitor;
+  std::vector<uint64_t> seqs;
+  for (int i = 0; i < 4; ++i) {
+    seqs.push_back(i == 0 ? channel.Install(req) : channel.GetData(1));
+  }
+  router->RunForMs(60.0);
+  for (uint64_t seq : seqs) {
+    EXPECT_TRUE(channel.acked(seq) || channel.failed(seq)) << "seq " << seq << " still open";
+  }
+  EXPECT_GT(router->stats().ctrl_timeouts, 0u);
+  EXPECT_GT(router->stats().ctrl_retries, 0u);
+}
+
+TEST(ControlChannelTest, SameSeedYieldsBitIdenticalTrace) {
+  auto run = [](std::vector<std::string>* trace, uint64_t* retries) {
+    FaultPlan plan;
+    plan.ctrl_drop_p = 0.3;
+    plan.ctrl_dup_p = 0.2;
+    plan.ctrl_delay_p = 0.3;
+    plan.seed = 42;
+    RouterConfig cfg;
+    cfg.fault_plan = plan;
+    auto router = MakeRouter(std::move(cfg));
+    router->Start();
+    ControlChannelConfig ccfg;
+    ccfg.seed = 7;
+    ControlChannel channel(*router, ccfg);
+    VrpProgram monitor = BuildSynMonitor();
+    InstallRequest req;
+    req.key = FlowKey::All();
+    req.where = Where::kMicroEngine;
+    req.program = &monitor;
+    uint32_t fid = 0;
+    channel.Install(req, [&fid](const CtrlResult& r) { fid = r.fid; });
+    router->RunForMs(10.0);
+    if (fid != 0) {
+      channel.Remove(fid);
+    }
+    channel.SetData(99, {1, 2, 3});  // unknown fid: executes, acks ok=false
+    router->RunForMs(10.0);
+    *trace = channel.trace();
+    *retries = router->stats().ctrl_retries;
+  };
+  std::vector<std::string> trace_a;
+  std::vector<std::string> trace_b;
+  uint64_t retries_a = 0;
+  uint64_t retries_b = 0;
+  run(&trace_a, &retries_a);
+  run(&trace_b, &retries_b);
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(retries_a, retries_b);
+}
+
+// --- end-to-end recovery chaos ---
+
+struct ChaosOutcome {
+  uint64_t forwarded = 0;
+  uint64_t watchdog_fired = 0;
+  uint64_t tokens_regenerated = 0;
+  uint64_t context_restarts = 0;
+  size_t recovery_events = 0;
+  SimTime final_time = 0;
+
+  friend bool operator==(const ChaosOutcome&, const ChaosOutcome&) = default;
+};
+
+ChaosOutcome RunRecoveryChaos(uint64_t seed) {
+  RouterConfig cfg;
+  cfg.fault_plan = FaultPlan::RecoveryChaos(seed);
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  HealthMonitor health(*router);
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  DriveTraffic(*router, &gens, 14.0);
+  router->RunForMs(16.0);
+  ChaosOutcome out;
+  out.forwarded = router->stats().forwarded;
+  out.watchdog_fired = router->stats().watchdog_fired;
+  out.tokens_regenerated = router->stats().tokens_regenerated;
+  out.context_restarts = router->stats().context_restarts;
+  out.recovery_events = health.events().size();
+  out.final_time = router->engine().now();
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  return out;
+}
+
+TEST(RecoveryChaosTest, RouterRecoversEveryInjectedFault) {
+  const ChaosOutcome out = RunRecoveryChaos(0xfa017ULL);
+  EXPECT_GT(out.forwarded, 1000u) << "no permanent stall under recovery chaos";
+  EXPECT_GT(out.watchdog_fired, 0u);
+  EXPECT_GT(out.recovery_events, 0u);
+}
+
+TEST(RecoveryChaosTest, SameSeedRecoveryIsBitIdentical) {
+  const ChaosOutcome a = RunRecoveryChaos(99);
+  const ChaosOutcome b = RunRecoveryChaos(99);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RecoveryChaosTest, PathARateRecoversAfterFaultsStop) {
+  // Baseline: identical run with no faults.
+  double baseline = 0;
+  {
+    auto router = MakeRouter();
+    router->Start();
+    HealthMonitor health(*router);
+    std::vector<std::unique_ptr<TrafficGen>> gens;
+    DriveTraffic(*router, &gens, 26.0);
+    router->RunForMs(16.0);
+    router->StartMeasurement();
+    router->RunForMs(8.0);
+    baseline = router->ForwardingRateMpps();
+  }
+  ASSERT_GT(baseline, 0.0);
+
+  RouterConfig cfg;
+  cfg.fault_plan = FaultPlan::RecoveryChaos();
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  HealthMonitor health(*router);
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  DriveTraffic(*router, &gens, 26.0);
+  router->RunForMs(13.0);  // fault burst
+  ASSERT_NE(router->fault_injector(), nullptr);
+  router->fault_injector()->set_armed(false);  // burst ends deterministically
+  router->RunForMs(3.0);                       // recovery grace
+  router->StartMeasurement();
+  router->RunForMs(8.0);
+  const double recovered = router->ForwardingRateMpps();
+
+  EXPECT_GE(recovered, 0.95 * baseline)
+      << "post-recovery rate " << recovered << " Mpps vs baseline " << baseline << " Mpps";
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace npr
