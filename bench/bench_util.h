@@ -34,6 +34,9 @@ struct JsonState {
   std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
   std::vector<RowRec> rows;
   uint64_t events_run = 0;
+  uint64_t seed = 0;
+  bool has_run_info = false;
+  std::string fault_plan;
 };
 
 inline JsonState& State() {
@@ -45,6 +48,15 @@ inline JsonState& State() {
 // bench total. MeasureMpps does this automatically; benches that drive the
 // engine directly call it themselves.
 inline void RecordEvents(uint64_t events) { State().events_run += events; }
+
+// Records the seed and fault-plan name a chaos/failover bench ran under, so
+// BENCH_*.json rows can be tied back to the exact deterministic run that
+// produced them (and replayed bit-identically).
+inline void SetRunInfo(uint64_t seed, const std::string& fault_plan) {
+  State().seed = seed;
+  State().fault_plan = fault_plan;
+  State().has_run_info = true;
+}
 
 // The §3.5.1 measurement setup: FIFO-recycling "infinitely fast ports",
 // MicroEngines only.
@@ -129,6 +141,10 @@ inline void EmitJson(const std::string& name) {
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(name).c_str());
+  if (st.has_run_info) {
+    std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(st.seed));
+    std::fprintf(f, "  \"fault_plan\": \"%s\",\n", JsonEscape(st.fault_plan).c_str());
+  }
   std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
   std::fprintf(f, "  \"events_run\": %llu,\n", static_cast<unsigned long long>(st.events_run));
   std::fprintf(f, "  \"events_per_sec\": %.0f,\n",

@@ -228,6 +228,7 @@ int main(int argc, char** argv) {
   // Optional seed (ci/chaos_smoke.sh runs a small matrix): every plan in
   // both suites is re-seeded; every seed must survive.
   const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 0xfa017ULL;
+  bench::SetRunInfo(seed, "chaos+recovery");
 
   bench::Title("fault injection: forwarding under every shipped plan");
   std::printf("%-14s %12s %10s %9s %13s %11s\n", "plan", "fwd (kpps)", "injected",

@@ -1,0 +1,421 @@
+#include "src/cluster/cluster_control.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/fault/fault_injector.h"
+#include "src/net/ipv4.h"
+
+namespace npr {
+
+const char* ReconvergenceKindName(ReconvergenceRecord::Kind kind) {
+  switch (kind) {
+    case ReconvergenceRecord::Kind::kLinkDown:
+      return "link_down";
+    case ReconvergenceRecord::Kind::kNodeDown:
+      return "node_down";
+    case ReconvergenceRecord::Kind::kNodeReadmit:
+      return "node_readmit";
+  }
+  return "unknown";
+}
+
+ClusterControlPlane::ClusterControlPlane(ClusterRouter& cluster, ClusterControlConfig config)
+    : cluster_(cluster), cfg_(config) {
+  nodes_.resize(static_cast<size_t>(cluster_.num_nodes()));
+}
+
+void ClusterControlPlane::Start() {
+  started_ = true;
+  const SimTime now = cluster_.engine().now();
+  const int planes = cluster_.num_planes();
+
+  for (int k = 0; k < cluster_.num_nodes(); ++k) {
+    NodeState& st = nodes_[static_cast<size_t>(k)];
+    st.ospf = std::make_unique<OspfLite>(RouterId(k));
+    st.ospf->set_next_hop_resolver([this](uint32_t neighbor_id, uint16_t port) {
+      const int plane = static_cast<int>(port) - cluster_.internal_port(0);
+      return ClusterNodeMac(NodeOfId(neighbor_id), plane);
+    });
+    // Local external prefixes as stub links.
+    for (int p = 0; p < cluster_.external_ports_per_node(); ++p) {
+      const int g = k * cluster_.external_ports_per_node() + p;
+      OspfLink stub;
+      stub.neighbor_id = 0;
+      stub.prefix_addr = cluster_.ExternalDstIp(g, 0);
+      stub.prefix_len = 16;
+      stub.port_hint = static_cast<uint16_t>(p);
+      st.ospf->AddLocalLink(stub);
+    }
+    // Full-mesh adjacency over every fabric plane.
+    for (int j = 0; j < cluster_.num_nodes(); ++j) {
+      if (j == k) {
+        continue;
+      }
+      for (int plane = 0; plane < planes; ++plane) {
+        OspfLink adj;
+        adj.neighbor_id = RouterId(j);
+        adj.cost = 1;
+        adj.port_hint = static_cast<uint16_t>(cluster_.internal_port(plane));
+        st.ospf->AddLocalLink(adj);
+        st.adj[{j, plane}] = AdjState{now, true};
+      }
+    }
+    for (int plane = 0; plane < planes; ++plane) {
+      cluster_.fabric(plane).AttachControlSink(
+          ClusterControlMac(k, plane),
+          [this, k, plane](Packet&& packet) { OnControlFrame(k, plane, std::move(packet)); });
+    }
+  }
+
+  // Bootstrap: peers exchange their initial self LSAs synchronously (the
+  // equivalent of configuration-time peering) and compute first routes.
+  for (int k = 0; k < cluster_.num_nodes(); ++k) {
+    for (int j = 0; j < cluster_.num_nodes(); ++j) {
+      if (j != k) {
+        ospf(j).ProcessLsa(ospf(k).self_lsa());
+      }
+    }
+  }
+  for (int k = 0; k < cluster_.num_nodes(); ++k) {
+    Recompute(k);
+  }
+  Note("control plane started: %d nodes, %d plane(s)", cluster_.num_nodes(), planes);
+
+  next_hello_at_ = now;  // first hellos go out on the first tick
+  cluster_.engine().ScheduleIn(cfg_.supervisor_period_ps, [this] { Tick(); });
+}
+
+void ClusterControlPlane::Tick() {
+  const SimTime now = cluster_.engine().now();
+  if (now >= next_hello_at_) {
+    for (int k = 0; k < cluster_.num_nodes(); ++k) {
+      SendHellos(k);
+    }
+    next_hello_at_ += cfg_.hello_period_ps;
+  }
+  for (int k = 0; k < cluster_.num_nodes(); ++k) {
+    CheckDeadIntervals(k);
+    PollInjector(k);
+  }
+  cluster_.engine().ScheduleIn(cfg_.supervisor_period_ps, [this] { Tick(); });
+}
+
+void ClusterControlPlane::SendHellos(int node) {
+  if (!cluster_.node_up(node)) {
+    return;
+  }
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  ++st.hello_seq;
+  const OspfHello hello{RouterId(node), st.hello_seq};
+  for (int plane = 0; plane < cluster_.num_planes(); ++plane) {
+    for (int j = 0; j < cluster_.num_nodes(); ++j) {
+      if (j == node) {
+        continue;
+      }
+      Packet packet = BuildHelloPacket(hello, RouterId(node), RouterId(j));
+      SendControlFrame(node, j, plane, std::move(packet));
+      ++hellos_sent_;
+    }
+  }
+}
+
+void ClusterControlPlane::SendControlFrame(int from, int to, int plane, Packet&& packet) {
+  EthernetHeader eth;
+  eth.src = ClusterControlMac(from, plane);
+  eth.dst = ClusterControlMac(to, plane);
+  eth.Write(packet.bytes());
+  cluster_.engine().ScheduleIn(
+      cfg_.link_delay_ps,
+      [this, plane, src = eth.src, p = std::move(packet)]() mutable {
+        cluster_.fabric(plane).SendFrom(src, std::move(p));
+      });
+}
+
+void ClusterControlPlane::OnControlFrame(int node, int plane, Packet&& packet) {
+  if (!cluster_.node_up(node)) {
+    return;
+  }
+  auto l3 = packet.l3();
+  auto ip = Ipv4Header::Parse(l3);
+  if (!ip || ip->protocol != kIpProtoOspfLite) {
+    return;
+  }
+  auto payload = l3.subspan(ip->header_bytes());
+  if (auto hello = DecodeHello(payload)) {
+    OnHello(node, plane, *hello);
+    return;
+  }
+  if (auto lsa = DecodeLsa(payload)) {
+    OnLsa(node, *lsa);
+  }
+}
+
+void ClusterControlPlane::OnHello(int node, int plane, const OspfHello& hello) {
+  const int peer = NodeOfId(hello.origin);
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  auto it = st.adj.find({peer, plane});
+  if (it == st.adj.end()) {
+    return;
+  }
+  ++hellos_received_;
+  it->second.last_hello_at = cluster_.engine().now();
+  if (it->second.up) {
+    return;
+  }
+  // Adjacency recovers: re-originate, resync the peer's database (it may be
+  // warm-restarting with an empty view), and reroute onto the link.
+  it->second.up = true;
+  Note("node%d adjacency up: peer=%d plane=%d", node, peer, plane);
+  NoteReadmitHello(peer);
+  if (ospf(node).SetLocalLinkUp(hello.origin,
+                                static_cast<uint16_t>(cluster_.internal_port(plane)), true)) {
+    FloodLsa(node, ospf(node).self_lsa());
+    ResyncPeer(node, peer);
+    Recompute(node);
+  }
+}
+
+void ClusterControlPlane::CheckDeadIntervals(int node) {
+  if (!cluster_.node_up(node)) {
+    return;
+  }
+  const SimTime now = cluster_.engine().now();
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  for (auto& [key, adj] : st.adj) {
+    if (!adj.up || now < adj.last_hello_at + cfg_.dead_interval_ps) {
+      continue;
+    }
+    Note("node%d dead-interval expired: peer=%d plane=%d", node, key.first, key.second);
+    DeclareAdjacencyDown(node, key.first, key.second);
+  }
+}
+
+void ClusterControlPlane::DeclareAdjacencyDown(int node, int peer, int plane) {
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  auto it = st.adj.find({peer, plane});
+  if (it == st.adj.end() || !it->second.up) {
+    return;
+  }
+  it->second.up = false;
+  NoteDeadDeclare(node, peer, plane);
+  if (ospf(node).SetLocalLinkUp(RouterId(peer),
+                                static_cast<uint16_t>(cluster_.internal_port(plane)), false)) {
+    FloodLsa(node, ospf(node).self_lsa());
+    Recompute(node);
+  }
+}
+
+void ClusterControlPlane::SuspectNode(int node) {
+  Note("health: node%d suspected, expiring adjacencies now", node);
+  for (int j = 0; j < cluster_.num_nodes(); ++j) {
+    if (j == node || !cluster_.node_up(j)) {
+      continue;
+    }
+    for (int plane = 0; plane < cluster_.num_planes(); ++plane) {
+      DeclareAdjacencyDown(j, node, plane);
+    }
+  }
+}
+
+void ClusterControlPlane::PollInjector(int node) {
+  if (!cluster_.node_up(node)) {
+    return;
+  }
+  FaultInjector* fault = cluster_.node(node).fault_injector();
+  if (fault == nullptr) {
+    return;
+  }
+  if (const SimTime down = fault->LinkDownPs(); down > 0) {
+    NodeState& st = nodes_[static_cast<size_t>(node)];
+    const int plane = st.next_flap_plane;
+    st.next_flap_plane = (st.next_flap_plane + 1) % cluster_.num_planes();
+    ApplyLinkDown(node, plane, down);
+  }
+  if (const SimTime dead = fault->NodeCrashPs(); dead > 0) {
+    ApplyNodeCrash(node, dead);
+  }
+}
+
+void ClusterControlPlane::ApplyLinkDown(int node, int plane, SimTime duration_ps) {
+  if (!cluster_.link_up(node, plane)) {
+    return;  // already down (overlapping flap)
+  }
+  cluster_.SetLinkUp(node, plane, false);
+  OpenRecord(ReconvergenceRecord::Kind::kLinkDown, node, plane);
+  Note("fault: node%d plane%d link down for %lld us", node, plane,
+       static_cast<long long>(duration_ps / kPsPerUs));
+  if (duration_ps != FaultInjector::kForever) {
+    cluster_.engine().ScheduleIn(duration_ps, [this, node, plane] {
+      cluster_.SetLinkUp(node, plane, true);
+      Note("node%d plane%d link restored", node, plane);
+    });
+  }
+}
+
+void ClusterControlPlane::ApplyNodeCrash(int node, SimTime duration_ps) {
+  if (!cluster_.node_up(node)) {
+    return;
+  }
+  cluster_.SetNodeUp(node, false);
+  OpenRecord(ReconvergenceRecord::Kind::kNodeDown, node, -1);
+  if (duration_ps == FaultInjector::kForever) {
+    Note("fault: node%d crashed (permanent)", node);
+  } else {
+    Note("fault: node%d crashed for %lld us", node,
+         static_cast<long long>(duration_ps / kPsPerUs));
+    cluster_.engine().ScheduleIn(duration_ps, [this, node] { Readmit(node); });
+  }
+}
+
+void ClusterControlPlane::Readmit(int node) {
+  cluster_.SetNodeUp(node, true);
+  const SimTime now = cluster_.engine().now();
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  for (auto& [key, adj] : st.adj) {
+    adj.last_hello_at = now;  // fresh grace period
+    adj.up = true;
+    ospf(node).SetLocalLinkUp(RouterId(key.first),
+                              static_cast<uint16_t>(cluster_.internal_port(key.second)), true);
+  }
+  OpenRecord(ReconvergenceRecord::Kind::kNodeReadmit, node, -1);
+  Note("node%d warm restart: re-flooding self LSA", node);
+  FloodLsa(node, ospf(node).ReoriginateSelf());
+  Recompute(node);
+}
+
+void ClusterControlPlane::OnLsa(int node, const Lsa& lsa) {
+  if (lsa.origin == RouterId(node)) {
+    return;  // own LSA relayed back
+  }
+  if (!ospf(node).ProcessLsa(lsa)) {
+    ++duplicate_lsas_suppressed_;
+    return;
+  }
+  // Newer LSA: relay it onward (peers that already have it suppress the
+  // duplicate, which terminates the flood) and reconverge locally.
+  FloodLsa(node, lsa);
+  Recompute(node);
+}
+
+void ClusterControlPlane::FloodLsa(int node, const Lsa& lsa) {
+  if (!cluster_.node_up(node)) {
+    return;
+  }
+  cluster_.node(node).stats().lsas_reflooded += 1;
+  for (int plane = 0; plane < cluster_.num_planes(); ++plane) {
+    for (int j = 0; j < cluster_.num_nodes(); ++j) {
+      if (j == node) {
+        continue;
+      }
+      Packet packet = BuildLsaPacket(lsa, RouterId(node), RouterId(j));
+      SendControlFrame(node, j, plane, std::move(packet));
+      ++lsas_flooded_;
+    }
+  }
+}
+
+void ClusterControlPlane::ResyncPeer(int node, int peer) {
+  for (const Lsa& lsa : ospf(node).DatabaseSnapshot()) {
+    for (int plane = 0; plane < cluster_.num_planes(); ++plane) {
+      Packet packet = BuildLsaPacket(lsa, RouterId(node), RouterId(peer));
+      SendControlFrame(node, peer, plane, std::move(packet));
+      ++lsas_flooded_;
+    }
+  }
+}
+
+void ClusterControlPlane::Recompute(int node) {
+  if (!cluster_.node_up(node)) {
+    return;
+  }
+  int work = 0;
+  int withdrawn = 0;
+  const int installed =
+      ospf(node).ComputeRoutes(cluster_.node(node).route_table(), &work, &withdrawn);
+  RouterStats& stats = cluster_.node(node).stats();
+  stats.spf_recomputes += 1;
+  stats.routes_withdrawn += static_cast<uint64_t>(withdrawn);
+  NoteRecompute(node);
+  Note("node%d spf: work=%d installed=%d withdrawn=%d", node, work, installed, withdrawn);
+}
+
+void ClusterControlPlane::OpenRecord(ReconvergenceRecord::Kind kind, int node, int plane) {
+  ReconvergenceRecord record;
+  record.kind = kind;
+  record.node = node;
+  record.plane = plane;
+  record.fault_at = cluster_.engine().now();
+  records_.push_back(record);
+  // Closing the record requires an SPF re-run on every node still up.
+  std::vector<int> pending;
+  for (int k = 0; k < cluster_.num_nodes(); ++k) {
+    if (cluster_.node_up(k)) {
+      pending.push_back(k);
+    }
+  }
+  pending_recompute_.push_back(std::move(pending));
+}
+
+void ClusterControlPlane::NoteDeadDeclare(int observer, int peer, int plane) {
+  const SimTime now = cluster_.engine().now();
+  for (ReconvergenceRecord& r : records_) {
+    if (r.closed() || r.detected_at != 0) {
+      continue;
+    }
+    const bool node_match =
+        r.kind == ReconvergenceRecord::Kind::kNodeDown && r.node == peer;
+    const bool link_match = r.kind == ReconvergenceRecord::Kind::kLinkDown &&
+                            r.plane == plane && (r.node == peer || r.node == observer);
+    if (node_match || link_match) {
+      r.detected_at = now;
+    }
+  }
+}
+
+void ClusterControlPlane::NoteReadmitHello(int node) {
+  const SimTime now = cluster_.engine().now();
+  for (ReconvergenceRecord& r : records_) {
+    if (!r.closed() && r.detected_at == 0 &&
+        r.kind == ReconvergenceRecord::Kind::kNodeReadmit && r.node == node) {
+      r.detected_at = now;
+    }
+  }
+}
+
+void ClusterControlPlane::NoteRecompute(int node) {
+  const SimTime now = cluster_.engine().now();
+  for (size_t i = 0; i < records_.size(); ++i) {
+    ReconvergenceRecord& r = records_[i];
+    if (r.closed() || r.detected_at == 0) {
+      continue;
+    }
+    std::vector<int>& pending = pending_recompute_[i];
+    std::erase(pending, node);
+    if (pending.empty()) {
+      r.reconverged_at = now;
+      Note("reconverged: kind=%s node=%d mttd=%lld us mttr=%lld us",
+           ReconvergenceKindName(r.kind), r.node,
+           static_cast<long long>(r.mttd_ps() / kPsPerUs),
+           static_cast<long long>(r.mttr_ps() / kPsPerUs));
+    }
+  }
+}
+
+void ClusterControlPlane::Note(const char* fmt, ...) {
+  if (trace_.size() >= cfg_.max_trace_lines) {
+    ++trace_dropped_;
+    return;
+  }
+  char body[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  char line[288];
+  std::snprintf(line, sizeof(line), "t=%lld %s",
+                static_cast<long long>(cluster_.engine().now()), body);
+  trace_.emplace_back(line);
+}
+
+}  // namespace npr

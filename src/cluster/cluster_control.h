@@ -1,0 +1,167 @@
+// Cluster control plane: failure detection and OSPF-lite reconvergence.
+//
+// One OspfLite instance per node (router-id = node + 1), talking over the
+// same switch fabric the data plane uses: hellos and LSAs are real frames
+// addressed to per-node control MACs, cross the fabric gate, and therefore
+// die with the link or node they depend on — which is exactly the signal
+// the dead-interval detector consumes. The paper isolates control traffic
+// from data (§4.1 guaranteed scheduler share); here that isolation is
+// modelled by delivering control frames to a dedicated sink instead of the
+// packet pipeline.
+//
+// The loop closed per failure class:
+//   link down  — hellos on that plane stop, both ends declare the
+//                adjacency dead after the dead-interval, re-originate
+//                their LSAs, flood, and re-run Dijkstra: with a surviving
+//                plane traffic reroutes; with none, the dead node's
+//                prefixes are withdrawn and traffic sheds as ICMP
+//                unreachables instead of blackholing.
+//   node crash — every survivor's hellos from the node stop; detection
+//                and reflood as above; the node's prefixes are withdrawn
+//                cluster-wide.
+//   readmit    — a warm-restarting node resumes hellos, re-originates its
+//                self LSA with a bumped sequence number, and neighbors
+//                resync their full database to it, restoring its FIB
+//                without disturbing survivors.
+//
+// Each per-node FaultInjector is polled by a supervisor tick for the
+// cluster fault classes (link flap, whole-node crash), so chaos runs
+// replay bit-identically per (plan seed, node). Every reconvergence is
+// recorded with fault/detect/reconverge timestamps for MTTD/MTTR.
+
+#ifndef SRC_CLUSTER_CLUSTER_CONTROL_H_
+#define SRC_CLUSTER_CLUSTER_CONTROL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/cluster_router.h"
+#include "src/control/ospf_lite.h"
+
+namespace npr {
+
+struct ClusterControlConfig {
+  // Hello beacon period per node, and how long an adjacency may go silent
+  // before it is declared dead (several hello periods, so isolated fabric
+  // frame loss does not flap adjacencies).
+  SimTime hello_period_ps = 100 * kPsPerUs;
+  SimTime dead_interval_ps = 350 * kPsPerUs;
+  // Supervisor tick: polls dead-intervals and each node's fault injector.
+  SimTime supervisor_period_ps = 25 * kPsPerUs;
+  // One-way control-frame latency across the fabric.
+  SimTime link_delay_ps = 5 * kPsPerUs;
+  // Trace cap; lines past it are dropped (counted), keeping chaos runs
+  // bounded without losing determinism.
+  size_t max_trace_lines = 65536;
+};
+
+struct ReconvergenceRecord {
+  enum class Kind : uint8_t { kLinkDown, kNodeDown, kNodeReadmit };
+  Kind kind = Kind::kLinkDown;
+  int node = 0;    // the failed (or readmitted) node
+  int plane = -1;  // kLinkDown only
+  SimTime fault_at = 0;
+  SimTime detected_at = 0;     // first dead-declare (or first hello, readmit)
+  SimTime reconverged_at = 0;  // last required SPF re-run; 0 = still open
+
+  bool closed() const { return reconverged_at != 0; }
+  SimTime mttd_ps() const { return detected_at - fault_at; }
+  SimTime mttr_ps() const { return reconverged_at - fault_at; }
+};
+
+const char* ReconvergenceKindName(ReconvergenceRecord::Kind kind);
+
+class ClusterControlPlane {
+ public:
+  explicit ClusterControlPlane(ClusterRouter& cluster,
+                               ClusterControlConfig config = ClusterControlConfig{});
+
+  // Installs adjacencies and each node's local prefixes, floods the initial
+  // LSAs synchronously, computes every node's routes, and starts the hello
+  // and supervisor timers. Call once, before ClusterRouter::Start().
+  void Start();
+
+  // Fault application (the supervisor drives these from the per-node
+  // injectors; tests may call them directly). Durations of
+  // FaultInjector::kForever never restore.
+  void ApplyLinkDown(int node, int plane, SimTime duration_ps);
+  void ApplyNodeCrash(int node, SimTime duration_ps);
+
+  // Federated-health escalation: every surviving node immediately declares
+  // its adjacencies to `node` dead instead of waiting out the remainder of
+  // the dead-interval. A false suspicion self-corrects — the next hello
+  // from the node brings the adjacencies (and routes) back.
+  void SuspectNode(int node);
+
+  OspfLite& ospf(int node) { return *nodes_[static_cast<size_t>(node)].ospf; }
+  const std::vector<ReconvergenceRecord>& records() const { return records_; }
+  const std::vector<std::string>& trace() const { return trace_; }
+  uint64_t trace_dropped() const { return trace_dropped_; }
+
+  uint64_t hellos_sent() const { return hellos_sent_; }
+  uint64_t hellos_received() const { return hellos_received_; }
+  uint64_t lsas_flooded() const { return lsas_flooded_; }
+  uint64_t duplicate_lsas_suppressed() const { return duplicate_lsas_suppressed_; }
+
+ private:
+  struct AdjState {
+    SimTime last_hello_at = 0;
+    bool up = true;
+  };
+  struct NodeState {
+    std::unique_ptr<OspfLite> ospf;
+    std::map<std::pair<int, int>, AdjState> adj;  // (peer, plane)
+    uint32_t hello_seq = 0;
+    int next_flap_plane = 0;
+  };
+
+  uint32_t RouterId(int node) const { return static_cast<uint32_t>(node) + 1; }
+  int NodeOfId(uint32_t id) const { return static_cast<int>(id) - 1; }
+
+  void Tick();
+  void SendHellos(int node);
+  void CheckDeadIntervals(int node);
+  void DeclareAdjacencyDown(int node, int peer, int plane);
+  void PollInjector(int node);
+  void Readmit(int node);
+  void OnControlFrame(int node, int plane, Packet&& packet);
+  void OnHello(int node, int plane, const OspfHello& hello);
+  void OnLsa(int node, const Lsa& lsa);
+  // Sends `lsa` from `node` to every peer on every plane (the gate decides
+  // what actually crosses).
+  void FloodLsa(int node, const Lsa& lsa);
+  void SendControlFrame(int from, int to, int plane, Packet&& packet);
+  // Floods `node`'s full database to `peer` (warm-restart resync).
+  void ResyncPeer(int node, int peer);
+  void Recompute(int node);
+
+  void OpenRecord(ReconvergenceRecord::Kind kind, int node, int plane);
+  void NoteDeadDeclare(int observer, int peer, int plane);
+  void NoteReadmitHello(int node);
+  void NoteRecompute(int node);
+  void Note(const char* fmt, ...);
+
+  ClusterRouter& cluster_;
+  ClusterControlConfig cfg_;
+  std::vector<NodeState> nodes_;
+  bool started_ = false;
+  SimTime next_hello_at_ = 0;
+
+  std::vector<ReconvergenceRecord> records_;
+  // Per open record: nodes whose SPF re-run is still required to close it.
+  std::vector<std::vector<int>> pending_recompute_;
+
+  std::vector<std::string> trace_;
+  uint64_t trace_dropped_ = 0;
+  uint64_t hellos_sent_ = 0;
+  uint64_t hellos_received_ = 0;
+  uint64_t lsas_flooded_ = 0;
+  uint64_t duplicate_lsas_suppressed_ = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CLUSTER_CLUSTER_CONTROL_H_

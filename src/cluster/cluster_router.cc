@@ -2,49 +2,126 @@
 
 #include <cassert>
 
+#include "src/fault/fault_injector.h"
 #include "src/forwarders/native.h"
 
 namespace npr {
 
-MacAddr ClusterNodeMac(int node) {
-  return MacAddr{0x02, 0x00, 0x00, 0x00, 0x01, static_cast<uint8_t>(node)};
+MacAddr ClusterNodeMac(int node, int plane) {
+  return MacAddr{0x02, 0x00, 0x00, 0x00, static_cast<uint8_t>(0x01 + plane),
+                 static_cast<uint8_t>(node)};
+}
+
+MacAddr ClusterControlMac(int node, int plane) {
+  return MacAddr{0x02, 0x00, 0x00, 0x00, static_cast<uint8_t>(0x11 + plane),
+                 static_cast<uint8_t>(node)};
 }
 
 void SwitchFabric::Attach(const MacAddr& mac, MacPort& port) {
   members_[mac] = &port;
-  port.SetSink([this](Packet&& packet) { Deliver(std::move(packet)); });
+  member_stats_[mac];
+  port.SetSink([this, mac](Packet&& packet) { Deliver(mac, std::move(packet)); });
 }
 
-void SwitchFabric::Deliver(Packet&& packet) {
+void SwitchFabric::AttachControlSink(const MacAddr& mac, std::function<void(Packet&&)> sink) {
+  control_sinks_[mac] = std::move(sink);
+  member_stats_[mac];
+}
+
+void SwitchFabric::SendFrom(const MacAddr& src_mac, Packet&& packet) {
+  Deliver(src_mac, std::move(packet));
+}
+
+SwitchFabric::MemberStats SwitchFabric::member_stats(const MacAddr& mac) const {
+  auto it = member_stats_.find(mac);
+  return it == member_stats_.end() ? MemberStats{} : it->second;
+}
+
+void SwitchFabric::Deliver(const MacAddr& src_mac, Packet&& packet) {
+  MemberStats& stats = member_stats_[src_mac];
   auto eth = EthernetHeader::Parse(packet.bytes());
   if (!eth) {
     ++unknown_;
+    ++stats.unknown_dropped;
     return;
   }
-  auto it = members_.find(eth->dst);
-  if (it == members_.end()) {
-    ++unknown_;
-    return;
+  auto member = members_.find(eth->dst);
+  auto control = control_sinks_.end();
+  if (member == members_.end()) {
+    control = control_sinks_.find(eth->dst);
+    if (control == control_sinks_.end()) {
+      ++unknown_;
+      ++stats.unknown_dropped;
+      return;
+    }
+  }
+  if (gate_) {
+    switch (gate_(src_mac, eth->dst)) {
+      case FabricDrop::kNone:
+        break;
+      case FabricDrop::kLinkDown:
+        ++gate_dropped_;
+        ++stats.link_down_dropped;
+        return;
+      case FabricDrop::kNodeDown:
+        ++gate_dropped_;
+        ++stats.node_down_dropped;
+        return;
+      case FabricDrop::kInjected:
+        ++gate_dropped_;
+        ++stats.injected_dropped;
+        return;
+    }
   }
   ++forwarded_;
-  it->second->InjectFromWire(std::move(packet));
+  ++stats.forwarded;
+  if (member != members_.end()) {
+    member->second->InjectFromWire(std::move(packet));
+  } else {
+    control->second(std::move(packet));
+  }
 }
 
 ClusterRouter::ClusterRouter(ClusterConfig config) : config_(std::move(config)) {
   assert(config_.nodes >= 2);
+  assert(config_.internal_links >= 1);
   RouterConfig node_cfg = config_.node_config;
   assert(!node_cfg.port_rates_bps.empty());
-  internal_port_ = node_cfg.num_ports() - 1;
+  assert(node_cfg.num_ports() > config_.internal_links);
+  first_internal_port_ = node_cfg.num_ports() - config_.internal_links;
   // The internal link is gigabit (§6); budgeting RI capacity for it is the
   // paper's stated consequence — visible here as the extra load the
   // internal port's traffic puts on the ingress/egress pipelines.
-  node_cfg.port_rates_bps[static_cast<size_t>(internal_port_)] = config_.internal_link_bps;
+  for (int plane = 0; plane < config_.internal_links; ++plane) {
+    node_cfg.port_rates_bps[static_cast<size_t>(first_internal_port_ + plane)] =
+        config_.internal_link_bps;
+  }
+
+  planes_.reserve(static_cast<size_t>(config_.internal_links));
+  for (int plane = 0; plane < config_.internal_links; ++plane) {
+    planes_.push_back(std::make_unique<SwitchFabric>());
+    planes_.back()->set_gate([this, plane](const MacAddr& src, const MacAddr& dst) {
+      return GateFrame(plane, src, dst);
+    });
+  }
+
+  node_up_.assign(static_cast<size_t>(config_.nodes), true);
+  link_up_.assign(static_cast<size_t>(config_.nodes * config_.internal_links), true);
 
   nodes_.reserve(static_cast<size_t>(config_.nodes));
   for (int k = 0; k < config_.nodes; ++k) {
-    nodes_.push_back(std::make_unique<Router>(node_cfg, engine_));
+    RouterConfig cfg_k = node_cfg;
+    if (cfg_k.fault_plan.Any()) {
+      // Node k's injector stream must be independent of node j's and a pure
+      // function of (base seed, node); see FaultPlan::DeriveNodeSeed.
+      cfg_k.fault_plan.seed = FaultPlan::DeriveNodeSeed(node_cfg.fault_plan.seed, k);
+    }
+    nodes_.push_back(std::make_unique<Router>(cfg_k, engine_));
     nodes_.back()->SetExceptionHandler(std::make_unique<FullIpForwarder>());
-    fabric_.Attach(ClusterNodeMac(k), nodes_.back()->port(internal_port_));
+    for (int plane = 0; plane < config_.internal_links; ++plane) {
+      planes_[static_cast<size_t>(plane)]->Attach(
+          ClusterNodeMac(k, plane), nodes_.back()->port(first_internal_port_ + plane));
+    }
   }
 }
 
@@ -52,6 +129,38 @@ ClusterRouter::~ClusterRouter() {
   // The shared engine's pending events reference the member routers; drop
   // them before the nodes (declared after engine_) are destroyed.
   engine_.Clear();
+}
+
+FabricDrop ClusterRouter::GateFrame(int plane, const MacAddr& src, const MacAddr& dst) const {
+  // Attachment MACs carry the node index in their last byte (both the data
+  // and the control convention), so the gate resolves membership directly.
+  const int src_node = src[5];
+  const int dst_node = dst[5];
+  if (!node_up_[static_cast<size_t>(src_node)] || !node_up_[static_cast<size_t>(dst_node)]) {
+    return FabricDrop::kNodeDown;
+  }
+  if (!link_up(src_node, plane) || !link_up(dst_node, plane)) {
+    return FabricDrop::kLinkDown;
+  }
+  FaultInjector* fault = nodes_[static_cast<size_t>(src_node)]->fault_injector();
+  if (fault != nullptr && fault->ShouldDropFabricFrame()) {
+    return FabricDrop::kInjected;
+  }
+  return FabricDrop::kNone;
+}
+
+void ClusterRouter::SetLinkUp(int node, int plane, bool up) {
+  link_up_[static_cast<size_t>(node * num_planes() + plane)] = up;
+}
+
+void ClusterRouter::SetNodeUp(int node, bool up) {
+  if (node_up_[static_cast<size_t>(node)] == up) {
+    return;
+  }
+  node_up_[static_cast<size_t>(node)] = up;
+  for (const auto& hook : node_state_hooks_) {
+    hook(node, up);
+  }
 }
 
 std::pair<int, int> ClusterRouter::LocateExternal(int g) const {
@@ -78,13 +187,26 @@ void ClusterRouter::InstallClusterRoutes() {
       } else {
         // Remote prefix: egress on the internal link, addressed to the
         // owning node's fabric MAC.
-        entry.out_port = static_cast<uint8_t>(internal_port_);
+        entry.out_port = static_cast<uint8_t>(internal_port());
         entry.next_hop_mac = ClusterNodeMac(owner);
       }
       node(k).route_table().AddRoute(prefix, entry);
     }
   }
-  // Warm every node's fast-path cache for the cluster address plan.
+  WarmRouteCaches();
+}
+
+void ClusterRouter::InstallLocalRoutes() {
+  for (int g = 0; g < num_external_ports(); ++g) {
+    const auto [owner, port] = LocateExternal(g);
+    RouteEntry entry;
+    entry.out_port = static_cast<uint8_t>(port);
+    entry.next_hop_mac = PortMac(static_cast<uint8_t>(port));
+    node(owner).route_table().AddRoute(*Prefix::Parse(ExternalCidr(g)), entry);
+  }
+}
+
+void ClusterRouter::WarmRouteCaches() {
   for (int k = 0; k < num_nodes(); ++k) {
     for (int g = 0; g < num_external_ports(); ++g) {
       for (uint16_t low = 1; low <= 16; ++low) {

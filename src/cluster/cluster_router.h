@@ -12,10 +12,18 @@
 // fabric, addressed by the peer's internal MAC. A cross-node packet is
 // therefore forwarded twice — once at the ingress node, once at the egress
 // node — exactly as in a real multi-chassis system.
+//
+// For fault-tolerance experiments the cluster can carry more than one
+// fabric plane (`ClusterConfig::internal_links`): each plane is its own
+// switch with its own per-node internal port, so a link failure on one
+// plane leaves a surviving path for reconvergence to use. Link and node
+// state is modelled at the fabric boundary: frames crossing a down link or
+// addressed to/from a dead node are dropped there and counted per member.
 
 #ifndef SRC_CLUSTER_CLUSTER_ROUTER_H_
 #define SRC_CLUSTER_CLUSTER_ROUTER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -24,36 +32,77 @@
 
 namespace npr {
 
+// Why a fabric frame was dropped (beyond "no such member").
+enum class FabricDrop : uint8_t { kNone, kLinkDown, kNodeDown, kInjected };
+
 // A functional N-port full-duplex Ethernet switch: frames are delivered to
 // the member whose attachment MAC equals the frame's destination. Pacing
 // and drops are handled by the attached MacPorts themselves (the fabric is
 // non-blocking, as a real gigabit switch effectively is at this scale).
+// Every drop is attributed to the transmitting member, so a blackholed
+// node is visible per member, not just as a global count.
 class SwitchFabric {
  public:
+  struct MemberStats {
+    uint64_t forwarded = 0;
+    uint64_t unknown_dropped = 0;
+    uint64_t link_down_dropped = 0;
+    uint64_t node_down_dropped = 0;
+    uint64_t injected_dropped = 0;
+  };
+
   // Attaches `port` under `mac`. Frames the port transmits enter the
   // fabric; frames addressed to `mac` are injected into the port's wire.
   void Attach(const MacAddr& mac, MacPort& port);
 
+  // Attaches a frame sink under `mac` with no MacPort behind it — the
+  // control plane's receive path. Control frames cross the same fabric and
+  // the same gate as data, so a down link starves hellos exactly as it
+  // starves traffic.
+  void AttachControlSink(const MacAddr& mac, std::function<void(Packet&&)> sink);
+
+  // Offers a frame to the fabric on behalf of member `src_mac` (the control
+  // plane's transmit path; MacPort members enter via their sink instead).
+  void SendFrom(const MacAddr& src_mac, Packet&& packet);
+
+  // Consulted per crossing once the destination member resolves; a verdict
+  // other than kNone drops the frame and charges `src_mac`'s stats.
+  using Gate = std::function<FabricDrop(const MacAddr& src, const MacAddr& dst)>;
+  void set_gate(Gate gate) { gate_ = std::move(gate); }
+
   uint64_t forwarded() const { return forwarded_; }
   uint64_t unknown_destination() const { return unknown_; }
+  uint64_t gate_dropped() const { return gate_dropped_; }
+  // Stats charged to the transmitting member (zeroes for unknown MACs).
+  MemberStats member_stats(const MacAddr& mac) const;
 
  private:
-  void Deliver(Packet&& packet);
+  void Deliver(const MacAddr& src_mac, Packet&& packet);
 
   std::map<MacAddr, MacPort*> members_;
+  std::map<MacAddr, std::function<void(Packet&&)>> control_sinks_;
+  std::map<MacAddr, MemberStats> member_stats_;
+  Gate gate_;
   uint64_t forwarded_ = 0;
   uint64_t unknown_ = 0;
+  uint64_t gate_dropped_ = 0;
 };
 
-// The internal MAC of node `k` (distinct from the per-port convention).
-MacAddr ClusterNodeMac(int node);
+// The internal MAC of node `k` on fabric plane `plane` (distinct from the
+// per-port convention), and the MAC its control-plane endpoint answers on.
+MacAddr ClusterNodeMac(int node, int plane = 0);
+MacAddr ClusterControlMac(int node, int plane = 0);
 
 struct ClusterConfig {
   int nodes = 4;
-  // Per-node router configuration; the last port becomes the internal link
-  // and is re-rated to 1 Gbps.
+  // Per-node router configuration; the last `internal_links` ports become
+  // internal links and are re-rated to 1 Gbps.
   RouterConfig node_config;
   double internal_link_bps = 1e9;
+  // Fabric planes. 1 reproduces the single-switch §6 topology; 2 adds a
+  // redundant plane so reconvergence has a surviving path after a link
+  // failure.
+  int internal_links = 1;
 };
 
 class ClusterRouter {
@@ -65,6 +114,11 @@ class ClusterRouter {
   // where g ranges over all external ports; remote prefixes route through
   // the internal link with the owning node's MAC as next hop.
   void InstallClusterRoutes();
+  // Installs only each node's own external prefixes — remote prefixes are
+  // left to a control plane (ClusterControlPlane) to discover and install.
+  void InstallLocalRoutes();
+  // Warms every node's fast-path cache for the cluster address plan.
+  void WarmRouteCaches();
 
   void Start();
   void RunForMs(double ms) { engine_.RunFor(static_cast<SimTime>(ms * kPsPerMs)); }
@@ -73,9 +127,30 @@ class ClusterRouter {
   EventQueue& engine() { return engine_; }
   Router& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  int internal_port() const { return internal_port_; }
-  int external_ports_per_node() const { return internal_port_; }
-  SwitchFabric& fabric() { return fabric_; }
+  int num_planes() const { return config_.internal_links; }
+  int internal_port(int plane = 0) const { return first_internal_port_ + plane; }
+  int external_ports_per_node() const { return first_internal_port_; }
+  SwitchFabric& fabric(int plane = 0) { return *planes_[static_cast<size_t>(plane)]; }
+
+  // --- link / node state (driven by fault supervisors and health) ---
+
+  // Marks node `k`'s internal link on `plane` up or down. Frames crossing a
+  // down link are dropped at the fabric and counted per member.
+  void SetLinkUp(int node, int plane, bool up);
+  bool link_up(int node, int plane) const {
+    return link_up_[static_cast<size_t>(node * num_planes() + plane)];
+  }
+  // Marks node `k` as crashed (down) or restarted (up). A dead node's
+  // frames — data and control, both directions — are dropped at every
+  // plane, which is what starves its neighbors' hellos and probes.
+  void SetNodeUp(int node, bool up);
+  bool node_up(int node) const { return node_up_[static_cast<size_t>(node)]; }
+
+  // Observers called from SetNodeUp (the ClusterHealthMonitor mirrors node
+  // state onto its probe channels without the cluster linking npr_health).
+  void AddNodeStateHook(std::function<void(int node, bool up)> hook) {
+    node_state_hooks_.push_back(std::move(hook));
+  }
 
   // Global external prefix index `g` -> (node, port) and its CIDR string.
   std::pair<int, int> LocateExternal(int g) const;
@@ -91,11 +166,16 @@ class ClusterRouter {
   ~ClusterRouter();
 
  private:
+  FabricDrop GateFrame(int plane, const MacAddr& src, const MacAddr& dst) const;
+
   EventQueue engine_;
   ClusterConfig config_;
-  int internal_port_ = 0;
+  int first_internal_port_ = 0;
   std::vector<std::unique_ptr<Router>> nodes_;
-  SwitchFabric fabric_;
+  std::vector<std::unique_ptr<SwitchFabric>> planes_;
+  std::vector<bool> node_up_;
+  std::vector<bool> link_up_;  // node * num_planes() + plane
+  std::vector<std::function<void(int, bool)>> node_state_hooks_;
   SimTime window_start_ = 0;
 };
 

@@ -12,8 +12,28 @@ namespace {
 
 constexpr uint8_t kOspfLiteVersion = 1;
 constexpr uint8_t kTypeLsa = 1;
+constexpr uint8_t kTypeHello = 2;
 constexpr size_t kLsaHeaderBytes = 16;
 constexpr size_t kLinkBytes = 12;
+
+Packet BuildProtoPacket(const std::vector<uint8_t>& payload, uint32_t src_ip,
+                        uint32_t dst_ip, uint8_t arrival_port) {
+  PacketSpec spec;
+  spec.protocol = kIpProtoOspfLite;
+  spec.src_ip = src_ip;
+  spec.dst_ip = dst_ip;
+  spec.frame_bytes =
+      std::max<size_t>(kEthMinFrame, kEthHeaderBytes + kIpv4MinHeaderBytes + payload.size());
+  Packet packet = BuildPacket(spec);
+  // Splice the protocol payload into the IP payload and refresh the header
+  // (BuildPacket wrote a filler payload).
+  auto l3 = packet.l3();
+  auto ip = Ipv4Header::Parse(l3);
+  std::copy(payload.begin(), payload.end(), l3.begin() + static_cast<long>(ip->header_bytes()));
+  ip->Write(l3);
+  packet.set_arrival_port(arrival_port);
+  return packet;
+}
 
 }  // namespace
 
@@ -63,47 +83,86 @@ std::optional<Lsa> DecodeLsa(std::span<const uint8_t> payload) {
   return lsa;
 }
 
+std::vector<uint8_t> EncodeHello(const OspfHello& hello) {
+  std::vector<uint8_t> out(kLsaHeaderBytes, 0);
+  out[0] = kOspfLiteVersion;
+  out[1] = kTypeHello;
+  WriteBe16(out, 2, static_cast<uint16_t>(out.size()));
+  WriteBe32(out, 4, hello.origin);
+  WriteBe32(out, 8, hello.seq);
+  return out;
+}
+
+std::optional<OspfHello> DecodeHello(std::span<const uint8_t> payload) {
+  if (payload.size() < kLsaHeaderBytes || payload[0] != kOspfLiteVersion ||
+      payload[1] != kTypeHello) {
+    return std::nullopt;
+  }
+  OspfHello hello;
+  hello.origin = ReadBe32(payload, 4);
+  hello.seq = ReadBe32(payload, 8);
+  return hello;
+}
+
 Packet BuildLsaPacket(const Lsa& lsa, uint32_t src_ip, uint32_t dst_ip, uint8_t arrival_port) {
-  const auto payload = EncodeLsa(lsa);
-  PacketSpec spec;
-  spec.protocol = kIpProtoOspfLite;
-  spec.src_ip = src_ip;
-  spec.dst_ip = dst_ip;
-  spec.frame_bytes =
-      std::max<size_t>(kEthMinFrame, kEthHeaderBytes + kIpv4MinHeaderBytes + payload.size());
-  Packet packet = BuildPacket(spec);
-  // Splice the LSA into the IP payload and refresh the header (BuildPacket
-  // wrote a filler payload).
-  auto l3 = packet.l3();
-  auto ip = Ipv4Header::Parse(l3);
-  std::copy(payload.begin(), payload.end(), l3.begin() + static_cast<long>(ip->header_bytes()));
-  ip->Write(l3);
-  packet.set_arrival_port(arrival_port);
-  return packet;
+  return BuildProtoPacket(EncodeLsa(lsa), src_ip, dst_ip, arrival_port);
+}
+
+Packet BuildHelloPacket(const OspfHello& hello, uint32_t src_ip, uint32_t dst_ip,
+                        uint8_t arrival_port) {
+  return BuildProtoPacket(EncodeHello(hello), src_ip, dst_ip, arrival_port);
 }
 
 void OspfLite::AddLocalLink(const OspfLink& link) {
   self_links_.push_back(link);
+  RefreshSelfLsa();
+}
+
+void OspfLite::RefreshSelfLsa() {
   Lsa self;
   self.origin = self_id_;
   self.seq = db_.count(self_id_) ? db_[self_id_].seq + 1 : 1;
-  self.links = self_links_;
+  for (const OspfLink& link : self_links_) {
+    if (link.neighbor_id != 0 && down_links_.count({link.neighbor_id, link.port_hint})) {
+      continue;
+    }
+    self.links.push_back(link);
+  }
   db_[self_id_] = std::move(self);
+}
+
+bool OspfLite::SetLocalLinkUp(uint32_t neighbor_id, uint16_t port_hint, bool up) {
+  const std::pair<uint32_t, uint16_t> key{neighbor_id, port_hint};
+  const bool changed = up ? down_links_.erase(key) > 0 : down_links_.insert(key).second;
+  if (changed) {
+    RefreshSelfLsa();
+  }
+  return changed;
 }
 
 bool OspfLite::ProcessLsa(const Lsa& lsa) {
   auto it = db_.find(lsa.origin);
-  if (it != db_.end() && it->second.seq >= lsa.seq) {
-    return false;  // stale
+  if (it != db_.end() && !SeqNewer(lsa.seq, it->second.seq)) {
+    return false;  // stale or duplicate
   }
   db_[lsa.origin] = lsa;
   return true;
 }
 
-int OspfLite::ComputeRoutes(RouteTable& table, int* spf_work) {
+std::vector<Lsa> OspfLite::DatabaseSnapshot() const {
+  std::vector<Lsa> out;
+  out.reserve(db_.size());
+  for (const auto& [origin, lsa] : db_) {
+    out.push_back(lsa);
+  }
+  return out;
+}
+
+int OspfLite::ComputeRoutes(RouteTable& table, int* spf_work, int* withdrawn) {
   // Dijkstra over the router graph.
   std::map<uint32_t, uint32_t> dist;       // router id -> cost
   std::map<uint32_t, uint16_t> first_port; // router id -> local egress port
+  std::map<uint32_t, uint32_t> first_nbr;  // router id -> first-hop neighbor
   using Item = std::pair<uint32_t, uint32_t>;  // (cost, id)
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
   int work = 0;
@@ -129,38 +188,69 @@ int OspfLite::ComputeRoutes(RouteTable& table, int* spf_work) {
       const uint32_t next_cost = cost + link.cost;
       if (!dist.count(link.neighbor_id) || next_cost < dist[link.neighbor_id]) {
         dist[link.neighbor_id] = next_cost;
-        // First hop: for self links, the link's own port; otherwise inherit.
+        // First hop: for self links, the link's own port and neighbor;
+        // otherwise inherit from the path so far.
         first_port[link.neighbor_id] =
             id == self_id_ ? link.port_hint : first_port[id];
+        first_nbr[link.neighbor_id] =
+            id == self_id_ ? link.neighbor_id : first_nbr[id];
         heap.push({next_cost, link.neighbor_id});
       }
     }
   }
 
-  // Install one route per advertised prefix of every reachable router.
+  // Install one route per advertised prefix of every reachable router. A
+  // path only counts if *both* ends still advertise the adjacency — a
+  // one-sided LSA (the dead node's last flood still names the link) must
+  // not resurrect a route through it, so installation additionally requires
+  // the origin to be reachable in `dist`, which Dijkstra only grants along
+  // links present in the *current* database.
   int installed = 0;
+  std::set<std::pair<uint32_t, uint8_t>> now_installed;
   for (const auto& [origin, lsa] : db_) {
     for (const OspfLink& link : lsa.links) {
       if (link.prefix_len == 0) {
         continue;
       }
       uint16_t port;
+      MacAddr next_hop;
       if (origin == self_id_) {
         port = link.port_hint;  // directly attached
+        next_hop = PortMac(static_cast<uint8_t>(port));
       } else if (first_port.count(origin)) {
         port = first_port[origin];
+        next_hop = next_hop_resolver_
+                       ? next_hop_resolver_(first_nbr[origin], port)
+                       : PortMac(static_cast<uint8_t>(port));
       } else {
         continue;  // unreachable
       }
       RouteEntry entry;
       entry.out_port = static_cast<uint8_t>(port);
-      entry.next_hop_mac = PortMac(static_cast<uint8_t>(port));
+      entry.next_hop_mac = next_hop;
       table.AddRoute(Prefix::Make(link.prefix_addr, link.prefix_len), entry);
+      now_installed.insert({link.prefix_addr, link.prefix_len});
       ++installed;
     }
   }
+
+  // Withdraw prefixes this instance installed before but can no longer
+  // reach; the epoch bump invalidates route caches, so traffic to them
+  // takes the exception path and is answered with ICMP unreachable instead
+  // of blackholing at the fabric.
+  int removed = 0;
+  for (const auto& [addr, len] : installed_prefixes_) {
+    if (!now_installed.count({addr, len})) {
+      removed += table.RemoveRoute(Prefix::Make(addr, len)) ? 1 : 0;
+    }
+  }
+  installed_prefixes_ = std::move(now_installed);
+
   if (spf_work != nullptr) {
     *spf_work = work;
+  }
+  if (withdrawn != nullptr) {
+    *withdrawn = removed;
   }
   return installed;
 }

@@ -12,9 +12,12 @@
 #define SRC_CONTROL_OSPF_LITE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/core/forwarder.h"
@@ -38,37 +41,96 @@ struct Lsa {
   std::vector<OspfLink> links;
 };
 
+// Hello: the liveness beacon a router emits on each of its links. A
+// neighbor that misses hellos for a dead-interval is declared down and the
+// local LSA is re-originated without the link.
+struct OspfHello {
+  uint32_t origin = 0;
+  uint32_t seq = 0;
+};
+
 // Wire codec (payload of IP proto 89).
 std::vector<uint8_t> EncodeLsa(const Lsa& lsa);
 std::optional<Lsa> DecodeLsa(std::span<const uint8_t> payload);
+std::vector<uint8_t> EncodeHello(const OspfHello& hello);
+std::optional<OspfHello> DecodeHello(std::span<const uint8_t> payload);
 
-// Builds a complete Ethernet+IP frame carrying the LSA.
+// Builds a complete Ethernet+IP frame carrying the LSA / hello.
 Packet BuildLsaPacket(const Lsa& lsa, uint32_t src_ip, uint32_t dst_ip,
                       uint8_t arrival_port = 0);
+Packet BuildHelloPacket(const OspfHello& hello, uint32_t src_ip, uint32_t dst_ip,
+                        uint8_t arrival_port = 0);
 
 class OspfLite {
  public:
   explicit OspfLite(uint32_t self_id) : self_id_(self_id) {}
 
+  // RFC 1982 serial-number comparison: true iff `a` is newer than `b` under
+  // wraparound (a != b and (a - b) mod 2^32 < 2^31). Sequence numbers that
+  // wrap past UINT32_MAX stay ordered.
+  static bool SeqNewer(uint32_t a, uint32_t b) {
+    return a != b && static_cast<uint32_t>(a - b) < 0x80000000u;
+  }
+
   // Declares one of this router's own links (fills the self LSA).
   void AddLocalLink(const OspfLink& link);
+
+  // Marks a local (neighbor, port) adjacency up or down and re-originates
+  // the self LSA with a bumped sequence number. Returns true if the state
+  // actually changed (callers flood the new self LSA on change).
+  bool SetLocalLinkUp(uint32_t neighbor_id, uint16_t port_hint, bool up);
 
   // Floods-in one LSA. Returns true if the database changed (newer seq).
   bool ProcessLsa(const Lsa& lsa);
 
-  // Runs Dijkstra and installs one route per reachable advertised prefix.
-  // Returns the number of routes installed. `spf_work` (out, optional)
-  // reports nodes+edges relaxed, used for cycle charging.
-  int ComputeRoutes(RouteTable& table, int* spf_work = nullptr);
+  // Runs Dijkstra and installs one route per reachable advertised prefix;
+  // prefixes this instance previously installed that became unreachable are
+  // withdrawn (RemoveRoute bumps the epoch, so MicroEngine route caches
+  // invalidate and misses take the StrongARM exception path — which answers
+  // with ICMP unreachable once the table lookup fails too). Returns routes
+  // installed. `spf_work` (out, optional) reports nodes+edges relaxed for
+  // cycle charging; `withdrawn` (out, optional) reports withdrawals.
+  int ComputeRoutes(RouteTable& table, int* spf_work = nullptr,
+                    int* withdrawn = nullptr);
+
+  // Cluster deployments resolve next-hop MACs per first-hop neighbor (the
+  // fabric is a learning switch keyed by node MAC); standalone deployments
+  // default to the egress port's link-peer MAC.
+  using NextHopResolver = std::function<MacAddr(uint32_t neighbor_id, uint16_t port)>;
+  void set_next_hop_resolver(NextHopResolver resolver) {
+    next_hop_resolver_ = std::move(resolver);
+  }
+
+  // The current self LSA (to originate a flood), and the whole database
+  // (to resync a warm-restarting neighbor).
+  const Lsa& self_lsa() const { return db_.at(self_id_); }
+  std::vector<Lsa> DatabaseSnapshot() const;
+
+  // Re-originates the self LSA with a bumped sequence number — a warm
+  // restart announces itself with a seq its neighbors must accept even if
+  // they hold the pre-crash LSA.
+  const Lsa& ReoriginateSelf() {
+    RefreshSelfLsa();
+    return db_.at(self_id_);
+  }
 
   size_t database_size() const { return db_.size(); }
   uint32_t self_id() const { return self_id_; }
   const std::vector<OspfLink>& local_links() const { return self_links_; }
 
  private:
+  void RefreshSelfLsa();
+
   uint32_t self_id_;
   std::vector<OspfLink> self_links_;
+  // (neighbor, port) adjacencies currently held down; excluded from the
+  // advertised self LSA until SetLocalLinkUp(..., true).
+  std::set<std::pair<uint32_t, uint16_t>> down_links_;
   std::map<uint32_t, Lsa> db_;  // origin -> newest LSA
+  // Prefixes ComputeRoutes installed on its last run; the withdrawal set is
+  // computed against this, so statically-installed routes are never touched.
+  std::set<std::pair<uint32_t, uint8_t>> installed_prefixes_;
+  NextHopResolver next_hop_resolver_;
 };
 
 // The Pentium-level control forwarder: consumes LSA packets, updates the

@@ -78,6 +78,12 @@ struct RouterStats {
   uint64_t ctrl_timeouts = 0;           // control ops abandoned (max retries)
   uint64_t pkts_shed_degraded = 0;      // path-C packets shed while degraded
 
+  // Cluster control plane (src/cluster + src/control): reconvergence work
+  // charged to this node.
+  uint64_t spf_recomputes = 0;     // Dijkstra re-runs triggered by LSA change
+  uint64_t routes_withdrawn = 0;   // prefixes pulled after a failure
+  uint64_t lsas_reflooded = 0;     // LSAs this node re-originated or relayed
+
   // End-to-end latency of forwarded packets, in nanoseconds.
   Histogram latency_ns;
   // Forwarding rate over the measurement window.

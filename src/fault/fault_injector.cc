@@ -43,6 +43,12 @@ const char* FaultKindName(FaultKind kind) {
       return "ctrl_dup";
     case FaultKind::kCtrlDelay:
       return "ctrl_delay";
+    case FaultKind::kLinkDown:
+      return "link_down";
+    case FaultKind::kFabricFrameLoss:
+      return "fabric_frame_loss";
+    case FaultKind::kNodeCrash:
+      return "node_crash";
     case FaultKind::kCount:
       break;
   }
@@ -60,6 +66,16 @@ FaultInjector::FaultInjector(const FaultPlan& plan, EventQueue& engine)
     next_hang_at_ =
         engine_.now() +
         static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.pentium_hang_mean_ps)));
+  }
+  if (plan_.link_down_mean_ps > 0) {
+    next_link_down_at_ =
+        engine_.now() +
+        static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.link_down_mean_ps)));
+  }
+  if (plan_.node_crash_mean_ps > 0) {
+    next_node_crash_at_ =
+        engine_.now() +
+        static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.node_crash_mean_ps)));
   }
 }
 
@@ -211,6 +227,38 @@ bool FaultInjector::MaybeCorruptDescriptor(uint32_t* word) {
   *word ^= 1u << rng_.Uniform(24);
   Count(FaultKind::kDescCorrupt);
   return true;
+}
+
+SimTime FaultInjector::LinkDownPs() {
+  if (!armed_ || plan_.link_down_mean_ps <= 0 || engine_.now() < next_link_down_at_) {
+    return 0;
+  }
+  next_link_down_at_ =
+      engine_.now() +
+      static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.link_down_mean_ps)));
+  last_link_down_at_ = engine_.now();
+  Count(FaultKind::kLinkDown);
+  return plan_.link_down_ps;
+}
+
+bool FaultInjector::ShouldDropFabricFrame() {
+  if (!armed_ || plan_.fabric_loss_p <= 0 || !rng_.Chance(plan_.fabric_loss_p)) {
+    return false;
+  }
+  Count(FaultKind::kFabricFrameLoss);
+  return true;
+}
+
+SimTime FaultInjector::NodeCrashPs() {
+  if (!armed_ || plan_.node_crash_mean_ps <= 0 || engine_.now() < next_node_crash_at_) {
+    return 0;
+  }
+  next_node_crash_at_ =
+      engine_.now() +
+      static_cast<SimTime>(rng_.Exponential(static_cast<double>(plan_.node_crash_mean_ps)));
+  last_node_crash_at_ = engine_.now();
+  Count(FaultKind::kNodeCrash);
+  return plan_.node_crash_ps > 0 ? plan_.node_crash_ps : kForever;
 }
 
 }  // namespace npr

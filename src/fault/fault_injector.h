@@ -43,6 +43,9 @@ enum class FaultKind : uint8_t {
   kCtrlDrop,
   kCtrlDup,
   kCtrlDelay,
+  kLinkDown,
+  kFabricFrameLoss,
+  kNodeCrash,
   kCount,
 };
 
@@ -135,6 +138,26 @@ class FaultInjector {
   // read back from SRAM. Returns true if a flip happened.
   bool MaybeCorruptDescriptor(uint32_t* word);
 
+  // --- cluster hooks (polled by the node's cluster supervisor) ---
+
+  // Nonzero when this node's internal fabric link is due to flap: the link
+  // goes down for the returned duration. Exponential inter-arrivals.
+  SimTime LinkDownPs();
+
+  // True when the fabric eats this internal frame crossing.
+  bool ShouldDropFabricFrame();
+
+  // Nonzero when this node is due to crash whole: the node is dead for the
+  // returned duration (kForever when plan.node_crash_ps == 0, i.e. the
+  // crash is permanent fail-stop). Exponential inter-arrivals.
+  static constexpr SimTime kForever = INT64_MAX;
+  SimTime NodeCrashPs();
+
+  // Simulated instants the most recent link flap / node crash began
+  // (cluster MTTD accounting).
+  SimTime last_link_down_at() const { return last_link_down_at_; }
+  SimTime last_node_crash_at() const { return last_node_crash_at_; }
+
   // Disarming stops all *new* fault injection (every hook answers
   // "no fault" without consuming Rng draws). Used by recovery experiments
   // to end the fault burst and measure the healed router.
@@ -151,6 +174,10 @@ class FaultInjector {
   SimTime next_crash_at_ = 0;
   SimTime next_hang_at_ = 0;
   SimTime last_hang_at_ = 0;
+  SimTime next_link_down_at_ = 0;
+  SimTime next_node_crash_at_ = 0;
+  SimTime last_link_down_at_ = 0;
+  SimTime last_node_crash_at_ = 0;
   std::array<uint64_t, kFaultKindCount> injected_{};
 };
 

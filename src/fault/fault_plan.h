@@ -85,12 +85,46 @@ struct FaultPlan {
   // is what the quarantine escalation exists to contain.
   double vrp_trap_p = 0.0;
 
+  // --- cluster (multi-chassis) fault classes ---
+  // These are polled by each node's cluster supervisor, not by single-chassis
+  // hook sites, so a standalone Router carrying them injects nothing.
+  //
+  // Internal-link flap: mean inter-arrival of this node's fabric link going
+  // down (exponential; 0 disables), and how long it stays down before the
+  // flap ends. Frames crossing a down link are dropped and counted.
+  SimTime link_down_mean_ps = 0;
+  SimTime link_down_ps = 500 * kPsPerUs;
+  // Switch-fabric frame loss: per-crossing probability that the fabric
+  // silently eats an internal frame (a backplane CRC hit, an overrun).
+  double fabric_loss_p = 0.0;
+  // Whole-node crash: mean inter-arrival of this node crashing (exponential;
+  // 0 disables) and how long it stays dead before warm restart. A crash
+  // duration of 0 means the node never comes back (permanent fail-stop).
+  SimTime node_crash_mean_ps = 0;
+  SimTime node_crash_ps = 2 * kPsPerMs;
+
   bool Any() const {
     return mem_latency_spike_p > 0 || mem_bit_flip_p > 0 || frame_crc_p > 0 ||
            frame_corrupt_p > 0 || frame_truncate_p > 0 || rx_stall_p > 0 ||
            context_crash_mean_ps > 0 || token_drop_p > 0 || token_lost_p > 0 ||
            desc_corrupt_p > 0 || restart_lost_p > 0 || pentium_hang_mean_ps > 0 ||
-           ctrl_drop_p > 0 || ctrl_dup_p > 0 || ctrl_delay_p > 0 || vrp_trap_p > 0;
+           ctrl_drop_p > 0 || ctrl_dup_p > 0 || ctrl_delay_p > 0 || vrp_trap_p > 0 ||
+           link_down_mean_ps > 0 || fabric_loss_p > 0 || node_crash_mean_ps > 0;
+  }
+
+  // Per-node seed derivation for cluster runs. Node k's injector must see a
+  // stream statistically independent of node j's — deriving with `seed + k`
+  // would make adjacent nodes' exponential arrival draws correlated — and
+  // the derivation must be a pure function of (base seed, node) so a chaos
+  // run replays bit-identically. SplitMix64 finalization gives both: every
+  // input bit avalanches through the output. Node faults stay deterministic
+  // under changes to *other* nodes' plans because each injector owns a
+  // private Rng and disabled classes draw nothing from it.
+  static uint64_t DeriveNodeSeed(uint64_t base, int node) {
+    uint64_t z = base + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(node + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
   }
 
   // --- shipped plans ---
@@ -170,6 +204,21 @@ struct FaultPlan {
     p.ctrl_drop_p = 0.2;
     p.ctrl_dup_p = 0.1;
     p.ctrl_delay_p = 0.2;
+    return p;
+  }
+
+  // Cluster chaos: the three multi-chassis fault classes at rates a 4-node
+  // cluster with reconvergence survives. Apply to a ClusterRouter (which
+  // derives per-node seeds via DeriveNodeSeed); meaningless on a standalone
+  // Router, whose hook sites never poll these classes.
+  static FaultPlan ClusterChaos(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.link_down_mean_ps = 20 * kPsPerMs;
+    p.link_down_ps = 500 * kPsPerUs;
+    p.fabric_loss_p = 0.002;
+    p.node_crash_mean_ps = 40 * kPsPerMs;
+    p.node_crash_ps = 4 * kPsPerMs;
     return p;
   }
 };

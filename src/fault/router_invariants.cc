@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "src/cluster/cluster_router.h"
 #include "src/core/pentium_host.h"
 #include "src/core/router.h"
 #include "src/core/strongarm_bridge.h"
@@ -185,6 +186,62 @@ InvariantReport RouterInvariants::CheckAll(Router& router) {
   CheckQueues(router, &report);
   CheckVrpBudget(router, &report);
   CheckMemoryBounds(router, &report);
+  return report;
+}
+
+InvariantReport RouterInvariants::CheckCluster(ClusterRouter& cluster) {
+  InvariantReport report;
+  for (int k = 0; k < cluster.num_nodes(); ++k) {
+    InvariantReport node = CheckAll(cluster.node(k));
+    for (std::string& v : node.violations) {
+      report.violations.push_back(Format("node%d: %s", k, v.c_str()));
+    }
+    if (node.conservation_checked) {
+      report.conservation_checked = true;
+      report.sources += node.sources;
+      report.sinks += node.sinks;
+      report.in_flight += node.in_flight;
+    }
+  }
+  for (int plane = 0; plane < cluster.num_planes(); ++plane) {
+    SwitchFabric& fabric = cluster.fabric(plane);
+    SwitchFabric::MemberStats sum;
+    for (int k = 0; k < cluster.num_nodes(); ++k) {
+      const MacAddr macs[] = {ClusterNodeMac(k, plane), ClusterControlMac(k, plane)};
+      const char* roles[] = {"data", "control"};
+      for (int m = 0; m < 2; ++m) {
+        const SwitchFabric::MemberStats ms = fabric.member_stats(macs[m]);
+        sum.forwarded += ms.forwarded;
+        sum.unknown_dropped += ms.unknown_dropped;
+        sum.link_down_dropped += ms.link_down_dropped;
+        sum.node_down_dropped += ms.node_down_dropped;
+        sum.injected_dropped += ms.injected_dropped;
+        if (ms.unknown_dropped != 0) {
+          Violate(&report,
+                  Format("fabric plane %d: node%d (%s) sent %" PRIu64
+                         " frame(s) to a destination nobody answers on (blackhole)",
+                         plane, k, roles[m], ms.unknown_dropped));
+        }
+      }
+    }
+    if (sum.forwarded != fabric.forwarded()) {
+      Violate(&report, Format("fabric plane %d: per-member forwarded %" PRIu64
+                              " != fabric forwarded %" PRIu64,
+                              plane, sum.forwarded, fabric.forwarded()));
+    }
+    if (sum.unknown_dropped != fabric.unknown_destination()) {
+      Violate(&report, Format("fabric plane %d: per-member unknown drops %" PRIu64
+                              " != fabric unknown %" PRIu64,
+                              plane, sum.unknown_dropped, fabric.unknown_destination()));
+    }
+    const uint64_t gate_sum =
+        sum.link_down_dropped + sum.node_down_dropped + sum.injected_dropped;
+    if (gate_sum != fabric.gate_dropped()) {
+      Violate(&report, Format("fabric plane %d: per-member gate drops %" PRIu64
+                              " != fabric gate drops %" PRIu64,
+                              plane, gate_sum, fabric.gate_dropped()));
+    }
+  }
   return report;
 }
 

@@ -18,6 +18,7 @@
 
 namespace npr {
 
+class ClusterRouter;
 class Router;
 
 struct InvariantReport {
@@ -46,6 +47,13 @@ class RouterInvariants {
   // call after each test run; call at quiescence (after a drain period) for
   // an exact conservation balance.
   static InvariantReport CheckAll(Router& router);
+
+  // Cluster scope: CheckAll on every node (violations prefixed "nodeK:",
+  // conservation sums aggregated) plus fabric accounting on every plane. A
+  // frame addressed to a MAC nobody answers on means some node forwarded
+  // into a blackhole — a stale FIB is an invariant violation, not a drop —
+  // and the per-member counters must reconcile with the fabric totals.
+  static InvariantReport CheckCluster(ClusterRouter& cluster);
 };
 
 }  // namespace npr

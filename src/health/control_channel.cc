@@ -83,6 +83,10 @@ uint64_t ControlChannel::Submit(Pending pending) {
 
 int ControlChannel::LinkCrossing(uint64_t seq, const char* what, SimTime* extra_delay_ps) {
   *extra_delay_ps = 0;
+  if (!link_up_) {
+    Note("seq=%" PRIu64 " %s lost: link down", seq, what);
+    return 0;
+  }
   FaultInjector* fault = router_.fault_injector();
   if (fault == nullptr) {
     return 1;

@@ -75,6 +75,12 @@ class ControlChannel {
 
   uint64_t executed_count() const { return executed_count_; }
 
+  // Hard link state: while down, every crossing (request and ack alike) is
+  // dropped — the peer is unreachable, not merely lossy. Cluster health
+  // mirrors node up/down onto its probe channels through this.
+  void set_link_up(bool up) { link_up_ = up; }
+  bool link_up() const { return link_up_; }
+
  private:
   enum class Op : uint8_t { kInstall, kRemove, kGetData, kSetData };
 
@@ -109,6 +115,7 @@ class ControlChannel {
   Router& router_;
   ControlChannelConfig cfg_;
   Rng rng_;
+  bool link_up_ = true;
   uint64_t next_seq_ = 1;
   std::map<uint64_t, Pending> pending_;
   // Receiver-side idempotency cache: seq -> executed result.

@@ -14,6 +14,12 @@ const char* RecoveryKindName(RecoveryEvent::Kind kind) {
       return "pentium-degrade";
     case RecoveryEvent::Kind::kQuarantine:
       return "quarantine";
+    case RecoveryEvent::Kind::kLinkFailover:
+      return "link-failover";
+    case RecoveryEvent::Kind::kNodeFailover:
+      return "node-failover";
+    case RecoveryEvent::Kind::kNodeReadmit:
+      return "node-readmit";
   }
   return "unknown";
 }

@@ -64,6 +64,10 @@ struct RecoveryEvent {
     kContextRestore,  // context reinstalled after a lost restart
     kPentiumDegrade,  // Pentium marked degraded ... later cleared
     kQuarantine,      // forwarder evicted after repeated traps
+    // Cluster scope (ClusterHealthMonitor / ClusterControlPlane):
+    kLinkFailover,    // internal link lost, traffic rerouted or shed
+    kNodeFailover,    // whole node lost, prefixes withdrawn cluster-wide
+    kNodeReadmit,     // warm-restarted node resynced and re-admitted
   };
   Kind kind = Kind::kTokenRegen;
   SimTime fault_at = 0;      // when the fault actually happened

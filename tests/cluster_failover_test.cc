@@ -1,0 +1,269 @@
+// Cluster-level fault tolerance: OSPF-lite reconvergence after link and
+// node failures, warm-restart readmission, federated health escalation,
+// per-node seed independence, deterministic replay, and the cluster-scope
+// invariant sweep.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/cluster/cluster_control.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/router_invariants.h"
+#include "src/health/cluster_health.h"
+#include "src/net/traffic_gen.h"
+
+namespace npr {
+namespace {
+
+// --- satellite (b): per-node seed derivation and draw isolation ---
+
+TEST(FaultPlanSeeds, PerNodeDerivationIsDeterministicAndIndependent) {
+  const uint64_t base = 0x5eed1ULL;
+  // Pure function of (base, node): same inputs, same seed.
+  EXPECT_EQ(FaultPlan::DeriveNodeSeed(base, 3), FaultPlan::DeriveNodeSeed(base, 3));
+  // Distinct nodes get distinct streams; adjacent nodes are not `seed + k`.
+  std::set<uint64_t> seeds;
+  for (int k = 0; k < 16; ++k) {
+    seeds.insert(FaultPlan::DeriveNodeSeed(base, k));
+  }
+  EXPECT_EQ(seeds.size(), 16u);
+  EXPECT_NE(FaultPlan::DeriveNodeSeed(base, 1) - FaultPlan::DeriveNodeSeed(base, 0),
+            FaultPlan::DeriveNodeSeed(base, 2) - FaultPlan::DeriveNodeSeed(base, 1));
+  // The base seed itself avalanches too.
+  EXPECT_NE(FaultPlan::DeriveNodeSeed(0x5eed1ULL, 0), FaultPlan::DeriveNodeSeed(0x5eed2ULL, 0));
+}
+
+TEST(FaultPlanSeeds, DisabledClusterClassesDrawNoRandomness) {
+  // Two injectors under the identical plan; the second one is also polled
+  // for the *disabled* cluster classes between fabric draws. If disabled
+  // hooks consumed Rng draws, the fabric-loss sequences would diverge.
+  FaultPlan plan;
+  plan.seed = 0x5eed1ULL;
+  plan.fabric_loss_p = 0.5;
+
+  EventQueue engine;
+  FaultInjector plain(plan, engine);
+  FaultInjector polled(plan, engine);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(polled.LinkDownPs(), 0) << "link flap disabled in this plan";
+    EXPECT_EQ(polled.NodeCrashPs(), 0) << "node crash disabled in this plan";
+    ASSERT_EQ(plain.ShouldDropFabricFrame(), polled.ShouldDropFabricFrame()) << "draw " << i;
+  }
+}
+
+// --- reconvergence scenarios ---
+
+class ClusterFailoverTest : public ::testing::Test {
+ protected:
+  void Build(int nodes, int planes, FaultPlan plan = FaultPlan{}, bool with_health = true) {
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.internal_links = planes;
+    cfg.node_config.fault_plan = plan;
+    cluster_ = std::make_unique<ClusterRouter>(std::move(cfg));
+    control_ = std::make_unique<ClusterControlPlane>(*cluster_);
+    control_->Start();
+    if (with_health) {
+      health_ = std::make_unique<ClusterHealthMonitor>(*cluster_, *control_);
+    }
+    for (int k = 0; k < cluster_->num_nodes(); ++k) {
+      for (int p = 0; p < cluster_->external_ports_per_node(); ++p) {
+        cluster_->node(k).port(p).SetSink(
+            [this, k, p](Packet&&) { deliveries_[{k, p}] += 1; });
+      }
+    }
+    cluster_->Start();
+  }
+
+  // Injects one probe at `from`'s external port 0 toward prefix 10.<g>/16.
+  // The source sits inside `from`'s own port-0 prefix so an ICMP error for
+  // an unreachable destination has a route back.
+  void Probe(int from, int g) {
+    PacketSpec spec;
+    spec.dst_ip = cluster_->ExternalDstIp(g, 1);
+    spec.src_ip = cluster_->ExternalDstIp(from * cluster_->external_ports_per_node(), 200);
+    cluster_->node(from).port(0).InjectFromWire(BuildPacket(spec));
+  }
+
+  uint64_t Delivered(int node, int port) { return deliveries_[{node, port}]; }
+
+  bool HasRoute(int node, int g) {
+    return cluster_->node(node).route_table().Lookup(cluster_->ExternalDstIp(g, 1)).entry
+        .has_value();
+  }
+
+  std::unique_ptr<ClusterRouter> cluster_;
+  std::unique_ptr<ClusterControlPlane> control_;
+  std::unique_ptr<ClusterHealthMonitor> health_;
+  std::map<std::pair<int, int>, uint64_t> deliveries_;
+};
+
+TEST_F(ClusterFailoverTest, NodeCrashWithdrawsPrefixesAndKeepsSurvivorsReachable) {
+  Build(4, 1);
+  cluster_->RunForMs(1.0);
+  ASSERT_TRUE(HasRoute(0, 3 * 7 + 2)) << "victim prefixes installed before the crash";
+
+  control_->ApplyNodeCrash(3, FaultInjector::kForever);
+  cluster_->RunForMs(2.0);
+
+  // Survivors detected the crash (federated health beat the dead-interval),
+  // re-ran SPF, and withdrew every prefix behind node 3.
+  ASSERT_FALSE(control_->records().empty());
+  const ReconvergenceRecord& rec = control_->records().front();
+  EXPECT_EQ(rec.kind, ReconvergenceRecord::Kind::kNodeDown);
+  EXPECT_EQ(rec.node, 3);
+  ASSERT_TRUE(rec.closed());
+  EXPECT_LT(rec.mttd_ps(), 350 * kPsPerUs) << "escalation must beat the dead-interval";
+  EXPECT_GE(health_->suspects_raised(), 1u);
+  EXPECT_TRUE(health_->node_degraded(3));
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_FALSE(HasRoute(k, 3 * 7 + 2)) << "node " << k << " still routes to the dead node";
+  }
+
+  // Surviving prefixes stay reachable; the dead node's prefixes shed as
+  // ICMP unreachables at the ingress node instead of blackholing.
+  Probe(0, 1 * 7 + 3);  // node 1, port 3
+  Probe(0, 3 * 7 + 2);  // dead node 3
+  cluster_->RunForMs(2.0);
+  EXPECT_EQ(Delivered(1, 3), 1u);
+  EXPECT_EQ(Delivered(3, 2), 0u);
+  EXPECT_GE(cluster_->node(0).stats().icmp_originated, 1u);
+
+  const InvariantReport report = RouterInvariants::CheckCluster(*cluster_);
+  EXPECT_TRUE(report.ok()) << report.violations.front();
+}
+
+TEST_F(ClusterFailoverTest, LinkDownReroutesOverSurvivingPlane) {
+  Build(2, 2);
+  cluster_->RunForMs(1.0);
+
+  const uint64_t plane1_before = cluster_->fabric(1).forwarded();
+  control_->ApplyLinkDown(0, 0, FaultInjector::kForever);
+  cluster_->RunForMs(2.0);
+
+  ASSERT_FALSE(control_->records().empty());
+  const ReconvergenceRecord& rec = control_->records().front();
+  EXPECT_EQ(rec.kind, ReconvergenceRecord::Kind::kLinkDown);
+  EXPECT_EQ(rec.node, 0);
+  EXPECT_EQ(rec.plane, 0);
+  ASSERT_TRUE(rec.closed());
+
+  // Cross-node traffic survives the dead plane by riding the other one.
+  // (With 2 planes each node has 6 external ports, so node 1's port 3
+  // serves prefix 10.<ppn + 3>/16.)
+  Probe(0, cluster_->external_ports_per_node() + 3);
+  cluster_->RunForMs(2.0);
+  EXPECT_EQ(Delivered(1, 3), 1u);
+  EXPECT_GT(cluster_->fabric(1).forwarded(), plane1_before);
+
+  const InvariantReport report = RouterInvariants::CheckCluster(*cluster_);
+  EXPECT_TRUE(report.ok()) << report.violations.front();
+}
+
+TEST_F(ClusterFailoverTest, WarmRestartReadmissionRestoresVictimFib) {
+  Build(4, 1);
+  cluster_->RunForMs(1.0);
+  control_->ApplyNodeCrash(2, 1 * kPsPerMs);
+  cluster_->RunForMs(4.0);
+
+  bool saw_down = false, saw_readmit = false;
+  for (const ReconvergenceRecord& rec : control_->records()) {
+    if (rec.kind == ReconvergenceRecord::Kind::kNodeDown && rec.node == 2) {
+      saw_down = true;
+      EXPECT_TRUE(rec.closed());
+    }
+    if (rec.kind == ReconvergenceRecord::Kind::kNodeReadmit && rec.node == 2) {
+      saw_readmit = true;
+      EXPECT_TRUE(rec.closed());
+    }
+  }
+  EXPECT_TRUE(saw_down);
+  EXPECT_TRUE(saw_readmit);
+  EXPECT_FALSE(health_->node_degraded(2));
+
+  // Survivors reach the readmitted node again, and its own FIB came back
+  // through database resync (it can reach remote prefixes).
+  Probe(0, 2 * 7 + 4);
+  Probe(2, 0 * 7 + 5);
+  cluster_->RunForMs(2.0);
+  EXPECT_EQ(Delivered(2, 4), 1u);
+  EXPECT_EQ(Delivered(0, 5), 1u);
+
+  // The probe-driven failover episode closed and a readmit episode exists.
+  bool health_readmit = false;
+  for (const RecoveryEvent& ev : health_->events()) {
+    if (ev.kind == RecoveryEvent::Kind::kNodeReadmit) {
+      health_readmit = true;
+    }
+    EXPECT_NE(ev.recovered_at, 0) << "open health episode after full recovery";
+  }
+  EXPECT_TRUE(health_readmit);
+}
+
+TEST_F(ClusterFailoverTest, SuspectNodeFalsePositiveSelfCorrects) {
+  Build(2, 1);
+  cluster_->RunForMs(1.0);
+  ASSERT_TRUE(HasRoute(0, 1 * 7 + 3));
+
+  // A wrong suspicion tears the adjacencies down; the very next hello from
+  // the (alive) node brings them — and the routes — back.
+  control_->SuspectNode(1);
+  EXPECT_FALSE(HasRoute(0, 1 * 7 + 3));
+  cluster_->RunForMs(1.0);
+  EXPECT_TRUE(HasRoute(0, 1 * 7 + 3));
+
+  Probe(0, 1 * 7 + 3);
+  cluster_->RunForMs(2.0);
+  EXPECT_EQ(Delivered(1, 3), 1u);
+}
+
+// --- deterministic replay ---
+
+TEST(ClusterChaosReplay, SameSeedProducesBitIdenticalTrace) {
+  auto run = [](uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.internal_links = 2;
+    cfg.node_config.fault_plan = FaultPlan::ClusterChaos(seed);
+    ClusterRouter cluster(std::move(cfg));
+    ClusterControlPlane control(cluster);
+    control.Start();
+    cluster.Start();
+    cluster.RunForMs(30.0);
+    std::ostringstream out;
+    for (const std::string& line : control.trace()) {
+      out << line << '\n';
+    }
+    return out.str();
+  };
+  const std::string a = run(0xfa017ULL);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, run(0xfa017ULL)) << "same seed must replay bit-identically";
+  EXPECT_NE(a, run(0x5eed1ULL)) << "different seed must explore a different schedule";
+}
+
+// --- cluster-scope invariants ---
+
+TEST(ClusterInvariants, BlackholedFrameIsAViolationNotADrop) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  ClusterRouter cluster(std::move(cfg));
+  cluster.InstallClusterRoutes();
+  cluster.Start();
+  EXPECT_TRUE(RouterInvariants::CheckCluster(cluster).ok());
+
+  // A frame addressed to a MAC nobody answers on means some node's FIB is
+  // stale: CheckCluster must flag the transmitting member.
+  PacketSpec spec;
+  spec.eth_dst = ClusterNodeMac(7);
+  cluster.fabric().SendFrom(ClusterNodeMac(0), BuildPacket(spec));
+  const InvariantReport report = RouterInvariants::CheckCluster(cluster);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("blackhole"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace npr

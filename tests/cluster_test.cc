@@ -44,6 +44,65 @@ TEST(SwitchFabric, UnknownMacCounted) {
   engine.RunAll();
   EXPECT_EQ(fabric.forwarded(), 0u);
   EXPECT_EQ(fabric.unknown_destination(), 1u);
+  // The drop is charged to the transmitting member: a node whose FIB points
+  // at a MAC nobody answers on is identifiable, not just a global count.
+  EXPECT_EQ(fabric.member_stats(ClusterNodeMac(0)).unknown_dropped, 1u);
+  EXPECT_EQ(fabric.member_stats(ClusterNodeMac(7)).unknown_dropped, 0u);
+}
+
+TEST(SwitchFabric, GateDropsChargeTransmittingMember) {
+  EventQueue engine;
+  MacPort a(engine, 0, 1e9);
+  MacPort b(engine, 1, 1e9);
+  SwitchFabric fabric;
+  fabric.Attach(ClusterNodeMac(0), a);
+  fabric.Attach(ClusterNodeMac(1), b);
+  FabricDrop verdict = FabricDrop::kNone;
+  fabric.set_gate([&](const MacAddr&, const MacAddr&) { return verdict; });
+
+  auto send = [&] {
+    PacketSpec spec;
+    spec.eth_dst = ClusterNodeMac(1);
+    Packet p = BuildPacket(spec);
+    for (const auto& mp : SegmentIntoMps(p, 0)) {
+      a.TxAccept(mp);
+    }
+    engine.RunAll();
+  };
+  send();
+  verdict = FabricDrop::kLinkDown;
+  send();
+  verdict = FabricDrop::kNodeDown;
+  send();
+  verdict = FabricDrop::kInjected;
+  send();
+
+  const SwitchFabric::MemberStats ms = fabric.member_stats(ClusterNodeMac(0));
+  EXPECT_EQ(ms.forwarded, 1u);
+  EXPECT_EQ(ms.link_down_dropped, 1u);
+  EXPECT_EQ(ms.node_down_dropped, 1u);
+  EXPECT_EQ(ms.injected_dropped, 1u);
+  EXPECT_EQ(fabric.forwarded(), 1u);
+  EXPECT_EQ(fabric.gate_dropped(), 3u);
+  // The receiving member transmitted nothing and is charged nothing.
+  EXPECT_EQ(fabric.member_stats(ClusterNodeMac(1)).forwarded, 0u);
+}
+
+TEST(SwitchFabric, ControlSinkCrossesTheSameGate) {
+  SwitchFabric fabric;
+  int got = 0;
+  fabric.AttachControlSink(ClusterControlMac(1), [&](Packet&&) { ++got; });
+
+  PacketSpec spec;
+  spec.eth_dst = ClusterControlMac(1);
+  fabric.SendFrom(ClusterControlMac(0), BuildPacket(spec));
+  EXPECT_EQ(got, 1);
+  // A down link starves control frames exactly as it starves data.
+  fabric.set_gate([](const MacAddr&, const MacAddr&) { return FabricDrop::kLinkDown; });
+  fabric.SendFrom(ClusterControlMac(0), BuildPacket(spec));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(fabric.member_stats(ClusterControlMac(0)).link_down_dropped, 1u);
+  EXPECT_EQ(fabric.member_stats(ClusterControlMac(0)).forwarded, 1u);
 }
 
 class ClusterTest : public ::testing::Test {
@@ -138,6 +197,44 @@ TEST_F(ClusterTest, AllPairsReachability) {
   }
   EXPECT_EQ(received, static_cast<uint64_t>(sent));
   EXPECT_EQ(cluster->TotalDrops(), 0u);
+}
+
+TEST_F(ClusterTest, DeadNodeDropsAtFabricAndRecovers) {
+  auto cluster = MakeCluster(2);
+  cluster->Start();
+  cluster->SetNodeUp(1, false);
+
+  PacketSpec spec;
+  spec.dst_ip = cluster->ExternalDstIp(10, 1);  // node 1, port 3
+  cluster->node(0).port(0).InjectFromWire(BuildPacket(spec));
+  cluster->RunForMs(3.0);
+  EXPECT_EQ((deliveries_[{1, 3}]), 0u);
+  EXPECT_EQ(cluster->fabric().gate_dropped(), 1u);
+  EXPECT_EQ(cluster->fabric().member_stats(ClusterNodeMac(0)).node_down_dropped, 1u);
+
+  // Warm restart: the same flow delivers again, nothing lingers down.
+  cluster->SetNodeUp(1, true);
+  cluster->node(0).port(0).InjectFromWire(BuildPacket(spec));
+  cluster->RunForMs(3.0);
+  EXPECT_EQ((deliveries_[{1, 3}]), 1u);
+}
+
+TEST_F(ClusterTest, DownLinkDropsCountedPerMember) {
+  auto cluster = MakeCluster(2);
+  cluster->Start();
+  cluster->SetLinkUp(0, 0, false);
+
+  PacketSpec spec;
+  spec.dst_ip = cluster->ExternalDstIp(10, 1);
+  cluster->node(0).port(0).InjectFromWire(BuildPacket(spec));
+  cluster->RunForMs(3.0);
+  EXPECT_EQ((deliveries_[{1, 3}]), 0u);
+  EXPECT_EQ(cluster->fabric().member_stats(ClusterNodeMac(0)).link_down_dropped, 1u);
+
+  cluster->SetLinkUp(0, 0, true);
+  cluster->node(0).port(0).InjectFromWire(BuildPacket(spec));
+  cluster->RunForMs(3.0);
+  EXPECT_EQ((deliveries_[{1, 3}]), 1u);
 }
 
 TEST_F(ClusterTest, SustainsExternalLineRatePlusInternalTraffic) {

@@ -142,6 +142,92 @@ TEST(OspfLite, UnreachablePrefixNotInstalled) {
   EXPECT_FALSE(table.Lookup(0x0a5a0001).entry);
 }
 
+TEST(HelloCodec, RoundTripAndTypeDiscrimination) {
+  const OspfHello hello{7, 0xdeadbeefu};
+  auto bytes = EncodeHello(hello);
+  auto decoded = DecodeHello(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->origin, 7u);
+  EXPECT_EQ(decoded->seq, 0xdeadbeefu);
+  // A hello is not an LSA and vice versa — the type byte discriminates.
+  EXPECT_FALSE(DecodeLsa(bytes));
+  EXPECT_FALSE(DecodeHello(EncodeLsa(MakeLsa(7, 1, {}))));
+
+  Packet p = BuildHelloPacket(hello, 0x0a000001, 0x0a000002);
+  auto ip = Ipv4Header::Parse(p.l3());
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->protocol, kIpProtoOspfLite);
+  auto from_wire = DecodeHello(p.l3().subspan(ip->header_bytes()));
+  ASSERT_TRUE(from_wire);
+  EXPECT_EQ(from_wire->origin, 7u);
+}
+
+TEST(OspfLite, SeqNewerSerialArithmetic) {
+  EXPECT_FALSE(OspfLite::SeqNewer(5, 5));
+  EXPECT_TRUE(OspfLite::SeqNewer(6, 5));
+  EXPECT_FALSE(OspfLite::SeqNewer(5, 6));
+  // RFC 1982 serial arithmetic: sequence numbers survive wraparound.
+  EXPECT_TRUE(OspfLite::SeqNewer(0, UINT32_MAX));
+  EXPECT_FALSE(OspfLite::SeqNewer(UINT32_MAX, 0));
+  EXPECT_TRUE(OspfLite::SeqNewer(3, UINT32_MAX - 2));
+  EXPECT_FALSE(OspfLite::SeqNewer(UINT32_MAX - 2, 3));
+}
+
+TEST(OspfLite, SeqWraparoundAcceptedAsNewer) {
+  OspfLite ospf(1);
+  EXPECT_TRUE(ospf.ProcessLsa(MakeLsa(2, UINT32_MAX, {})));
+  EXPECT_TRUE(ospf.ProcessLsa(MakeLsa(2, 0, {})));           // wraps, still newer
+  EXPECT_FALSE(ospf.ProcessLsa(MakeLsa(2, UINT32_MAX, {})));  // now stale
+}
+
+TEST(OspfLite, WithdrawalRemovesRouteAndBumpsEpoch) {
+  OspfLite ospf(1);
+  ospf.AddLocalLink(RouterLink(2, 1, 2));
+  ospf.ProcessLsa(MakeLsa(2, 1, {RouterLink(1, 1), StubLink("10.30.0.0/16")}));
+  RouteTable table;
+  // A static route must never be disturbed by the protocol.
+  RouteEntry static_entry;
+  static_entry.out_port = 7;
+  table.AddRoute(*Prefix::Parse("10.99.0.0/16"), static_entry);
+
+  int withdrawn = 0;
+  ospf.ComputeRoutes(table, nullptr, &withdrawn);
+  EXPECT_EQ(withdrawn, 0);
+  ASSERT_TRUE(table.Lookup(0x0a1e0001).entry);
+
+  // Our side of the link to R2 dies: the prefix becomes unreachable even
+  // though R2's stale LSA still names the adjacency.
+  EXPECT_TRUE(ospf.SetLocalLinkUp(2, 2, false));
+  const uint64_t epoch_before = table.epoch();
+  ospf.ComputeRoutes(table, nullptr, &withdrawn);
+  EXPECT_EQ(withdrawn, 1);
+  EXPECT_FALSE(table.Lookup(0x0a1e0001).entry);
+  EXPECT_GT(table.epoch(), epoch_before) << "withdrawal must invalidate route caches";
+  EXPECT_EQ(table.Lookup(0x0a630001).entry->out_port, 7) << "static route disturbed";
+
+  // Link restored: the route comes back.
+  EXPECT_TRUE(ospf.SetLocalLinkUp(2, 2, true));
+  ospf.ComputeRoutes(table, nullptr, &withdrawn);
+  EXPECT_EQ(withdrawn, 0);
+  ASSERT_TRUE(table.Lookup(0x0a1e0001).entry);
+  EXPECT_EQ(table.Lookup(0x0a1e0001).entry->out_port, 2);
+}
+
+TEST(OspfLite, NextHopResolverSetsRemoteMac) {
+  OspfLite ospf(1);
+  ospf.AddLocalLink(RouterLink(2, 1, 4));
+  ospf.ProcessLsa(MakeLsa(2, 1, {RouterLink(1, 1), StubLink("10.30.0.0/16")}));
+  MacAddr want{0x02, 0, 0, 0, 0x01, 0x09};
+  ospf.set_next_hop_resolver([&](uint32_t neighbor_id, uint16_t port) {
+    EXPECT_EQ(neighbor_id, 2u);
+    EXPECT_EQ(port, 4);
+    return want;
+  });
+  RouteTable table;
+  ospf.ComputeRoutes(table);
+  EXPECT_EQ(table.Lookup(0x0a1e0001).entry->next_hop_mac, want);
+}
+
 TEST(OspfForwarder, ConsumesLsaAndInstallsRoutes) {
   OspfLite ospf(1);
   ospf.AddLocalLink(RouterLink(2, 1, 3));
