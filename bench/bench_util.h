@@ -13,6 +13,7 @@
 
 #include "src/core/router.h"
 #include "src/net/traffic_gen.h"
+#include "src/obs/observer.h"
 
 namespace npr {
 namespace bench {
@@ -30,13 +31,34 @@ struct RowRec {
   std::string unit;
 };
 
+// One latency distribution (per path or per stage), in nanoseconds.
+struct LatencyRec {
+  std::string label;
+  uint64_t count = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+// One engine's cycle accounting from the profiler.
+struct EngineCyclesRec {
+  int engine = 0;
+  uint64_t compute_cycles = 0;
+  double wait_us[kWaitClassCount] = {};
+};
+
 struct JsonState {
   std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
   std::vector<RowRec> rows;
+  std::vector<LatencyRec> path_latency;
+  std::vector<LatencyRec> stage_latency;
+  std::vector<EngineCyclesRec> engine_cycles;
   uint64_t events_run = 0;
   uint64_t seed = 0;
   bool has_run_info = false;
   std::string fault_plan;
+  std::string profiler_report;
 };
 
 inline JsonState& State() {
@@ -115,6 +137,79 @@ inline void Row(const std::string& label, double paper, double measured,
 
 inline void Note(const std::string& text) { std::printf("  note: %s\n", text.c_str()); }
 
+// --- observability sections ---
+//
+// RecordObserver() folds an attached Observer into the bench output:
+// per-path and per-stage latency percentiles plus the profiler's per-engine
+// cycle accounting. Distributions with no samples are skipped, so a bench
+// that never attached an observer (or a NPR_OBS=OFF build, where the hook
+// sites compile away) emits exactly the same stdout and JSON as before.
+
+inline void AddLatencyRec(std::vector<LatencyRec>* out, const std::string& label,
+                          const Histogram& h) {
+  if (h.count() == 0) {
+    return;
+  }
+  out->push_back(LatencyRec{label, h.count(), h.Percentile(50), h.Percentile(95),
+                            h.Percentile(99), static_cast<double>(h.max())});
+}
+
+inline void RecordObserver(const Observer& obs, int num_engines = 6) {
+  JsonState& st = State();
+  for (int p = 0; p < kPathKindCount; ++p) {
+    AddLatencyRec(&st.path_latency,
+                  std::string("path_") + PathKindName(static_cast<PathKind>(p)),
+                  obs.path_latency(static_cast<PathKind>(p)));
+  }
+  for (int h = 0; h < kHopKindCount; ++h) {
+    AddLatencyRec(&st.stage_latency, HopKindName(static_cast<HopKind>(h)),
+                  obs.hop_latency(static_cast<HopKind>(h)));
+  }
+  const CycleProfiler& prof = obs.profiler();
+  for (int me = 0; me < num_engines; ++me) {
+    EngineCyclesRec rec;
+    rec.engine = me;
+    rec.compute_cycles = prof.EngineComputeCycles(static_cast<uint8_t>(me));
+    uint64_t any_wait = 0;
+    for (int w = 0; w < kWaitClassCount; ++w) {
+      const uint64_t ps = prof.EngineWaitPs(static_cast<uint8_t>(me), static_cast<WaitClass>(w));
+      rec.wait_us[w] = static_cast<double>(ps) / kPsPerUs;
+      any_wait += ps;
+    }
+    if (rec.compute_cycles != 0 || any_wait != 0) {
+      st.engine_cycles.push_back(rec);
+    }
+  }
+
+  if (!st.engine_cycles.empty()) {
+    st.profiler_report = prof.Report();
+  }
+}
+
+// Prints the recorded observability sections (called from EmitJson so they
+// land after the paper-vs-measured tables). Silent when nothing was
+// recorded.
+inline void PrintObserverSections() {
+  const JsonState& st = State();
+  if (!st.path_latency.empty() || !st.stage_latency.empty()) {
+    std::printf("\n%-24s %10s %10s %10s %10s %10s\n", "latency (ns)", "count", "p50", "p95",
+                "p99", "max");
+    for (const LatencyRec& r : st.path_latency) {
+      std::printf("%-24s %10llu %10.0f %10.0f %10.0f %10.0f\n", r.label.c_str(),
+                  static_cast<unsigned long long>(r.count), r.p50_ns, r.p95_ns, r.p99_ns,
+                  r.max_ns);
+    }
+    for (const LatencyRec& r : st.stage_latency) {
+      std::printf("%-24s %10llu %10.0f %10.0f %10.0f %10.0f\n", r.label.c_str(),
+                  static_cast<unsigned long long>(r.count), r.p50_ns, r.p95_ns, r.p99_ns,
+                  r.max_ns);
+    }
+  }
+  if (!st.profiler_report.empty()) {
+    std::printf("%s", st.profiler_report.c_str());
+  }
+}
+
 inline std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -131,6 +226,7 @@ inline std::string JsonEscape(const std::string& s) {
 // far, wall-clock time since the process started, and events/sec through
 // the simulation core. Call once, at the end of main().
 inline void EmitJson(const std::string& name) {
+  PrintObserverSections();
   const JsonState& st = State();
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - st.start).count();
@@ -149,6 +245,39 @@ inline void EmitJson(const std::string& name) {
   std::fprintf(f, "  \"events_run\": %llu,\n", static_cast<unsigned long long>(st.events_run));
   std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
                wall > 0 ? static_cast<double>(st.events_run) / wall : 0.0);
+  // Observability sections: present only when an attached Observer actually
+  // collected samples, so reference output is unchanged otherwise.
+  const auto emit_latency = [f](const char* key, const std::vector<LatencyRec>& recs) {
+    if (recs.empty()) {
+      return;
+    }
+    std::fprintf(f, "  \"%s\": [\n", key);
+    for (size_t i = 0; i < recs.size(); ++i) {
+      const LatencyRec& r = recs[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"count\": %llu, \"p50_ns\": %.1f, "
+                   "\"p95_ns\": %.1f, \"p99_ns\": %.1f, \"max_ns\": %.1f}%s\n",
+                   JsonEscape(r.label).c_str(), static_cast<unsigned long long>(r.count),
+                   r.p50_ns, r.p95_ns, r.p99_ns, r.max_ns, i + 1 < recs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  };
+  emit_latency("path_latency", st.path_latency);
+  emit_latency("stage_latency", st.stage_latency);
+  if (!st.engine_cycles.empty()) {
+    std::fprintf(f, "  \"engine_cycles\": [\n");
+    for (size_t i = 0; i < st.engine_cycles.size(); ++i) {
+      const EngineCyclesRec& r = st.engine_cycles[i];
+      std::fprintf(f, "    {\"engine\": %d, \"compute_cycles\": %llu", r.engine,
+                   static_cast<unsigned long long>(r.compute_cycles));
+      for (int w = 0; w < kWaitClassCount; ++w) {
+        std::fprintf(f, ", \"wait_%s_us\": %.3f", WaitClassName(static_cast<WaitClass>(w)),
+                     r.wait_us[w]);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < st.engine_cycles.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  }
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < st.rows.size(); ++i) {
     const RowRec& r = st.rows[i];

@@ -35,6 +35,12 @@ double LineRate8x100() {
   RouterConfig cfg;  // real ports
   cfg.enable_pentium = false;
   Router router(std::move(cfg));
+  // Observability: per-path latency percentiles and per-engine cycle
+  // accounting for the end-to-end run land in BENCH_table1_queueing.json.
+  // In a NPR_OBS=OFF build the hook sites compile away, nothing is
+  // collected, and the output is unchanged.
+  Observer obs(router.engine());
+  router.SetObserver(&obs);
   bench::AddDefaultRoutes(router);
   router.WarmRouteCache(64);
   router.Start();
@@ -46,7 +52,9 @@ double LineRate8x100() {
                                                 static_cast<uint64_t>(p + 1)));
     gens.back()->Start(16 * kPsPerMs);
   }
-  return bench::MeasureMpps(router, 4.0, 10.0);
+  const double mpps = bench::MeasureMpps(router, 4.0, 10.0);
+  bench::RecordObserver(obs);
+  return mpps;
 }
 
 double FastestFeasibleSystem() {

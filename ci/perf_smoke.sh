@@ -28,11 +28,19 @@ cd "$out_dir"
 "$build_dir/bench/sim_core"
 "$build_dir/bench/table1_queueing"
 
-python3 - "$out_dir" <<'EOF'
+# The observability layer is compiled in unless the build was configured
+# with -DNPR_OBS=OFF; only then are the latency sections legitimately absent.
+obs_enabled=1
+if grep -q "^NPR_OBS:BOOL=OFF" "$build_dir/CMakeCache.txt"; then
+  obs_enabled=0
+fi
+
+python3 - "$out_dir" "$obs_enabled" <<'EOF'
 import json
 import sys
 
 out_dir = sys.argv[1]
+obs_enabled = sys.argv[2] == "1"
 failures = []
 
 # --- Table 1: every row within +/-15% of the paper value ---
@@ -63,6 +71,23 @@ for label, floor in CORE_FLOORS_MEV.items():
     elif measured < floor:
         failures.append(
             f"sim_core {label!r}: {measured:.1f} Mev/s below floor {floor:.1f}")
+
+# --- observability: per-path latency percentiles (src/obs) ---
+# table1's line-rate run attaches an Observer; the JSON must carry a sane
+# path-A distribution: every forwarded packet counted, percentiles ordered.
+if obs_enabled:
+    paths = {row["label"]: row for row in table1.get("path_latency", [])}
+    if "path_A" not in paths:
+        failures.append("table1 path_latency missing path_A (observer not attached?)")
+    for label, row in sorted(paths.items()):
+        if row["count"] <= 0:
+            failures.append(f"path_latency {label!r}: empty distribution")
+        if not (0 < row["p50_ns"] <= row["p95_ns"] <= row["p99_ns"]):
+            failures.append(
+                f"path_latency {label!r}: percentiles not monotone "
+                f"(p50={row['p50_ns']}, p95={row['p95_ns']}, p99={row['p99_ns']})")
+        if row["max_ns"] <= 0:
+            failures.append(f"path_latency {label!r}: max_ns {row['max_ns']} not positive")
 
 # End-to-end sanity: table1 drives the full router model; anything below
 # this means the core regression leaked into the real workload.

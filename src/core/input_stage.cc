@@ -6,9 +6,16 @@
 #include "src/core/strongarm_bridge.h"
 #include "src/fault/fault_injector.h"
 #include "src/net/traffic_gen.h"
+#include "src/obs/observer.h"
 #include "src/sim/log.h"
 
 namespace npr {
+
+namespace {
+[[maybe_unused]] uint8_t ObsUnitOf(const HwContext& ctx) {
+  return ContextUnit(static_cast<uint8_t>(ctx.engine().id()), static_cast<uint8_t>(ctx.index()));
+}
+}  // namespace
 
 InputStage::InputStage(RouterCore& core, Classifier& classifier)
     : core_(core),
@@ -142,6 +149,9 @@ bool InputStage::ClaimNext(uint8_t port, int ctx_index, Claim* claim) {
       auto addr = core_.stack_pool->Allocate(meta);
       if (!addr) {
         core_.stats->dropped_no_buffer += 1;
+        NPR_OBS_HOOK(core_.obs,
+                     Record(SpanPoint::kDropNoBuffer, meta.packet_id,
+                            ObsUnitOf(*members_[static_cast<size_t>(ctx_index)]), port));
         as.in_packet = false;
         return false;
       }
@@ -153,6 +163,9 @@ bool InputStage::ClaimNext(uint8_t port, int ctx_index, Claim* claim) {
     }
     as.next_mp = 0;
     as.in_packet = true;
+    NPR_OBS_HOOK(core_.obs,
+                 Record(SpanPoint::kPktIngress, claim->mp.tag.packet_id,
+                        ObsUnitOf(*members_[static_cast<size_t>(ctx_index)]), port));
   }
   claim->buffer_addr = as.buffer_addr;
   claim->mp_index = as.next_mp;
@@ -166,14 +179,20 @@ bool InputStage::ClaimNext(uint8_t port, int ctx_index, Claim* claim) {
 }
 
 InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
-                                                    uint8_t arrival_port, VrpCost* vrp_cost) {
+                                                    uint8_t arrival_port, VrpCost* vrp_cost,
+                                                    uint32_t packet_id, uint8_t obs_unit) {
   const RouterConfig& cfg = *core_.config;
+#if !defined(NPR_OBS_ENABLED)
+  (void)packet_id;
+  (void)obs_unit;
+#endif
   Disposition disp;
   ClassifyOutcome outcome = classifier_.Classify(mp_bytes);
 
   switch (outcome.target) {
     case ClassifyOutcome::Target::kDrop:
       core_.stats->dropped_invalid += 1;
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kDropInvalid, packet_id, obs_unit, arrival_port));
       disp.act = Disposition::Act::kDrop;
       return disp;
     case ClassifyOutcome::Target::kStrongArmLocal:
@@ -224,6 +243,7 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
       }
       if (run.action == VrpAction::kDrop) {
         core_.stats->dropped_by_vrp += 1;
+        NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kDropVrp, packet_id, obs_unit, arrival_port));
         disp.act = Disposition::Act::kDrop;
         return disp;
       }
@@ -233,6 +253,9 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
       }
       if (run.action == VrpAction::kTrap) {
         core_.stats->vrp_traps += 1;
+        NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kFault, packet_id, obs_unit,
+                                       static_cast<uint16_t>(FaultKind::kVrpTrap)));
+        NPR_OBS_HOOK(core_.obs, TriggerDump("vrp_trap", packet_id));
         if (core_.health != nullptr) {
           core_.health->OnVrpTrap(outcome.flow->me_program_id);
         }
@@ -253,11 +276,15 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
     vrp_cost->hashes += run.metered.hashes;
     if (run.action == VrpAction::kDrop) {
       core_.stats->dropped_by_vrp += 1;
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kDropVrp, packet_id, obs_unit, arrival_port));
       disp.act = Disposition::Act::kDrop;
       return disp;
     }
     if (run.action == VrpAction::kTrap) {
       core_.stats->vrp_traps += 1;
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kFault, packet_id, obs_unit,
+                                     static_cast<uint16_t>(FaultKind::kVrpTrap)));
+      NPR_OBS_HOOK(core_.obs, TriggerDump("vrp_trap", packet_id));
       if (core_.health != nullptr) {
         core_.health->OnVrpTrap(general.id);
       }
@@ -289,6 +316,8 @@ Task InputStage::ContextLoop(HwContext& ctx, int member, int ctx_index, uint8_t 
     // sibling context or this context's restart.
     if (core_.fault != nullptr && core_.fault->ShouldCrashContext()) {
       core_.stats->context_crashes += 1;
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kFault, 0, ObsUnitOf(ctx),
+                                     static_cast<uint16_t>(FaultKind::kContextCrash)));
       ring_.SetMemberDown(member, true);
       // A lost restart models the recovery path itself failing: nothing is
       // scheduled, and only a health monitor (if attached) brings the
@@ -367,8 +396,10 @@ Task InputStage::ContextLoop(HwContext& ctx, int member, int ctx_index, uint8_t 
     PortAssembly& as = assembly_[port];
     if (claim.mp.tag.sop) {
       claim.disp = ClassifyFirstMp(std::span<uint8_t>(claim.mp.data).first(claim.mp.tag.bytes),
-                                   port, &vrp_cost);
+                                   port, &vrp_cost, claim.mp.tag.packet_id, ObsUnitOf(ctx));
       as.disp = claim.disp;
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kInClassified, claim.mp.tag.packet_id,
+                                     ObsUnitOf(ctx), static_cast<uint16_t>(claim.disp.act)));
     } else {
       claim.disp = as.disp;
     }
@@ -475,8 +506,19 @@ Task InputStage::ContextLoop(HwContext& ctx, int member, int ctx_index, uint8_t 
         } else if (core_.bridge != nullptr) {
           NotifyBridge(*core_.bridge);
         }
+#if defined(NPR_OBS_ENABLED)
+        if (core_.obs != nullptr) {
+          const SpanPoint pt = claim.disp.act == Disposition::Act::kQueue ? SpanPoint::kInEnqueued
+                               : claim.disp.act == Disposition::Act::kStrongArm
+                                   ? SpanPoint::kInToSa
+                                   : SpanPoint::kInToPe;
+          core_.obs->Record(pt, claim.mp.tag.packet_id, ObsUnitOf(ctx), claim.disp.out_port);
+        }
+#endif
       } else {
         core_.stats->dropped_queue_full += 1;
+        NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kDropQueueFull, claim.mp.tag.packet_id,
+                                       ObsUnitOf(ctx), claim.disp.out_port));
         ReleaseBuffer(core_, claim.buffer_addr);
       }
       if (mutex != nullptr) {

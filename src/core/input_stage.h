@@ -88,8 +88,10 @@ class InputStage {
 
   // Classifies the first MP and applies the minimal-IP transform in place.
   // Returns the VRP cost to charge (per-flow program + general chain).
+  // `packet_id`/`obs_unit` identify the packet and executing context for
+  // span records emitted next to the drop/trap counters.
   Disposition ClassifyFirstMp(std::span<uint8_t> mp_bytes, uint8_t arrival_port,
-                              VrpCost* vrp_cost);
+                              VrpCost* vrp_cost, uint32_t packet_id, uint8_t obs_unit);
 
   Mp SynthesizeMp(int ctx_index);
 

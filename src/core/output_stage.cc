@@ -4,8 +4,15 @@
 #include <cassert>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/observer.h"
 
 namespace npr {
+
+namespace {
+[[maybe_unused]] uint8_t ObsUnitOf(const HwContext& ctx) {
+  return ContextUnit(static_cast<uint8_t>(ctx.engine().id()), static_cast<uint8_t>(ctx.index()));
+}
+}  // namespace
 
 OutputStage::OutputStage(RouterCore& core)
     : core_(core), ring_(*core.engine, core.config->hw.token_pass_cycles) {}
@@ -120,6 +127,8 @@ Task OutputStage::ContextLoop(HwContext& ctx, int member, int out_ctx_index) {
     // streaming_[out_ctx_index] and resumes after the restart.
     if (core_.fault != nullptr && core_.fault->ShouldCrashContext()) {
       core_.stats->context_crashes += 1;
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kFault, 0, ObsUnitOf(ctx),
+                                     static_cast<uint16_t>(FaultKind::kContextCrash)));
       ring_.SetMemberDown(member, true);
       // A lost restart leaves the context down until a health monitor (if
       // attached) reinstalls it.
@@ -232,12 +241,20 @@ Task OutputStage::ContextLoop(HwContext& ctx, int member, int out_ctx_index) {
           !core_.buffers->StillValid(desc->buffer_addr, desc->generation)) {
         core_.stats->lost_overwritten += 1;
         core_.stats->output_lost_iters += 1;
+        // The span carries the *successor* packet's id: the lapped packet's
+        // id went with the overwritten buffer.
+        NPR_OBS_HOOK(core_.obs,
+                     Record(SpanPoint::kOutLostLap, BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                            ObsUnitOf(ctx), desc->out_port));
         continue;
       }
       cur.active = true;
       cur.desc = *desc;
       cur.next_mp = 0;
       cur.queue = chosen;
+      NPR_OBS_HOOK(core_.obs,
+                   Record(SpanPoint::kOutDequeued, BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                          ObsUnitOf(ctx), desc->out_port));
     }
 
     // Stream one MP: DRAM -> OUT_FIFO (two 32-byte reads), then enable the
@@ -285,6 +302,8 @@ Task OutputStage::ContextLoop(HwContext& ctx, int member, int out_ctx_index) {
     if (last) {
       st.packets += 1;
       CompletePacket(cur.desc);
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kPktTxComplete, meta.packet_id, ObsUnitOf(ctx),
+                                     cur.desc.out_port));
       if (core_.stack_pool != nullptr) {
         // Return the buffer to the pool: an extra SRAM push (§3.2.3).
         ctx.Post(mem.sram(), 4);

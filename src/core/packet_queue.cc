@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/observer.h"
 
 namespace npr {
 
@@ -68,6 +69,8 @@ bool PacketQueue::Push(const PacketDescriptor& d) {
   sidecar_[slot] = d;
   scratch_.WriteU32(head_scratch_addr(), head + 1);
   ++pushes_;
+  NPR_OBS_HOOK(tracer_, Record(SpanPoint::kQueuePush, (d.buffer_addr - dram_base_) / buffer_bytes_,
+                               kUnitQueue, static_cast<uint16_t>(id_ & 0xffff)));
   max_depth_ = std::max(max_depth_, head + 1 - tail);
   return true;
 }
@@ -94,10 +97,14 @@ std::optional<PacketDescriptor> PacketQueue::Pop() {
     assert(fault_ != nullptr && "sidecar out of sync with SRAM ring");
     scratch_.WriteU32(tail_scratch_addr(), tail + 1);
     ++corrupt_drops_;
+    NPR_OBS_HOOK(tracer_, Record(SpanPoint::kQueueCorrupt, slot, kUnitQueue,
+                                 static_cast<uint16_t>(id_ & 0xffff)));
     return std::nullopt;
   }
   scratch_.WriteU32(tail_scratch_addr(), tail + 1);
   ++pops_;
+  NPR_OBS_HOOK(tracer_, Record(SpanPoint::kQueuePop, (d.buffer_addr - dram_base_) / buffer_bytes_,
+                               kUnitQueue, static_cast<uint16_t>(id_ & 0xffff)));
   return d;
 }
 

@@ -20,6 +20,7 @@
 namespace npr {
 
 class FaultInjector;
+class Observer;
 
 // What the 32-bit queue entry encodes, plus simulator sidecar (generation
 // for buffer-lap detection; ids for verification).
@@ -68,6 +69,10 @@ class PacketQueue {
   // corrupt_drops() and the entry is discarded, never followed.
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
+  // Observability: stamps push/pop/corrupt spans. Queue spans carry the
+  // buffer *index* (all the 32-bit hardware word knows), not the packet id.
+  void set_tracer(Observer* tracer) { tracer_ = tracer; }
+
   // Cross-checks every occupied ring slot's SRAM word against the sidecar.
   // Returns the number of inconsistent entries (0 on a healthy queue).
   uint32_t CheckConsistency() const;
@@ -91,6 +96,7 @@ class PacketQueue {
   std::vector<PacketDescriptor> sidecar_;
 
   FaultInjector* fault_ = nullptr;
+  Observer* tracer_ = nullptr;
 
   uint64_t pushes_ = 0;
   uint64_t pops_ = 0;

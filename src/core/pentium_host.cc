@@ -5,6 +5,7 @@
 #include "src/core/strongarm_bridge.h"
 #include "src/fault/fault_injector.h"
 #include "src/net/ipv4.h"
+#include "src/obs/observer.h"
 
 namespace npr {
 
@@ -62,6 +63,9 @@ Task PentiumHost::PeLoop() {
                           static_cast<uint64_t>(hw.pentium_per_byte_cycles *
                                                 static_cast<double>(hp.desc.frame_bytes)));
       sched_.Enqueue(hp.desc.flow_handle, hp);
+      NPR_OBS_HOOK(core_.obs,
+                   Record(SpanPoint::kPeIntake, BufferMetaFor(core_, hp.desc.buffer_addr).packet_id,
+                          kUnitPentium, hp.desc.out_port));
       did_work = true;
     }
 
@@ -159,9 +163,15 @@ Task PentiumHost::PeLoop() {
 
       ++processed_;
       core_.stats->pentium_processed += 1;
+      NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kPeServiced,
+                                     BufferMetaFor(core_, hp->desc.buffer_addr).packet_id,
+                                     kUnitPentium, out_port));
 
       if (!forward && !(to_run.empty() && flow == nullptr)) {
         core_.stats->pe_absorbed += 1;
+        NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kPeAbsorbed,
+                                       BufferMetaFor(core_, hp->desc.buffer_addr).packet_id,
+                                       kUnitPentium, out_port));
         ReleaseBuffer(core_, hp->desc.buffer_addr);  // dropped or consumed
       }
       // Return path: DMA the (possibly modified) packet back and publish

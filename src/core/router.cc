@@ -4,6 +4,7 @@
 
 #include "src/fault/fault_injector.h"
 #include "src/net/traffic_gen.h"
+#include "src/obs/observer.h"
 #include "src/sim/log.h"
 
 namespace npr {
@@ -113,6 +114,24 @@ Router::Router(RouterConfig config, EventQueue* shared_engine)
     input_->token_ring().set_fault_injector(fault_.get());
     output_->token_ring().set_fault_injector(fault_.get());
   }
+}
+
+void Router::SetObserver(Observer* obs) {
+  core_.obs = obs;
+  CycleProfiler* profiler = obs != nullptr ? &obs->profiler() : nullptr;
+  for (int i = 0; i < chip_.num_mes(); ++i) {
+    chip_.me(i).set_profiler(profiler);
+  }
+  for (auto& port : ports_) {
+    port->set_tracer(obs);
+  }
+  for (const auto& q : queues_->all_queues()) {
+    q->set_tracer(obs);
+  }
+  sa_local_queue_->set_tracer(obs);
+  sa_pentium_queue_->set_tracer(obs);
+  input_->token_ring().set_tracer(obs);
+  output_->token_ring().set_tracer(obs);
 }
 
 Router::~Router() {

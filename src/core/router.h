@@ -23,6 +23,7 @@
 namespace npr {
 
 class FaultInjector;
+class Observer;
 
 // A request through the §4.5 interface:
 //   fid = install(key, fwdr, size, where)
@@ -117,6 +118,13 @@ class Router {
   // data path consults: trap notification and degraded-mode shedding. The
   // hooks object must outlive the attachment.
   void set_health_hooks(HealthHooks* hooks) { core_.health = hooks; }
+
+  // Attaches (or detaches, with nullptr) the observability layer: span
+  // tracers on ports/queues/token rings and the cycle profiler on every
+  // MicroEngine. The observer must outlive the attachment. No-op when the
+  // build carries NPR_OBS=OFF (the hook sites compile away).
+  void SetObserver(Observer* obs);
+  Observer* observer() { return core_.obs; }
 
  private:
   RouterConfig config_;

@@ -27,6 +27,7 @@ namespace npr {
 class StrongArmBridge;
 class PentiumHost;
 class FaultInjector;
+class Observer;
 
 struct RouterCore {
   // Returns the packet's sidecar metadata regardless of allocator flavor,
@@ -69,6 +70,11 @@ struct RouterCore {
   // Non-null when the config carries a fault plan; stage loops poll it for
   // context crashes.
   FaultInjector* fault = nullptr;
+
+  // Non-null when an Observer is attached (Router::SetObserver); stage
+  // loops emit span records through it. Compile-time gated: with
+  // NPR_OBS_ENABLED undefined the hook sites vanish entirely.
+  Observer* obs = nullptr;
 
   // Non-null when a HealthMonitor is attached (Router::set_health_hooks);
   // the data path notifies it of traps and queries degraded-mode policy.

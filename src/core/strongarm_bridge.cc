@@ -5,6 +5,7 @@
 #include "src/core/pentium_host.h"
 #include "src/net/icmp.h"
 #include "src/net/ipv4.h"
+#include "src/obs/observer.h"
 #include "src/sim/log.h"
 
 namespace npr {
@@ -71,6 +72,9 @@ Task StrongArmBridge::SaLoop() {
       auto desc = core_.sa_pentium_queue->Pop();
       if (desc) {
         core_.stats->pkts_shed_degraded += 1;
+        NPR_OBS_HOOK(core_.obs,
+                     Record(SpanPoint::kSaShedPe, BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                            kUnitStrongArm, desc->out_port));
         ReleaseBuffer(core_, desc->buffer_addr);
       }
       did_work = true;
@@ -115,6 +119,9 @@ Task StrongArmBridge::SaLoop() {
           }
         });
         ++bridged_to_pentium_;
+        NPR_OBS_HOOK(core_.obs,
+                     Record(SpanPoint::kBridgeToPe, BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                            kUnitStrongArm, desc->out_port));
         if (core_.config->sa_proportional_share) {
           pentium_pass_ += 1.0 / core_.config->sa_pentium_share;
         }
@@ -131,6 +138,9 @@ Task StrongArmBridge::SaLoop() {
         const HostPacket hp = it->second;
         staging_.erase(it);
         from_pentium_.free_q.Push(ptr);
+        NPR_OBS_HOOK(core_.obs,
+                     Record(SpanPoint::kPeReturned, BufferMetaFor(core_, hp.desc.buffer_addr).packet_id,
+                            kUnitStrongArm, hp.desc.out_port));
         if (feed_mode_) {
           ++feed_roundtrips_;
         } else {
@@ -140,8 +150,14 @@ Task StrongArmBridge::SaLoop() {
           PacketQueue& q = core_.queues->QueueFor(0, hp.desc.out_port, 0);
           if (q.Push(hp.desc)) {
             core_.queues->MarkReady(q);
+            NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kSaReturnEnqueued,
+                                           BufferMetaFor(core_, hp.desc.buffer_addr).packet_id,
+                                           kUnitStrongArm, hp.desc.out_port));
           } else {
             core_.stats->dropped_queue_full += 1;
+            NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kDropQueueFull,
+                                           BufferMetaFor(core_, hp.desc.buffer_addr).packet_id,
+                                           kUnitStrongArm, hp.desc.out_port));
             ReleaseBuffer(core_, hp.desc.buffer_addr);
           }
         }
@@ -194,6 +210,9 @@ Task StrongArmBridge::SaLoop() {
           desc && (core_.stack_pool != nullptr ||
                    core_.buffers->StillValid(desc->buffer_addr, desc->generation));
       if (still_valid) {
+        NPR_OBS_HOOK(core_.obs,
+                     Record(SpanPoint::kSaDequeued, BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                            kUnitStrongArm, desc->out_port));
         // Pull the header MP into the StrongARM (it accesses DRAM
         // directly, §3.6).
         co_await sa.Read(mem.dram(), 32);
@@ -341,8 +360,16 @@ Task StrongArmBridge::SaLoop() {
           PacketQueue& q = core_.queues->QueueFor(0, out_port, 0);
           if (q.Push(out)) {
             core_.queues->MarkReady(q);
+            NPR_OBS_HOOK(core_.obs,
+                         Record(SpanPoint::kSaForwarded,
+                                BufferMetaFor(core_, out.buffer_addr).packet_id, kUnitStrongArm,
+                                out_port));
           } else {
             core_.stats->dropped_queue_full += 1;
+            NPR_OBS_HOOK(core_.obs,
+                         Record(SpanPoint::kDropQueueFull,
+                                BufferMetaFor(core_, out.buffer_addr).packet_id, kUnitStrongArm,
+                                out_port));
             ReleaseBuffer(core_, out.buffer_addr);
           }
         }
@@ -394,6 +421,8 @@ Task StrongArmBridge::SaLoop() {
                   core_.queues->MarkReady(iq);
                   core_.stats->icmp_generated += 1;
                   core_.stats->icmp_originated += 1;
+                  NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kIcmpOriginated, reply->id(),
+                                                 kUnitStrongArm, icmp_desc.out_port));
                 } else {
                   ReleaseBuffer(core_, buf);
                 }
@@ -403,6 +432,10 @@ Task StrongArmBridge::SaLoop() {
         }
         if (!forward) {
           core_.stats->sa_absorbed += 1;
+          NPR_OBS_HOOK(core_.obs,
+                       Record(SpanPoint::kSaAbsorbed,
+                              BufferMetaFor(core_, desc->buffer_addr).packet_id, kUnitStrongArm,
+                              desc->out_port));
           ReleaseBuffer(core_, desc->buffer_addr);
         }
         ++local_processed_;
@@ -412,8 +445,14 @@ Task StrongArmBridge::SaLoop() {
         }
       } else if (desc) {
         // The circular buffer was lapped while the descriptor sat in the
-        // exception queue; the packet content is gone.
+        // exception queue; the packet content is gone. The span carries the
+        // *successor* packet's id (the buffer was reused), so kSaLapped is a
+        // non-erasing terminal; reconciliation accounts for it separately.
         core_.stats->sa_lapped += 1;
+        NPR_OBS_HOOK(core_.obs,
+                     Record(SpanPoint::kSaLapped,
+                            BufferMetaFor(core_, desc->buffer_addr).packet_id, kUnitStrongArm,
+                            desc->out_port));
       }
       did_work = true;
     }

@@ -8,6 +8,7 @@
 #include "src/core/pentium_host.h"
 #include "src/core/router.h"
 #include "src/core/strongarm_bridge.h"
+#include "src/obs/observer.h"
 
 namespace npr {
 namespace {
@@ -186,6 +187,11 @@ InvariantReport RouterInvariants::CheckAll(Router& router) {
   CheckQueues(router, &report);
   CheckVrpBudget(router, &report);
   CheckMemoryBounds(router, &report);
+  if (!report.ok()) {
+    // Freeze the flight recorder: the ring now holds the span records
+    // closest to whatever broke the invariant.
+    NPR_OBS_HOOK(router.observer(), TriggerDump("invariant", 0));
+  }
   return report;
 }
 

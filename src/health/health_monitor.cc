@@ -1,8 +1,23 @@
 #include "src/health/health_monitor.h"
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/observer.h"
 
 namespace npr {
+
+namespace {
+
+// A kRecovery span (unit kUnitHealth, arg = RecoveryEvent::Kind) marks the
+// moment service was restored, so flight-recorder dumps taken after a fault
+// show the repair alongside the damage.
+[[maybe_unused]] void RecordRecoverySpan(Router& router, RecoveryEvent::Kind kind) {
+  (void)router;
+  (void)kind;
+  NPR_OBS_HOOK(router.observer(),
+               Record(SpanPoint::kRecovery, 0, kUnitHealth, static_cast<uint16_t>(kind)));
+}
+
+}  // namespace
 
 const char* RecoveryKindName(RecoveryEvent::Kind kind) {
   switch (kind) {
@@ -64,6 +79,7 @@ void HealthMonitor::CheckTokenRings() {
       router_.stats().watchdog_fired += 1;
       router_.stats().tokens_regenerated += 1;
       events_.push_back({RecoveryEvent::Kind::kTokenRegen, fault_at, now, now});
+      RecordRecoverySpan(router_, RecoveryEvent::Kind::kTokenRegen);
     }
   }
 }
@@ -77,6 +93,7 @@ void HealthMonitor::CheckContexts() {
       in.RecoverContext(i);
       router_.stats().watchdog_fired += 1;
       events_.push_back({RecoveryEvent::Kind::kContextRestore, fault_at, now, now});
+      RecordRecoverySpan(router_, RecoveryEvent::Kind::kContextRestore);
     }
   }
   OutputStage& out = router_.output_stage();
@@ -86,6 +103,7 @@ void HealthMonitor::CheckContexts() {
       out.RecoverContext(i);
       router_.stats().watchdog_fired += 1;
       events_.push_back({RecoveryEvent::Kind::kContextRestore, fault_at, now, now});
+      RecordRecoverySpan(router_, RecoveryEvent::Kind::kContextRestore);
     }
   }
 }
@@ -106,6 +124,7 @@ void HealthMonitor::CheckPentium() {
     if (pentium_degraded_) {
       pentium_degraded_ = false;
       events_[degrade_event_index_].recovered_at = now;
+      RecordRecoverySpan(router_, RecoveryEvent::Kind::kPentiumDegrade);
     }
     return;
   }
@@ -117,6 +136,7 @@ void HealthMonitor::CheckPentium() {
     if (pentium_degraded_) {
       pentium_degraded_ = false;
       events_[degrade_event_index_].recovered_at = now;
+      RecordRecoverySpan(router_, RecoveryEvent::Kind::kPentiumDegrade);
     }
     return;
   }
@@ -202,6 +222,7 @@ void HealthMonitor::ApplyQuarantine(uint32_t program_id) {
     router_.stats().watchdog_fired += 1;
     router_.stats().forwarders_quarantined += 1;
     events_.push_back({RecoveryEvent::Kind::kQuarantine, q.first_trap_at, now, now});
+    RecordRecoverySpan(router_, RecoveryEvent::Kind::kQuarantine);
     return;
   }
   if (!q.throttled && q.traps >= cfg_.throttle_after_traps) {

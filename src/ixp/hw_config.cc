@@ -14,6 +14,7 @@ MemorySystemConfig HwConfig::MakeMemoryConfig() const {
       .bus_cycle_ps = kMemBusClock.cycle_ps,
       .read_latency_ps = 260'000 - 40'000,
       .write_latency_ps = 200'000 - 40'000,
+      .profile_class = 0,  // WaitClass::kDram
   };
 
   // SRAM: 32-bit x 100 MHz. A 4 B transfer occupies 1 bus cycle (10 ns);
@@ -24,6 +25,7 @@ MemorySystemConfig HwConfig::MakeMemoryConfig() const {
       .bus_cycle_ps = kMemBusClock.cycle_ps,
       .read_latency_ps = 110'000 - 10'000,
       .write_latency_ps = 110'000 - 10'000,
+      .profile_class = 1,  // WaitClass::kSram
   };
 
   // Scratch: on-chip, 4 B per access; Table 3: read 16 cycles (80 ns),
@@ -34,6 +36,7 @@ MemorySystemConfig HwConfig::MakeMemoryConfig() const {
       .bus_cycle_ps = kMemBusClock.cycle_ps,
       .read_latency_ps = 80'000 - 10'000,
       .write_latency_ps = 100'000 - 10'000,
+      .profile_class = 2,  // WaitClass::kScratch
   };
 
   mc.dram_size_bytes = 32u << 20;

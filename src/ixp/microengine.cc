@@ -23,6 +23,13 @@ void HwContext::Install(Task task) {
 
 void HwContext::MakeReady() {
   assert(state_ == State::kBlocked && "MakeReady on a context that is not blocked");
+#if defined(NPR_OBS_ENABLED)
+  if (me_.profiler_ != nullptr) {
+    me_.profiler_->AddWait(static_cast<uint8_t>(me_.id()), static_cast<uint8_t>(index_),
+                           wait_class_, me_.event_queue().now() - blocked_since_);
+  }
+  wait_class_ = WaitClass::kFifo;
+#endif
   state_ = State::kReady;
   ready_since_ = me_.event_queue().now();
   me_.EnqueueReady(this);
@@ -66,6 +73,9 @@ void HwContext::MemAwaiter::await_suspend(std::coroutine_handle<> h) {
   } else {
     ++c->mem_reads_;
   }
+#if defined(NPR_OBS_ENABLED)
+  c->wait_class_ = static_cast<WaitClass>(channel->config().profile_class);
+#endif
   channel->Issue(bytes, is_write, [c] { c->MakeReady(); });
   c->me_.OnBlocked(c);
 }
@@ -120,6 +130,9 @@ void MicroEngine::EnqueueReady(HwContext* ctx) {
 
 void MicroEngine::OnBlocked(HwContext* ctx) {
   assert(running_ == ctx);
+#if defined(NPR_OBS_ENABLED)
+  ctx->blocked_since_ = engine_.now();
+#endif
   ctx->state_ = HwContext::State::kBlocked;
   running_ = nullptr;
   Dispatch();
@@ -128,6 +141,11 @@ void MicroEngine::OnBlocked(HwContext* ctx) {
 void MicroEngine::OnComputeStart(HwContext* ctx, uint32_t cycles) {
   assert(running_ == ctx);
   busy_cycles_ += cycles;
+#if defined(NPR_OBS_ENABLED)
+  if (profiler_ != nullptr) {
+    profiler_->AddCompute(static_cast<uint8_t>(id_), static_cast<uint8_t>(ctx->index_), cycles);
+  }
+#endif
   // A computing context keeps the pipeline: it resumes directly, with no
   // dispatch in between (fn-ptr + context, the queue's cheapest shape).
   engine_.ScheduleRaw(engine_.now() + kIxpClock.ToTime(cycles),

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/mem/memory_channel.h"
+#include "src/obs/cycle_profiler.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -105,6 +106,12 @@ class HwContext {
   MicroEngine& engine() const { return me_; }
   int index() const { return index_; }
 
+  // Tags what the *next* blocking suspension is waiting on, so the cycle
+  // profiler can classify the blocked time. Memory references tag
+  // themselves from the channel; token-ring and mutex awaiters call this
+  // before blocking. Reset to kFifo after each attribution.
+  void set_wait_class(WaitClass w) { wait_class_ = w; }
+
   // --- accounting ---
   uint64_t compute_cycles() const { return compute_cycles_; }
   uint64_t mem_reads() const { return mem_reads_; }
@@ -139,6 +146,11 @@ class HwContext {
   uint64_t mem_reads_ = 0;
   uint64_t mem_writes_ = 0;
   SimTime ready_wait_ps_ = 0;
+
+  // Cycle-profiler bookkeeping (only consulted when a profiler is attached
+  // and NPR_OBS_ENABLED is defined; otherwise dead weight of 16 bytes).
+  SimTime blocked_since_ = 0;
+  WaitClass wait_class_ = WaitClass::kFifo;
 };
 
 // A single MicroEngine: one pipeline, four hardware contexts, round-robin
@@ -160,6 +172,10 @@ class MicroEngine {
   // Pipeline utilization over [window_start, now].
   double Utilization(SimTime window_start) const;
 
+  // Attaches the cycle-accounting profiler (observability layer); nullptr
+  // detaches. Attribution happens only when NPR_OBS_ENABLED is defined.
+  void set_profiler(CycleProfiler* profiler) { profiler_ = profiler; }
+
  private:
   friend class HwContext;
 
@@ -177,6 +193,7 @@ class MicroEngine {
   std::deque<HwContext*> ready_;
   bool dispatch_scheduled_ = false;
   uint64_t busy_cycles_ = 0;
+  CycleProfiler* profiler_ = nullptr;
 };
 
 }  // namespace npr

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/observer.h"
 
 namespace npr {
 
@@ -64,6 +65,9 @@ void TokenRing::Awaiter::await_suspend(std::coroutine_handle<> h) {
   Member& m = ring->members_[static_cast<size_t>(member)];
   assert(!m.waiting && "member already waiting for the token");
   m.waiting = true;
+#if defined(NPR_OBS_ENABLED)
+  m.ctx->set_wait_class(WaitClass::kToken);
+#endif
   // The context blocks; Offer() wakes it through its MicroEngine.
   HwContext::BlockAwaiter block{m.ctx};
   block.await_suspend(h);
@@ -81,6 +85,9 @@ void TokenRing::Release(int member) {
       lost_ = true;
       lost_next_ = next;
       lost_since_ = engine_.now();
+      NPR_OBS_HOOK(tracer_, Record(SpanPoint::kFault, 0, kUnitNone,
+                                   static_cast<uint16_t>(FaultKind::kTokenLost)));
+      NPR_OBS_HOOK(tracer_, TriggerDump("token_lost", 0));
       return;
     }
     // A dropped inter-thread signal: the offer is redelivered late.

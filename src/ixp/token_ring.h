@@ -25,6 +25,7 @@
 namespace npr {
 
 class FaultInjector;
+class Observer;
 
 class TokenRing {
  public:
@@ -89,6 +90,11 @@ class TokenRing {
   // Fault injection: deterministic extra delay on token hand-offs.
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
+  // Observability: a lost-token injection records a fault span and trips
+  // the flight recorder (the ring wedge is exactly the kind of failure the
+  // recorder exists to explain).
+  void set_tracer(Observer* tracer) { tracer_ = tracer; }
+
  private:
   friend struct Awaiter;
 
@@ -106,6 +112,7 @@ class TokenRing {
   const uint32_t pass_cycles_;
   std::vector<Member> members_;
   FaultInjector* fault_ = nullptr;
+  Observer* tracer_ = nullptr;
   int offered_to_ = 0;     // member the token is currently offered to
   bool available_ = true;  // true when offered and not yet claimed
   bool held_ = false;

@@ -31,6 +31,10 @@ struct MemoryChannelConfig {
   // Fixed pipeline latency added after the bus transfer completes.
   SimTime read_latency_ps = 0;
   SimTime write_latency_ps = 0;
+  // Observability: which WaitClass a context blocked on this channel is
+  // charged to (raw value of npr::WaitClass; plain int here so mem/ does
+  // not depend on obs/). Defaults to kOther.
+  uint8_t profile_class = 6;
 };
 
 class MemoryChannel {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/fault/fault_injector.h"
+#include "src/obs/observer.h"
 
 namespace npr {
 
@@ -43,6 +44,8 @@ void MacPort::InjectFromWire(Packet packet) {
       return;
     }
     ++rx_frames_;
+    NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacRxFrame, p.id(),
+                                 static_cast<uint8_t>(kUnitMacBase + id_), id_));
     for (auto& mp : mps) {
       rx_mps_.push_back(mp);
     }
@@ -72,6 +75,8 @@ void MacPort::TxAccept(const Mp& mp) {
   ++tx_frames_;
   engine_.Schedule(done, [this, frame_mps, p = std::move(*packet)]() mutable {
     tx_backlog_mps_ -= std::min(frame_mps, tx_backlog_mps_);
+    NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacTxFrame, p.id(),
+                                 static_cast<uint8_t>(kUnitMacBase + id_), id_));
     if (sink_) {
       sink_(std::move(p));
     }

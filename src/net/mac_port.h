@@ -21,6 +21,7 @@
 namespace npr {
 
 class FaultInjector;
+class Observer;
 
 // Preamble (8) + inter-frame gap (12) per IEEE 802.3; with a 64-byte frame
 // this yields the standard 148.8 Kpps maximum on 100 Mbps Ethernet.
@@ -69,6 +70,9 @@ class MacPort {
   // corruption, truncation, RX stalls).
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
+  // Observability: stamps frame arrival/departure spans.
+  void set_tracer(Observer* tracer) { tracer_ = tracer; }
+
   // --- statistics ---
   uint64_t rx_frames() const { return rx_frames_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
@@ -94,6 +98,7 @@ class MacPort {
   MpReassembler tx_reassembler_;
   std::function<void(Packet&&)> sink_;
   FaultInjector* fault_ = nullptr;
+  Observer* tracer_ = nullptr;
 
   uint64_t rx_frames_ = 0;
   uint64_t rx_dropped_ = 0;

@@ -107,8 +107,10 @@ Packet TrafficGen::NextPacket() {
   }
 
   Packet packet = BuildPacket(ps);
+  // 1-based like the synthetic input path: id 0 means "no packet" to the
+  // observability layer's in-flight tracker.
   packet.set_id(static_cast<uint32_t>(port_.id()) << 24 |
-                static_cast<uint32_t>(generated_ & 0xffffff));
+                static_cast<uint32_t>((generated_ + 1) & 0xffffff));
   packet.set_arrival_port(port_.id());
   packet.set_created(engine_.now());
   return packet;

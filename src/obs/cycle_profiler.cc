@@ -1,0 +1,78 @@
+#include "src/obs/cycle_profiler.h"
+
+#include <cstdio>
+
+namespace npr {
+
+const char* WaitClassName(WaitClass w) {
+  switch (w) {
+    case WaitClass::kDram: return "dram";
+    case WaitClass::kSram: return "sram";
+    case WaitClass::kScratch: return "scratch";
+    case WaitClass::kFifo: return "fifo";
+    case WaitClass::kToken: return "token";
+    case WaitClass::kMutex: return "mutex";
+    case WaitClass::kOther: return "other";
+    case WaitClass::kCount: break;
+  }
+  return "?";
+}
+
+uint64_t CycleProfiler::EngineComputeCycles(uint8_t me) const {
+  uint64_t total = 0;
+  for (int c = 0; c < kMaxContexts; ++c) total += slot(me, static_cast<uint8_t>(c)).compute_cycles;
+  return total;
+}
+
+uint64_t CycleProfiler::EngineWaitPs(uint8_t me, WaitClass w) const {
+  uint64_t total = 0;
+  for (int c = 0; c < kMaxContexts; ++c) {
+    total += slot(me, static_cast<uint8_t>(c)).wait_ps[static_cast<int>(w)];
+  }
+  return total;
+}
+
+uint64_t CycleProfiler::TotalComputeCycles() const {
+  uint64_t total = 0;
+  for (int e = 0; e < kMaxEngines; ++e) total += EngineComputeCycles(static_cast<uint8_t>(e));
+  return total;
+}
+
+uint64_t CycleProfiler::TotalWaitPs(WaitClass w) const {
+  uint64_t total = 0;
+  for (int e = 0; e < kMaxEngines; ++e) total += EngineWaitPs(static_cast<uint8_t>(e), w);
+  return total;
+}
+
+std::string CycleProfiler::Report() const {
+  std::string out;
+  char line[256];
+  for (int e = 0; e < kMaxEngines; ++e) {
+    const uint64_t compute = EngineComputeCycles(static_cast<uint8_t>(e));
+    uint64_t wait_total = 0;
+    for (int w = 0; w < kWaitClassCount; ++w) {
+      wait_total += EngineWaitPs(static_cast<uint8_t>(e), static_cast<WaitClass>(w));
+    }
+    if (compute == 0 && wait_total == 0) continue;
+    std::snprintf(line, sizeof(line), "me%d: compute=%llu cyc", e,
+                  static_cast<unsigned long long>(compute));
+    out += line;
+    for (int w = 0; w < kWaitClassCount; ++w) {
+      const uint64_t ps = EngineWaitPs(static_cast<uint8_t>(e), static_cast<WaitClass>(w));
+      if (ps == 0) continue;
+      std::snprintf(line, sizeof(line), " %s=%.1fus", WaitClassName(static_cast<WaitClass>(w)),
+                    static_cast<double>(ps) / 1e6);
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void CycleProfiler::Reset() {
+  for (int e = 0; e < kMaxEngines; ++e) {
+    for (int c = 0; c < kMaxContexts; ++c) slots_[e][c] = Slot{};
+  }
+}
+
+}  // namespace npr

@@ -1,0 +1,97 @@
+// Cycle-accounting profiler (observability layer).
+//
+// Attributes every MicroEngine cycle to one of {compute, DRAM stall, SRAM
+// stall, Scratch stall, FIFO wait, token wait, mutex wait} per engine and
+// context. Compute is attributed when a context starts a compute burst;
+// blocked time is attributed when the context is made ready again, classified
+// by what it blocked on. All storage is fixed-size; the hot-path methods do
+// not allocate.
+
+#ifndef SRC_OBS_CYCLE_PROFILER_H_
+#define SRC_OBS_CYCLE_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace npr {
+
+// Why a context was blocked. DRAM/SRAM/Scratch come from the memory
+// channel's profile_class; token and mutex waits are tagged at the awaiter;
+// anything else (FIFO polls, DMA completions, explicit sleeps) is kFifo.
+enum class WaitClass : uint8_t {
+  kDram = 0,
+  kSram,
+  kScratch,
+  kFifo,
+  kToken,
+  kMutex,
+  kOther,
+  kCount
+};
+
+inline constexpr int kWaitClassCount = static_cast<int>(WaitClass::kCount);
+
+// MemoryChannelConfig::profile_class stores these raw values (mem/ does not
+// depend on obs/); the enum order is load-bearing.
+static_assert(static_cast<int>(WaitClass::kDram) == 0);
+static_assert(static_cast<int>(WaitClass::kSram) == 1);
+static_assert(static_cast<int>(WaitClass::kScratch) == 2);
+static_assert(static_cast<int>(WaitClass::kOther) == 6);
+
+const char* WaitClassName(WaitClass w);
+
+class CycleProfiler {
+ public:
+  static constexpr int kMaxEngines = 8;
+  static constexpr int kMaxContexts = 4;
+
+  struct Slot {
+    uint64_t compute_cycles = 0;          // cycles spent executing
+    uint64_t compute_bursts = 0;          // number of compute segments
+    uint64_t wait_ps[kWaitClassCount] = {};   // blocked time per class (ps)
+    uint64_t waits[kWaitClassCount] = {};     // blocked episodes per class
+  };
+
+  void AddCompute(uint8_t me, uint8_t ctx, uint32_t cycles) {
+    Slot& s = slot_mut(me, ctx);
+    s.compute_cycles += cycles;
+    s.compute_bursts += 1;
+  }
+
+  void AddWait(uint8_t me, uint8_t ctx, WaitClass w, SimTime elapsed_ps) {
+    Slot& s = slot_mut(me, ctx);
+    const int k = static_cast<int>(w);
+    s.wait_ps[k] += static_cast<uint64_t>(elapsed_ps);
+    s.waits[k] += 1;
+  }
+
+  const Slot& slot(uint8_t me, uint8_t ctx) const {
+    return slots_[me % kMaxEngines][ctx % kMaxContexts];
+  }
+
+  // Aggregates over all contexts of one engine.
+  uint64_t EngineComputeCycles(uint8_t me) const;
+  uint64_t EngineWaitPs(uint8_t me, WaitClass w) const;
+
+  // Aggregates over everything.
+  uint64_t TotalComputeCycles() const;
+  uint64_t TotalWaitPs(WaitClass w) const;
+
+  // Human-readable per-engine breakdown, one line per engine that ran.
+  std::string Report() const;
+
+  void Reset();
+
+ private:
+  Slot& slot_mut(uint8_t me, uint8_t ctx) {
+    return slots_[me % kMaxEngines][ctx % kMaxContexts];
+  }
+
+  Slot slots_[kMaxEngines][kMaxContexts];
+};
+
+}  // namespace npr
+
+#endif  // SRC_OBS_CYCLE_PROFILER_H_

@@ -1,0 +1,58 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/sim/log.h"
+
+namespace npr {
+
+FlightRecorder::FlightRecorder(size_t capacity) : ring_(std::max<size_t>(capacity, 16)) {}
+
+std::vector<SpanRecord> FlightRecorder::Snapshot() const {
+  std::vector<SpanRecord> out;
+  out.reserve(size_);
+  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::TriggerDump(const char* reason, uint32_t packet_id, SimTime now) {
+  ++dump_triggers_;
+  if (has_dump_) return;
+  has_dump_ = true;
+  dump_.reason = reason;
+  dump_.packet_id = packet_id;
+  dump_.t_ps = now;
+  dump_.records = Snapshot();
+  NPR_ERROR("flight recorder: dump '%s' (packet %u) at t=%.3fus, %zu records", reason, packet_id,
+            static_cast<double>(now) / 1e6, dump_.records.size());
+}
+
+std::string FlightRecorder::Format(const Dump& dump) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "flight dump: reason=%s packet=%u t=%llups records=%zu\n",
+                dump.reason.c_str(), dump.packet_id, static_cast<unsigned long long>(dump.t_ps),
+                dump.records.size());
+  out += line;
+  for (const SpanRecord& r : dump.records) {
+    std::snprintf(line, sizeof(line), "  t=%-14llu pkt=%-8u unit=0x%02x arg=%-5u %s\n",
+                  static_cast<unsigned long long>(r.t_ps), r.packet_id, r.unit, r.arg,
+                  SpanPointName(static_cast<SpanPoint>(r.point)));
+    out += line;
+  }
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  head_ = 0;
+  size_ = 0;
+  has_dump_ = false;
+  dump_triggers_ = 0;
+  dump_ = Dump{};
+}
+
+}  // namespace npr

@@ -1,0 +1,68 @@
+// Flight recorder (observability layer).
+//
+// A fixed-capacity ring of the most recent span records. Recording is
+// allocation-free and O(1). When something goes wrong — a RouterInvariants
+// violation, a vrp_trap, a lost token — TriggerDump snapshots the ring into
+// a dump that tests and humans can inspect. The first dump of a run is kept
+// (it is the evidence closest to the root cause); later triggers only count.
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/span.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+class FlightRecorder {
+ public:
+  struct Dump {
+    std::string reason;            // what tripped the dump
+    uint32_t packet_id = 0;        // faulted packet, 0 if not packet-specific
+    SimTime t_ps = 0;              // when the dump was triggered
+    std::vector<SpanRecord> records;  // ring contents, oldest first
+  };
+
+  explicit FlightRecorder(size_t capacity = 4096);
+
+  // O(1), allocation-free: overwrites the oldest record once full.
+  void Record(const SpanRecord& r) {
+    ring_[head_] = r;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+  }
+
+  // Snapshots the ring. The first dump is retained; subsequent triggers
+  // increment the counter without overwriting the original evidence.
+  void TriggerDump(const char* reason, uint32_t packet_id, SimTime now);
+
+  bool has_dump() const { return has_dump_; }
+  const Dump& dump() const { return dump_; }
+  uint64_t dump_triggers() const { return dump_triggers_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+
+  // Current ring contents, oldest first (for tests and manual inspection).
+  std::vector<SpanRecord> Snapshot() const;
+
+  // Renders a dump as text: header plus one line per record.
+  static std::string Format(const Dump& dump);
+
+  void Reset();
+
+ private:
+  std::vector<SpanRecord> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  bool has_dump_ = false;
+  uint64_t dump_triggers_ = 0;
+  Dump dump_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,43 @@
+#include "src/obs/span.h"
+
+namespace npr {
+
+const char* SpanPointName(SpanPoint p) {
+  switch (p) {
+    case SpanPoint::kMacRxFrame: return "mac.rx_frame";
+    case SpanPoint::kMacTxFrame: return "mac.tx_frame";
+    case SpanPoint::kPktIngress: return "in.ingress";
+    case SpanPoint::kInClassified: return "in.classified";
+    case SpanPoint::kInEnqueued: return "in.enqueued";
+    case SpanPoint::kInToSa: return "in.to_sa";
+    case SpanPoint::kInToPe: return "in.to_pe";
+    case SpanPoint::kDropInvalid: return "drop.invalid";
+    case SpanPoint::kDropVrp: return "drop.vrp";
+    case SpanPoint::kDropQueueFull: return "drop.queue_full";
+    case SpanPoint::kDropNoBuffer: return "drop.no_buffer";
+    case SpanPoint::kQueuePush: return "queue.push";
+    case SpanPoint::kQueuePop: return "queue.pop";
+    case SpanPoint::kQueueCorrupt: return "queue.corrupt";
+    case SpanPoint::kOutDequeued: return "out.dequeued";
+    case SpanPoint::kOutLostLap: return "out.lost_lap";
+    case SpanPoint::kPktTxComplete: return "out.tx_complete";
+    case SpanPoint::kSaDequeued: return "sa.dequeued";
+    case SpanPoint::kSaForwarded: return "sa.forwarded";
+    case SpanPoint::kSaReturnEnqueued: return "sa.return_enqueued";
+    case SpanPoint::kSaAbsorbed: return "sa.absorbed";
+    case SpanPoint::kSaLapped: return "sa.lapped";
+    case SpanPoint::kSaShedPe: return "sa.shed_pe";
+    case SpanPoint::kIcmpOriginated: return "sa.icmp_originated";
+    case SpanPoint::kBridgeToPe: return "pe.bridge_to_pe";
+    case SpanPoint::kPeIntake: return "pe.intake";
+    case SpanPoint::kPeServiced: return "pe.serviced";
+    case SpanPoint::kPeAbsorbed: return "pe.absorbed";
+    case SpanPoint::kPeReturned: return "pe.returned";
+    case SpanPoint::kFault: return "fault";
+    case SpanPoint::kRecovery: return "recovery";
+    case SpanPoint::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace npr
