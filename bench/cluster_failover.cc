@@ -7,9 +7,12 @@
 // blackholes) hold at the end of every scenario. Rows land in
 // BENCH_cluster_failover.json for ci/cluster_smoke.sh.
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <sstream>
 
 #include "bench/bench_util.h"
 #include "src/cluster/cluster_control.h"
@@ -160,6 +163,138 @@ ScenarioResult Run(const Scenario& sc, uint64_t seed) {
   return r;
 }
 
+// --- sharded chaos (docs/perf.md, "Sharded cluster simulation") ---
+//
+// The chaos scenario again, but on the sharded engine: 2 µs fabric
+// latency, per-node pumps on their own shards (per-node derived seeds, so
+// the workload is interleaving-independent), control plane + federated
+// health on the hub. Run at t=1 and t=N; the runs must be bit-identical.
+
+struct ShardedChaosRun {
+  double wall_s = 0;
+  bool invariants_ok = false;
+  std::string report;
+  uint64_t open_records = 0;
+  std::string fingerprint;
+};
+
+ShardedChaosRun RunShardedChaos(int threads, uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.internal_links = 2;
+  cfg.node_config.fault_plan = FaultPlan::ClusterChaos(seed);
+  cfg.node_config.fault_plan.seed = seed;
+  cfg.fabric_latency_ps = 2 * kPsPerUs;
+  cfg.threads = threads;
+  ClusterRouter cluster(std::move(cfg));
+  ClusterControlPlane control(cluster);
+  control.Start();
+  ClusterHealthMonitor health(cluster, control);
+  cluster.Start();
+
+  // Per-destination-node counters, each written only by that node's shard.
+  std::vector<uint64_t> delivered(kNodes, 0);
+  for (int k = 0; k < cluster.num_nodes(); ++k) {
+    for (int p = 0; p < cluster.external_ports_per_node(); ++p) {
+      cluster.node(k).port(p).SetSink([&delivered, k](Packet&& packet) {
+        auto ip = Ipv4Header::Parse(packet.l3());
+        if (ip && ip->protocol != kIpProtoIcmp) {
+          ++delivered[static_cast<size_t>(k)];
+        }
+      });
+    }
+  }
+
+  struct Pump {
+    ClusterRouter* cluster;
+    int node;
+    Rng rng;
+    SimTime gap;
+    SimTime stop_at;
+    void Tick() {
+      EventQueue& eng = cluster->node_engine(node);
+      if (eng.now() > stop_at) {
+        return;
+      }
+      int g;
+      if (rng.Chance(0.5)) {
+        int other;
+        do {
+          other = static_cast<int>(rng.Uniform(static_cast<uint64_t>(cluster->num_nodes())));
+        } while (other == node);
+        g = other * cluster->external_ports_per_node() +
+            static_cast<int>(
+                rng.Uniform(static_cast<uint64_t>(cluster->external_ports_per_node())));
+      } else {
+        g = node * cluster->external_ports_per_node() + 1 +
+            static_cast<int>(
+                rng.Uniform(static_cast<uint64_t>(cluster->external_ports_per_node() - 1)));
+      }
+      PacketSpec spec;
+      spec.dst_ip = cluster->ExternalDstIp(g, static_cast<uint16_t>(1 + rng.Uniform(16)));
+      spec.src_ip = cluster->ExternalDstIp(node * cluster->external_ports_per_node(),
+                                           static_cast<uint16_t>(200 + node));
+      cluster->node(node).port(0).InjectFromWire(BuildPacket(spec));
+      eng.ScheduleIn(gap, [this] { Tick(); });
+    }
+  };
+  const SimTime gap = static_cast<SimTime>(kPsPerSec / 141'000);
+  const SimTime stop_at = static_cast<SimTime>((kRunMs - 1.0) * kPsPerMs);
+  std::vector<std::unique_ptr<Pump>> pumps;
+  for (int k = 0; k < kNodes; ++k) {
+    if (k == kVictim) {
+      continue;
+    }
+    pumps.push_back(std::unique_ptr<Pump>(new Pump{
+        &cluster, k, Rng(FaultPlan::DeriveNodeSeed(seed ^ 0x7ea5u, k)), gap, stop_at}));
+  }
+  for (auto& pump : pumps) {
+    pump->Tick();
+  }
+
+  cluster.engine().ScheduleIn(12 * kPsPerMs, [&] {
+    for (int k = 0; k < cluster.num_nodes(); ++k) {
+      if (FaultInjector* fi = cluster.node(k).fault_injector()) {
+        fi->set_armed(false);
+      }
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.RunForMs(kRunMs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  bench::RecordEvents(cluster.TotalEventsRun());
+
+  ShardedChaosRun run;
+  run.wall_s = wall;
+  const InvariantReport inv = RouterInvariants::CheckCluster(cluster);
+  run.invariants_ok = inv.ok();
+  run.report = inv.ToString();
+  for (const ReconvergenceRecord& rec : control.records()) {
+    run.open_records += rec.closed() ? 0 : 1;
+  }
+
+  // Everything a reordering bug could perturb: deliveries, per-node stats,
+  // the control plane's full record list, health counters, event totals.
+  std::ostringstream fp;
+  for (int k = 0; k < kNodes; ++k) {
+    const RouterStats& stats = cluster.node(k).stats();
+    fp << "n" << k << ":d=" << delivered[static_cast<size_t>(k)]
+       << ",fwd=" << stats.forwarded << ",icmp=" << stats.icmp_originated
+       << ",wd=" << stats.routes_withdrawn << ",spf=" << stats.spf_recomputes << ";";
+  }
+  for (const ReconvergenceRecord& rec : control.records()) {
+    fp << "rec(" << static_cast<int>(rec.kind) << "," << rec.node << "," << rec.fault_at
+       << "," << rec.detected_at << "," << rec.reconverged_at << ");";
+  }
+  fp << "susp=" << health.suspects_raised() << ",acked=" << health.probes_acked()
+     << ",failed=" << health.probes_failed() << ",ev=" << cluster.TotalEventsRun()
+     << ",now=" << cluster.now();
+  run.fingerprint = fp.str();
+  return run;
+}
+
 struct KindStats {
   double mttd_us = 0;
   double mttr_us = 0;
@@ -189,7 +324,18 @@ KindStats StatsFor(const ScenarioResult& r, ReconvergenceRecord::Kind kind) {
 int main(int argc, char** argv) {
   using namespace npr;
 
-  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 0xfa017ULL;
+  uint64_t seed = 0xfa017ULL;
+  int sharded_threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      sharded_threads = std::atoi(argv[i] + 10);
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 0);
+    }
+  }
+  if (sharded_threads < 2) {
+    sharded_threads = 2;
+  }
   bench::SetRunInfo(seed, "ClusterChaos");
   bool all_ok = true;
   auto check = [&all_ok](const char* name, const ScenarioResult& r) {
@@ -303,6 +449,38 @@ int main(int argc, char** argv) {
       " route withdrawals, %" PRIu64 " ICMP unreachables\n",
       chaotic.records.size(), chaotic.spf_recomputes, chaotic.routes_withdrawn,
       chaotic.icmp_originated);
+
+  // Sharded chaos: the same fault classes on the parallel engine. The t=1
+  // and t=N runs must produce bit-identical fingerprints (traffic, stats,
+  // reconvergence records, health counters) — a reordering bug anywhere in
+  // the window barrier shows up here as a divergence, and fails the bench.
+  const ShardedChaosRun seq = RunShardedChaos(1, seed);
+  const ShardedChaosRun par = RunShardedChaos(sharded_threads, seed);
+  const bool sharded_deterministic = seq.fingerprint == par.fingerprint;
+  if (!seq.invariants_ok) {
+    all_ok = false;
+    std::printf("  sharded chaos t=1 invariants FAIL: %s\n", seq.report.c_str());
+  }
+  if (!par.invariants_ok) {
+    all_ok = false;
+    std::printf("  sharded chaos t=%d invariants FAIL: %s\n", sharded_threads,
+                par.report.c_str());
+  }
+  if (!sharded_deterministic) {
+    all_ok = false;
+    std::printf("  sharded chaos DIVERGENCE:\n    t=1: %s\n    t=%d: %s\n",
+                seq.fingerprint.c_str(), sharded_threads, par.fingerprint.c_str());
+  }
+  all_ok = all_ok && seq.open_records == 0 && par.open_records == 0;
+  bench::Row("cluster: sharded chaos wall t=1", 0.0, seq.wall_s, "s");
+  char sharded_label[64];
+  std::snprintf(sharded_label, sizeof(sharded_label), "cluster: sharded chaos wall t=%d",
+                sharded_threads);
+  bench::Row(sharded_label, 0.0, par.wall_s, "s");
+  bench::Row("cluster: sharded chaos speedup", 0.0,
+             par.wall_s > 0 ? seq.wall_s / par.wall_s : 0.0, "x");
+  bench::Row("cluster: sharded chaos deterministic", 1.0,
+             sharded_deterministic ? 1.0 : 0.0, "bool");
 
   bench::Note("MTTD = fault to first dead-interval declaration; MTTR = fault to the");
   bench::Note("last surviving node's SPF re-run. The survivor ratio compares the three");

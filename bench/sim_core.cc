@@ -8,9 +8,12 @@
 #include <coroutine>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/shard_group.h"
 #include "src/sim/time.h"
 
 namespace npr {
@@ -153,6 +156,48 @@ double FarFutureChurn(uint64_t target_events) {
   return rate;
 }
 
+// Sharded engines: one hot-path clock per shard, windowed by a ShardGroup
+// with an idle hub and a 4 us lookahead window (the cluster's fabric
+// latency). No model, no cross-shard traffic — what's measured is raw
+// per-shard event dispatch plus the window barrier and worker-pool cost.
+// With threads == shards and enough cores the aggregate rate should scale
+// near-linearly; the (x8, 1 thread) row isolates pure windowing overhead.
+double ShardedEngines(int shards, int threads, uint64_t target_events) {
+  EventQueue hub;
+  std::vector<std::unique_ptr<EventQueue>> engines;
+  std::vector<EventQueue*> ptrs;
+  for (int i = 0; i < shards; ++i) {
+    engines.push_back(std::make_unique<EventQueue>());
+    ptrs.push_back(engines.back().get());
+  }
+  struct Clock {
+    EventQueue* q;
+    SimTime period;
+    uint64_t remaining;
+    static void Tick(void* self) {
+      Clock* c = static_cast<Clock*>(self);
+      if (c->remaining-- > 0) {
+        c->q->ScheduleRaw(c->q->now() + c->period, &Clock::Tick, c);
+      }
+    }
+  };
+  const uint64_t per_shard = target_events / static_cast<uint64_t>(shards);
+  std::vector<Clock> clocks;
+  clocks.reserve(engines.size());
+  for (auto& q : engines) {
+    clocks.push_back({q.get(), 5000, per_shard});
+  }
+  ShardGroup group(&hub, ptrs, 4 * kPsPerUs, threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (Clock& c : clocks) {
+    c.q->ScheduleRaw(c.period, &Clock::Tick, &c);
+  }
+  group.RunUntil(static_cast<SimTime>(per_shard + 2) * 5000);
+  const double rate = static_cast<double>(group.events_run()) / Secs(t0);
+  bench::RecordEvents(group.events_run());
+  return rate;
+}
+
 }  // namespace
 }  // namespace npr
 
@@ -167,8 +212,15 @@ int main() {
   Row("same-instant fan-out bursts of 32", 0, SameInstantFanout(kEvents) / 1e6, "Mev");
   Row("coroutine suspend/resume", 0, CoroutineResume(kEvents / 2) / 1e6, "Mev");
   Row("mixed wheel levels + far-future heap", 0, FarFutureChurn(kEvents) / 1e6, "Mev");
+  Row("sharded engines x1 aggregate", 0, ShardedEngines(1, 1, kEvents) / 1e6, "Mev");
+  Row("sharded engines x2 aggregate", 0, ShardedEngines(2, 2, kEvents) / 1e6, "Mev");
+  Row("sharded engines x4 aggregate", 0, ShardedEngines(4, 4, kEvents) / 1e6, "Mev");
+  Row("sharded engines x8 aggregate", 0, ShardedEngines(8, 8, kEvents) / 1e6, "Mev");
+  Row("sharded engines x8, 1 thread", 0, ShardedEngines(8, 1, kEvents) / 1e6, "Mev");
   Note("no paper counterpart (column shows 0): these are implementation");
   Note("throughput floors enforced by ci/perf_smoke.sh.");
+  Note("sharded rows: hot-path clocks behind a 4 us lookahead window; xN runs");
+  Note("N shards on N threads, the last row isolates barrier overhead at t=1.");
   bench::EmitJson("sim_core");
   return 0;
 }

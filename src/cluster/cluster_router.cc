@@ -1,9 +1,12 @@
 #include "src/cluster/cluster_router.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "src/fault/fault_injector.h"
 #include "src/forwarders/native.h"
+#include "src/sim/log.h"
 
 namespace npr {
 
@@ -76,7 +79,17 @@ void SwitchFabric::Deliver(const MacAddr& src_mac, Packet&& packet) {
   ++forwarded_;
   ++stats.forwarded;
   if (member != members_.end()) {
-    member->second->InjectFromWire(std::move(packet));
+    MacPort* port = member->second;
+    if (hub_ != nullptr) {
+      // Sharded: the destination port lives on another shard, which sits at
+      // (or before) the hub's clock — hand the frame to its engine instead
+      // of touching the port from here.
+      port->engine().Schedule(hub_->now(), [port, p = std::move(packet)]() mutable {
+        port->InjectFromWire(std::move(p));
+      });
+    } else {
+      port->InjectFromWire(std::move(packet));
+    }
   } else {
     control->second(std::move(packet));
   }
@@ -108,6 +121,20 @@ ClusterRouter::ClusterRouter(ClusterConfig config) : config_(std::move(config)) 
   node_up_.assign(static_cast<size_t>(config_.nodes), true);
   link_up_.assign(static_cast<size_t>(config_.nodes * config_.internal_links), true);
 
+  if (sharded()) {
+    // One engine per node; the cluster's own engine_ becomes the hub. The
+    // fabric (gate verdicts, stats, control sinks) runs entirely on the hub,
+    // and member delivery is deferred onto the destination shard.
+    shard_engines_.reserve(static_cast<size_t>(config_.nodes));
+    for (int k = 0; k < config_.nodes; ++k) {
+      shard_engines_.push_back(std::make_unique<EventQueue>());
+    }
+    mailboxes_.resize(static_cast<size_t>(config_.nodes));
+    for (auto& plane : planes_) {
+      plane->set_deferred_delivery(&engine_);
+    }
+  }
+
   nodes_.reserve(static_cast<size_t>(config_.nodes));
   for (int k = 0; k < config_.nodes; ++k) {
     RouterConfig cfg_k = node_cfg;
@@ -116,19 +143,102 @@ ClusterRouter::ClusterRouter(ClusterConfig config) : config_(std::move(config)) 
       // function of (base seed, node); see FaultPlan::DeriveNodeSeed.
       cfg_k.fault_plan.seed = FaultPlan::DeriveNodeSeed(node_cfg.fault_plan.seed, k);
     }
-    nodes_.push_back(std::make_unique<Router>(cfg_k, engine_));
+    nodes_.push_back(std::make_unique<Router>(cfg_k, node_engine(k)));
     nodes_.back()->SetExceptionHandler(std::make_unique<FullIpForwarder>());
     for (int plane = 0; plane < config_.internal_links; ++plane) {
-      planes_[static_cast<size_t>(plane)]->Attach(
-          ClusterNodeMac(k, plane), nodes_.back()->port(first_internal_port_ + plane));
+      MacPort& port = nodes_.back()->port(first_internal_port_ + plane);
+      planes_[static_cast<size_t>(plane)]->Attach(ClusterNodeMac(k, plane), port);
+      if (sharded()) {
+        // Attach() wired the port's sink straight into the fabric; in
+        // sharded mode the transmit side runs on node k's shard, so the
+        // sink must only touch k-local state: it timestamps the frame with
+        // the fabric latency and parks it in k's mailbox. The barrier
+        // offers it to the fabric (on the hub) in deterministic order.
+        port.SetSink([this, k, plane](Packet&& packet) {
+          FabricMailbox& mb = mailboxes_[static_cast<size_t>(k)];
+          mb.entries.push_back(FabricMailbox::Entry{
+              node_engine(k).now() + config_.fabric_latency_ps, plane, mb.next_seq++,
+              std::move(packet)});
+        });
+      }
     }
+  }
+
+  if (sharded()) {
+    std::vector<EventQueue*> shards;
+    shards.reserve(shard_engines_.size());
+    for (auto& e : shard_engines_) {
+      shards.push_back(e.get());
+    }
+    const SimTime window =
+        config_.window_ps > 0 ? config_.window_ps : config_.fabric_latency_ps;
+    shard_group_ =
+        std::make_unique<ShardGroup>(&engine_, std::move(shards), window, config_.threads);
+    shard_group_->set_merge_hook([this](SimTime window_start) { MergeMailboxes(window_start); });
+  }
+}
+
+void ClusterRouter::MergeMailboxes(SimTime window_start) {
+  // Flatten all mailboxes, then impose the deterministic total order
+  // (deliver_at, src_node, seq): the hub's (time, insertion-seq) FIFO then
+  // replays them identically no matter how many threads filled the boxes.
+  struct Merged {
+    SimTime deliver_at;
+    int src_node;
+    uint64_t seq;
+    int plane;
+    Packet packet;
+  };
+  std::vector<Merged> merged;
+  size_t total = 0;
+  for (const FabricMailbox& mb : mailboxes_) {
+    total += mb.entries.size();
+  }
+  merged.reserve(total);
+  for (int k = 0; k < num_nodes(); ++k) {
+    FabricMailbox& mb = mailboxes_[static_cast<size_t>(k)];
+    for (FabricMailbox::Entry& e : mb.entries) {
+      merged.push_back(Merged{e.deliver_at, k, e.seq, e.plane, std::move(e.packet)});
+    }
+    mb.entries.clear();
+  }
+  std::sort(merged.begin(), merged.end(), [](const Merged& a, const Merged& b) {
+    if (a.deliver_at != b.deliver_at) {
+      return a.deliver_at < b.deliver_at;
+    }
+    if (a.src_node != b.src_node) {
+      return a.src_node < b.src_node;
+    }
+    return a.seq < b.seq;
+  });
+  for (Merged& e : merged) {
+    if (e.deliver_at < window_start) {
+      // A frame due before the window we are about to run: the window was
+      // wider than the fabric latency, so shards already simulated past its
+      // delivery time. Silently reordering it would be a nondeterminism
+      // bug — fail loudly instead (and see ClusterConfig::window_ps).
+      NPR_ERROR(
+          "lookahead violation: frame from node %d due at %lld ps, window starts at %lld ps "
+          "(window wider than fabric latency?)",
+          e.src_node, static_cast<long long>(e.deliver_at),
+          static_cast<long long>(window_start));
+      std::abort();
+    }
+    engine_.Schedule(e.deliver_at,
+                     [this, plane = e.plane, src = ClusterNodeMac(e.src_node, e.plane),
+                      p = std::move(e.packet)]() mutable {
+                       planes_[static_cast<size_t>(plane)]->SendFrom(src, std::move(p));
+                     });
   }
 }
 
 ClusterRouter::~ClusterRouter() {
-  // The shared engine's pending events reference the member routers; drop
-  // them before the nodes (declared after engine_) are destroyed.
+  // Pending events (hub and shards) reference the member routers; drop them
+  // before the nodes (declared after the engines) are destroyed.
   engine_.Clear();
+  for (auto& e : shard_engines_) {
+    e->Clear();
+  }
 }
 
 FabricDrop ClusterRouter::GateFrame(int plane, const MacAddr& src, const MacAddr& dst) const {

@@ -19,6 +19,14 @@
 // plane leaves a surviving path for reconvergence to use. Link and node
 // state is modelled at the fabric boundary: frames crossing a down link or
 // addressed to/from a dead node are dropped there and counted per member.
+//
+// With ClusterConfig::fabric_latency_ps > 0 the cluster runs *sharded*:
+// each node gets its own EventQueue and the fabric latency becomes a
+// conservative lookahead window (src/sim/shard_group.h), so node shards can
+// execute a window in parallel while staying bit-identical to a
+// single-threaded run. Outbound fabric frames are parked in per-node
+// mailboxes during a window and merged onto the hub engine at the barrier
+// in (deliver_time, source node, transmit seq) order.
 
 #ifndef SRC_CLUSTER_CLUSTER_ROUTER_H_
 #define SRC_CLUSTER_CLUSTER_ROUTER_H_
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "src/core/router.h"
+#include "src/sim/shard_group.h"
 
 namespace npr {
 
@@ -76,6 +85,13 @@ class SwitchFabric {
   // Stats charged to the transmitting member (zeroes for unknown MACs).
   MemberStats member_stats(const MacAddr& mac) const;
 
+  // Sharded clusters: member frames are delivered by scheduling the wire
+  // injection on the destination port's own engine at the hub's current
+  // time, instead of injecting synchronously — the fabric itself (gate,
+  // stats) always runs on the hub. Control sinks stay synchronous; they are
+  // hub-resident by construction. Pass nullptr to restore direct delivery.
+  void set_deferred_delivery(EventQueue* hub) { hub_ = hub; }
+
  private:
   void Deliver(const MacAddr& src_mac, Packet&& packet);
 
@@ -83,6 +99,7 @@ class SwitchFabric {
   std::map<MacAddr, std::function<void(Packet&&)>> control_sinks_;
   std::map<MacAddr, MemberStats> member_stats_;
   Gate gate_;
+  EventQueue* hub_ = nullptr;
   uint64_t forwarded_ = 0;
   uint64_t unknown_ = 0;
   uint64_t gate_dropped_ = 0;
@@ -103,6 +120,24 @@ struct ClusterConfig {
   // redundant plane so reconvergence has a surviving path after a link
   // failure.
   int internal_links = 1;
+
+  // --- sharded execution (docs/perf.md, "Sharded cluster simulation") ---
+  //
+  // 0 (the default) is the legacy mode: every node shares the cluster
+  // engine and fabric crossings deliver synchronously with zero latency.
+  // A positive value models a store-and-forward fabric: a frame transmitted
+  // at t is injected into the destination port at t + fabric_latency_ps,
+  // and each node runs on its own EventQueue shard. The latency doubles as
+  // the conservative lookahead window, so runs are bit-identical for any
+  // `threads` value. 2 µs is a realistic gigabit switch crossing.
+  SimTime fabric_latency_ps = 0;
+  // Worker threads for the node phase of each window (1 = sequential; only
+  // meaningful in sharded mode).
+  int threads = 1;
+  // Window-width override for lookahead-violation testing; 0 = auto
+  // (= fabric_latency_ps). A window wider than the fabric latency breaks
+  // the lookahead guarantee and is detected — loudly — at the next merge.
+  SimTime window_ps = 0;
 };
 
 class ClusterRouter {
@@ -121,10 +156,32 @@ class ClusterRouter {
   void WarmRouteCaches();
 
   void Start();
-  void RunForMs(double ms) { engine_.RunFor(static_cast<SimTime>(ms * kPsPerMs)); }
+  void RunFor(SimTime dt) {
+    if (shard_group_) {
+      shard_group_->RunFor(dt);
+    } else {
+      engine_.RunFor(dt);
+    }
+  }
+  void RunForMs(double ms) { RunFor(static_cast<SimTime>(ms * kPsPerMs)); }
   void StartMeasurement();
 
+  // The hub engine: cluster-global logic (control plane, fault supervisors,
+  // federated health, fabric gate) lives here. In legacy mode it is also
+  // every node's engine.
   EventQueue& engine() { return engine_; }
+  // The engine node `k`'s pipeline runs on: its shard when sharded, the hub
+  // otherwise. Per-node traffic drivers and observers belong here.
+  EventQueue& node_engine(int k) {
+    return shard_engines_.empty() ? engine_ : *shard_engines_[static_cast<size_t>(k)];
+  }
+  bool sharded() const { return config_.fabric_latency_ps > 0; }
+  SimTime now() const { return shard_group_ ? shard_group_->now() : engine_.now(); }
+  // Events executed across the hub and every shard (== engine().events_run()
+  // in legacy mode).
+  uint64_t TotalEventsRun() const {
+    return shard_group_ ? shard_group_->events_run() : engine_.events_run();
+  }
   Router& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int num_planes() const { return config_.internal_links; }
@@ -168,11 +225,32 @@ class ClusterRouter {
  private:
   FabricDrop GateFrame(int plane, const MacAddr& src, const MacAddr& dst) const;
 
-  EventQueue engine_;
+  // One node's outbound fabric frames buffered during the current window.
+  // Appended only by that node's shard (single-writer), drained only at the
+  // barrier (single-reader, phases never overlap) — no locking needed.
+  struct FabricMailbox {
+    struct Entry {
+      SimTime deliver_at = 0;  // tx time + fabric_latency_ps
+      int plane = 0;
+      uint64_t seq = 0;  // per-source transmit order
+      Packet packet;
+    };
+    std::vector<Entry> entries;
+    uint64_t next_seq = 0;
+  };
+
+  // Barrier hook: drains every mailbox onto the hub in (deliver_at,
+  // src_node, seq) order and aborts on a lookahead violation.
+  void MergeMailboxes(SimTime window_start);
+
+  EventQueue engine_;  // the hub
   ClusterConfig config_;
   int first_internal_port_ = 0;
+  std::vector<std::unique_ptr<EventQueue>> shard_engines_;  // empty in legacy mode
+  std::vector<FabricMailbox> mailboxes_;                    // one per node
   std::vector<std::unique_ptr<Router>> nodes_;
   std::vector<std::unique_ptr<SwitchFabric>> planes_;
+  std::unique_ptr<ShardGroup> shard_group_;
   std::vector<bool> node_up_;
   std::vector<bool> link_up_;  // node * num_planes() + plane
   std::vector<std::function<void(int, bool)>> node_state_hooks_;

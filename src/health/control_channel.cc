@@ -9,7 +9,10 @@
 namespace npr {
 
 ControlChannel::ControlChannel(Router& router, ControlChannelConfig config)
-    : router_(router), cfg_(config), rng_(config.seed) {}
+    : ControlChannel(router, router.engine(), config) {}
+
+ControlChannel::ControlChannel(Router& router, EventQueue& engine, ControlChannelConfig config)
+    : router_(router), engine_(engine), cfg_(config), rng_(config.seed) {}
 
 const char* ControlChannel::OpName(Op op) {
   switch (op) {
@@ -33,7 +36,7 @@ void ControlChannel::Note(const char* fmt, ...) {
   va_end(ap);
   char line[256];
   snprintf(line, sizeof(line), "t=%" PRIu64 " %s",
-           static_cast<uint64_t>(router_.engine().now()), buf);
+           static_cast<uint64_t>(engine_.now()), buf);
   trace_.emplace_back(line);
 }
 
@@ -137,9 +140,9 @@ void ControlChannel::SendAttempt(uint64_t seq) {
     // A duplicated message arrives as two back-to-back deliveries.
     const SimTime delay =
         cfg_.link_delay_ps + extra + static_cast<SimTime>(c) * (cfg_.link_delay_ps / 4 + 1);
-    router_.engine().ScheduleIn(delay, [this, seq] { DeliverRequest(seq); });
+    engine_.ScheduleIn(delay, [this, seq] { DeliverRequest(seq); });
   }
-  router_.engine().ScheduleIn(cfg_.ack_timeout_ps,
+  engine_.ScheduleIn(cfg_.ack_timeout_ps,
                               [this, seq, attempt] { OnAttemptTimeout(seq, attempt); });
 }
 
@@ -197,7 +200,7 @@ void ControlChannel::SendAck(uint64_t seq, const CtrlResult& result) {
     const SimTime delay =
         cfg_.link_delay_ps + extra + static_cast<SimTime>(c) * (cfg_.link_delay_ps / 4 + 1);
     CtrlResult copy = result;
-    router_.engine().ScheduleIn(
+    engine_.ScheduleIn(
         delay, [this, seq, r = std::move(copy)] { DeliverAck(seq, r); });
   }
 }
@@ -240,7 +243,7 @@ void ControlChannel::OnAttemptTimeout(uint64_t seq, int attempt) {
   }
   Note("seq=%" PRIu64 " attempt=%d timeout, retry in %" PRIu64 " ps", seq, attempt,
        static_cast<uint64_t>(backoff));
-  router_.engine().ScheduleIn(backoff, [this, seq] { SendAttempt(seq); });
+  engine_.ScheduleIn(backoff, [this, seq] { SendAttempt(seq); });
 }
 
 bool ControlChannel::acked(uint64_t seq) const {

@@ -54,6 +54,13 @@ class ControlChannel {
   using Callback = std::function<void(const CtrlResult&)>;
 
   ControlChannel(Router& router, ControlChannelConfig config = ControlChannelConfig{});
+  // Pins the channel's timers/deliveries to an explicit engine instead of
+  // the router's own. A sharded cluster's probe channels run on the hub
+  // engine while the probed router runs on its node shard; executions then
+  // happen in the hub phase, when the shard is parked. Equivalent to the
+  // two-argument form whenever `engine == router.engine()`.
+  ControlChannel(Router& router, EventQueue& engine,
+                 ControlChannelConfig config = ControlChannelConfig{});
 
   // Each submits one control message and returns its sequence number.
   // The request (including any VRP program payload) is copied; execution
@@ -113,6 +120,7 @@ class ControlChannel {
   void Note(const char* fmt, ...);
 
   Router& router_;
+  EventQueue& engine_;
   ControlChannelConfig cfg_;
   Rng rng_;
   bool link_up_ = true;

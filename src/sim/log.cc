@@ -1,12 +1,19 @@
 #include "src/sim/log.h"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace npr {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex& OutputMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,8 +33,8 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
   // Strip the directory prefix for readability.
@@ -37,6 +44,8 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
       base = p + 1;
     }
   }
+  // One lock per emitted line keeps lines from concurrent shards whole.
+  std::lock_guard<std::mutex> lock(OutputMutex());
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
 }
 

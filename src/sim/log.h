@@ -1,8 +1,10 @@
 // Minimal leveled logging for the simulator.
 //
 // Logging is off (kWarn) by default so benchmark runs stay quiet; tests and
-// examples can raise the level. Not thread-safe by design: the simulator is
-// single-threaded.
+// examples can raise the level. Shard-safe: the level is an atomic and each
+// LogMessage writes its line atomically, so concurrent node shards
+// (src/sim/shard_group.h) may log freely. Lines from different shards may
+// interleave in any order between runs — only in-shard order is stable.
 
 #ifndef SRC_SIM_LOG_H_
 #define SRC_SIM_LOG_H_

@@ -1,0 +1,126 @@
+#include "src/sim/shard_group.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/sim/log.h"
+
+namespace npr {
+
+ShardPool::ShardPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ShardPool::DrainIndices() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (claimed_ < n_) {
+    const int i = claimed_++;
+    const std::function<void(int)>* fn = fn_;
+    lock.unlock();
+    (*fn)(i);
+    lock.lock();
+    if (--remaining_ == 0) {
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ShardPool::Worker() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || claimed_ < n_; });
+      if (stop_) {
+        return;
+      }
+    }
+    DrainIndices();
+  }
+}
+
+void ShardPool::Run(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    claimed_ = 0;
+    remaining_ = n;
+  }
+  cv_work_.notify_all();
+  DrainIndices();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+  n_ = 0;
+  claimed_ = 0;
+}
+
+ShardGroup::ShardGroup(EventQueue* hub, std::vector<EventQueue*> shards, SimTime window_ps,
+                       int threads)
+    : hub_(hub), shards_(std::move(shards)), window_ps_(window_ps), now_(hub->now()),
+      pool_(threads) {
+  // These hold in Release builds too: a bad window silently breaks the
+  // lookahead guarantee, which is exactly the failure mode that must be loud.
+  if (window_ps_ <= 0) {
+    NPR_ERROR("ShardGroup window must be positive (got %lld ps)",
+              static_cast<long long>(window_ps_));
+    std::abort();
+  }
+  for (EventQueue* shard : shards_) {
+    if (shard->now() != now_) {
+      NPR_ERROR("shard clock (%lld ps) disagrees with hub clock (%lld ps) at construction",
+                static_cast<long long>(shard->now()), static_cast<long long>(now_));
+      std::abort();
+    }
+  }
+}
+
+void ShardGroup::RunUntil(SimTime t) {
+  while (now_ < t) {
+    const SimTime end = std::min(now_ + window_ps_, t);
+    if (merge_) {
+      merge_(now_);
+    }
+    // Hub first: it still may schedule into shards (they sit at now_), and
+    // shards read state the hub wrote with a happens-before edge through
+    // the pool.
+    hub_->RunUntil(end);
+    pool_.Run(static_cast<int>(shards_.size()),
+              [this, end](int i) { shards_[static_cast<size_t>(i)]->RunUntil(end); });
+    now_ = end;
+    ++windows_run_;
+  }
+}
+
+uint64_t ShardGroup::events_run() const {
+  uint64_t total = hub_->events_run();
+  for (const EventQueue* shard : shards_) {
+    total += shard->events_run();
+  }
+  return total;
+}
+
+}  // namespace npr

@@ -1,0 +1,128 @@
+// Conservative-lookahead parallel execution for a set of EventQueue shards.
+//
+// A simulation that decomposes into loosely-coupled components — e.g. the
+// nodes of a multi-chassis cluster joined by a switch fabric with a fixed
+// one-way frame latency L — can run each component on its own EventQueue
+// ("shard") and still be bit-for-bit deterministic. The guarantee is the
+// classic conservative-lookahead argument: if every cross-shard effect
+// produced at time t cannot land before t + L, then within any window
+// (T, T+W] with W <= L the shards are causally independent and may run in
+// any order, including concurrently. Cross-shard traffic produced during a
+// window is buffered and merged at the next barrier in a deterministic
+// total order, so a run with N worker threads is identical to a run with
+// one.
+//
+// ShardGroup drives that loop. Each window:
+//   1. the merge hook runs (single-threaded): the owner drains its
+//      cross-shard mailboxes into the hub queue in a deterministic order;
+//   2. the *hub* queue runs the window (single-threaded). The hub hosts
+//      all cross-shard arbitration — control planes, fault supervisors,
+//      fabric gates — and is the only place allowed to touch several
+//      shards' state or to schedule events into a shard (legal because
+//      every shard still sits at the window start, so any future-time
+//      Schedule is valid);
+//   3. the shards run the window, in parallel when the pool has threads.
+//      A shard's events may only touch that shard's state, plus its own
+//      outbound mailboxes.
+//
+// With threads == 1 no threads are ever created and step 3 is a plain
+// loop, so "sequential mode" is not a degenerate special case but the
+// reference implementation the parallel mode must (and does) reproduce
+// bit-identically.
+
+#ifndef SRC_SIM_SHARD_GROUP_H_
+#define SRC_SIM_SHARD_GROUP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace npr {
+
+// A fixed pool of worker threads that executes fn(0..n-1) with the caller
+// participating. Index claims and completion accounting are mutex-guarded
+// (claims are rare — one per shard per window — so contention is nil), which
+// also gives every fn(i) a happens-before edge to the Run() return: the
+// caller may freely read shard state the workers wrote.
+class ShardPool {
+ public:
+  // `threads` is the total worker count including the caller; values <= 1
+  // spawn nothing and make Run a plain sequential loop.
+  explicit ShardPool(int threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  // Runs fn(i) for every i in [0, n) and returns once all completed.
+  // Not reentrant; one Run at a time.
+  void Run(int n, const std::function<void(int)>& fn);
+
+  int threads() const { return threads_; }
+
+ private:
+  void Worker();
+  // Claims and runs indices until none remain. Returns holding no lock.
+  void DrainIndices();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* fn_ = nullptr;  // valid while remaining_ > 0
+  int n_ = 0;
+  int claimed_ = 0;    // next index to hand out
+  int remaining_ = 0;  // indices not yet completed
+  bool stop_ = false;
+};
+
+class ShardGroup {
+ public:
+  // Called at each barrier with the start of the window about to run,
+  // before the hub phase: drain cross-shard mailboxes here. Anything
+  // delivered must land at a time > window_start (the lookahead
+  // guarantee); the owner is expected to fail loudly otherwise.
+  using MergeHook = std::function<void(SimTime window_start)>;
+
+  // `hub` and `shards` are borrowed and must outlive the group. All queues
+  // must sit at the same simulation time (normally 0, before Start).
+  ShardGroup(EventQueue* hub, std::vector<EventQueue*> shards, SimTime window_ps, int threads);
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  void set_merge_hook(MergeHook hook) { merge_ = std::move(hook); }
+
+  // Runs every queue up to `t` in conservative windows. On return the hub
+  // and every shard sit exactly at `t`.
+  void RunUntil(SimTime t);
+  void RunFor(SimTime dt) { RunUntil(now_ + dt); }
+
+  SimTime now() const { return now_; }
+  SimTime window_ps() const { return window_ps_; }
+  int threads() const { return pool_.threads(); }
+  uint64_t windows_run() const { return windows_run_; }
+  // Aggregate events executed across the hub and every shard.
+  uint64_t events_run() const;
+
+ private:
+  EventQueue* hub_;
+  std::vector<EventQueue*> shards_;
+  const SimTime window_ps_;
+  SimTime now_;
+  uint64_t windows_run_ = 0;
+  MergeHook merge_;
+  ShardPool pool_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_SIM_SHARD_GROUP_H_
