@@ -9,13 +9,20 @@
 # fault class that never recovered; this script additionally holds the
 # MTTD/MTTR rows in BENCH_fault_chaos.json to their budgets and requires
 # the path-A rate after a chaos burst to be within 5% of fault-free.
+#
+# It also runs bench/robustness and holds the overload-governor rows in
+# BENCH_robustness.json to the graceful-degradation budgets: conforming
+# goodput >= 0.9x fault-free under every adversarial mode, control-plane
+# delivery at exactly 100% with zero control frames shed, drop attribution
+# reconciled, and zero spurious reconvergences in the flooded 8-node
+# cluster (see docs/overload.md).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-perf}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j "$(nproc)" --target fault_chaos
+cmake --build "$build_dir" -j "$(nproc)" --target fault_chaos --target robustness
 
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
@@ -29,6 +36,9 @@ for seed in 0x5eed1 0x5eed2 0xfa017; do
   echo "--- fault_chaos seed $seed ---"
   "$build_dir/bench/fault_chaos" "$seed"
 done
+
+echo "--- robustness (overload governor rows) ---"
+"$build_dir/bench/robustness"
 
 python3 - "$out_dir" <<'EOF'
 import json
@@ -72,11 +82,49 @@ elif ratio["measured"] < RATIO_FLOOR:
     failures.append(
         f"{RATIO_ROW}: {ratio['measured']:.3f} below floor {RATIO_FLOOR}")
 
+# Overload-governor budgets (BENCH_robustness.json): graceful degradation
+# under every adversarial mode, a control plane that is never silenced, and
+# a flooded cluster that never mistakes overload for node death.
+GOODPUT_FLOOR = 0.9
+GOODPUT_ROWS = [
+    f"overload: conforming goodput ratio ({mode})"
+    for mode in ("min-size flood", "elephant flows", "on/off burst", "flow churn")
+]
+EXACT_ROWS = {
+    "overload: control delivery under flood": 100.0,
+    "overload: control frames shed by governor": 0.0,
+    "overload: drop attribution reconciled": 1.0,
+    "overload: spurious reconvergences under flood": 0.0,
+    "overload: suspects raised under flood": 0.0,
+    "overload: nodes up after flood": 8.0,
+}
+
+with open(f"{out_dir}/BENCH_robustness.json") as f:
+    robustness = json.load(f)
+orows = {row["label"]: row for row in robustness["rows"]}
+
+for label in GOODPUT_ROWS:
+    row = orows.get(label)
+    if row is None:
+        failures.append(f"row {label!r} missing")
+    elif row["measured"] < GOODPUT_FLOOR:
+        failures.append(
+            f"{label}: {row['measured']:.3f} below floor {GOODPUT_FLOOR}")
+
+for label, want in EXACT_ROWS.items():
+    row = orows.get(label)
+    if row is None:
+        failures.append(f"row {label!r} missing")
+    elif row["measured"] != want:
+        failures.append(f"{label}: {row['measured']} != {want}")
+
 if failures:
     print("chaos smoke FAILED:")
     for f in failures:
         print("  -", f)
     sys.exit(1)
 print("chaos smoke OK: all fault classes recovered within budget, "
-      f"path-A ratio {ratio['measured']:.3f} >= {RATIO_FLOOR}")
+      f"path-A ratio {ratio['measured']:.3f} >= {RATIO_FLOOR}, "
+      "overload rows within budget (goodput >= "
+      f"{GOODPUT_FLOOR}, control 100%, zero spurious reconvergences)")
 EOF

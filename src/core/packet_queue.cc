@@ -108,6 +108,15 @@ std::optional<PacketDescriptor> PacketQueue::Pop() {
   return d;
 }
 
+std::optional<PacketDescriptor> PacketQueue::PeekTail() const {
+  const uint32_t head = scratch_.ReadU32(head_scratch_addr());
+  const uint32_t tail = scratch_.ReadU32(tail_scratch_addr());
+  if (head == tail) {
+    return std::nullopt;
+  }
+  return sidecar_[tail % capacity_];
+}
+
 uint32_t PacketQueue::CheckConsistency() const {
   const uint32_t head = scratch_.ReadU32(head_scratch_addr());
   const uint32_t tail = scratch_.ReadU32(tail_scratch_addr());

@@ -53,6 +53,11 @@ class PacketQueue {
   // Removes from the tail; nullopt when empty.
   std::optional<PacketDescriptor> Pop();
 
+  // Software view of the next descriptor Pop() would return (sidecar only:
+  // no hardware reads, no fault injection, no counters). Lets a shedding
+  // policy inspect the head-of-line packet before committing to drop it.
+  std::optional<PacketDescriptor> PeekTail() const;
+
   uint32_t size() const;
   bool empty() const { return size() == 0; }
   uint32_t capacity() const { return capacity_; }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/core/overload.h"
 #include "src/fault/fault_injector.h"
 #include "src/net/traffic_gen.h"
 #include "src/obs/observer.h"
@@ -132,6 +133,13 @@ void Router::SetObserver(Observer* obs) {
   sa_pentium_queue_->set_tracer(obs);
   input_->token_ring().set_tracer(obs);
   output_->token_ring().set_tracer(obs);
+}
+
+void Router::SetGovernor(OverloadGovernor* governor) {
+  core_.governor = governor;
+  for (auto& port : ports_) {
+    port->set_governor(governor);
+  }
 }
 
 Router::~Router() {

@@ -126,6 +126,13 @@ class Router {
   void SetObserver(Observer* obs);
   Observer* observer() { return core_.obs; }
 
+  // Attaches (or detaches, with nullptr) the overload governor: RX
+  // admission hooks on every MacPort plus the bridge's host-bound shedding
+  // policy. The governor must outlive the attachment; null (the default)
+  // admits everything.
+  void SetGovernor(OverloadGovernor* governor);
+  OverloadGovernor* governor() { return core_.governor; }
+
  private:
   RouterConfig config_;
   std::unique_ptr<EventQueue> owned_engine_;  // null when the engine is shared

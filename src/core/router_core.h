@@ -28,6 +28,7 @@ class StrongArmBridge;
 class PentiumHost;
 class FaultInjector;
 class Observer;
+class OverloadGovernor;
 
 struct RouterCore {
   // Returns the packet's sidecar metadata regardless of allocator flavor,
@@ -79,6 +80,11 @@ struct RouterCore {
   // Non-null when a HealthMonitor is attached (Router::set_health_hooks);
   // the data path notifies it of traps and queries degraded-mode policy.
   HealthHooks* health = nullptr;
+
+  // Non-null when an OverloadGovernor is attached (Router::SetGovernor);
+  // the bridge polls it for host-bound shedding policy (the MacPorts hold
+  // their own RxGovernorHooks pointer to the same object).
+  OverloadGovernor* governor = nullptr;
 };
 
 // Sidecar metadata for a buffer under either allocator.

@@ -78,6 +78,17 @@ struct RouterStats {
   uint64_t ctrl_timeouts = 0;           // control ops abandoned (max retries)
   uint64_t pkts_shed_degraded = 0;      // path-C packets shed while degraded
 
+  // Overload governor (src/core/overload.h): every governor-shed packet is
+  // attributed to the ladder stage that shed it. The MAC-RX counters mirror
+  // the per-port MacPort counters (RouterInvariants cross-checks the sums);
+  // the bridge-shed counters join the packet-conservation sinks.
+  uint64_t gov_red_dropped = 0;   // stage 1: RED early drop at MAC RX
+  uint64_t gov_policed = 0;       // stage 2: heavy-hitter policing at MAC RX
+  uint64_t gov_quenched = 0;      // stage 4: hard shed at MAC RX (+ quench log)
+  uint64_t gov_shed_pe = 0;       // stage 3: Pentium-bound shed at the bridge
+  uint64_t gov_shed_sa = 0;       // stage 3: SA-local-bound shed at the bridge
+  uint64_t gov_escalations = 0;   // ladder stage increases
+
   // Cluster control plane (src/cluster + src/control): reconvergence work
   // charged to this node.
   uint64_t spf_recomputes = 0;     // Dijkstra re-runs triggered by LSA change

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/overload.h"
 #include "src/core/pentium_host.h"
 #include "src/net/icmp.h"
 #include "src/net/ipv4.h"
@@ -18,6 +19,19 @@ Packet MaterializePacket(MemorySystem& mem, const PacketDescriptor& desc) {
   mem.dram_store().Read(desc.buffer_addr, bytes);
   Packet p(std::move(bytes));
   return p;
+}
+
+// True when the buffered frame is OSPF-lite (IP proto 89): the governor's
+// control carve-out extends to the bridge, so host-bound shedding under
+// overload never eats a control frame. (Health shedding is different — it
+// means the Pentium is dead, and nothing can process the frame anyway.)
+bool IsControlBuffer(MemorySystem& mem, const PacketDescriptor& desc) {
+  if (desc.frame_bytes < kEthHeaderBytes + kIpv4MinHeaderBytes) {
+    return false;
+  }
+  uint8_t proto[1] = {0};
+  mem.dram_store().Read(static_cast<uint32_t>(desc.buffer_addr + kEthHeaderBytes + 9), proto);
+  return proto[0] == kIpProtoOspfLite;
 }
 
 }  // namespace
@@ -61,20 +75,53 @@ Task StrongArmBridge::SaLoop() {
     bool did_work = false;
 
     // --- 0. Degraded mode: the health monitor declared the Pentium
-    // unresponsive, so Pentium-bound packets are shed here instead of
-    // piling into the bounded host queues (path A keeps its token-ring
-    // cadence; path B resumes when the watchdog clears).
-    if (core_.health != nullptr && core_.health->ShedPentiumBound() &&
-        core_.sa_pentium_queue != nullptr && !core_.sa_pentium_queue->empty()) {
+    // unresponsive (or the overload governor reached stage 3), so
+    // Pentium-bound packets are shed here instead of piling into the
+    // bounded host queues (path A keeps its token-ring cadence; path B
+    // resumes when the watchdog clears / the ladder descends). Health and
+    // governor sheds are attributed separately.
+    const bool health_shed = core_.health != nullptr && core_.health->ShedPentiumBound();
+    bool gov_shed = core_.governor != nullptr && core_.governor->ShedHostBound();
+    if (gov_shed && !health_shed && core_.sa_pentium_queue != nullptr) {
+      // Governor-only shedding honors the control carve-out: a control frame
+      // at the head of the line rides the normal bridge path below.
+      const auto head = core_.sa_pentium_queue->PeekTail();
+      if (head && IsControlBuffer(mem, *head)) {
+        gov_shed = false;
+      }
+    }
+    if ((health_shed || gov_shed) && core_.sa_pentium_queue != nullptr &&
+        !core_.sa_pentium_queue->empty()) {
       co_await sa.Compute(hw.sa_dequeue_cycles);
       co_await sa.Read(mem.scratch(), 4);
       co_await sa.Read(mem.sram(), 4);
       auto desc = core_.sa_pentium_queue->Pop();
       if (desc) {
-        core_.stats->pkts_shed_degraded += 1;
-        NPR_OBS_HOOK(core_.obs,
-                     Record(SpanPoint::kSaShedPe, BufferMetaFor(core_, desc->buffer_addr).packet_id,
-                            kUnitStrongArm, desc->out_port));
+        if (health_shed) {
+          core_.stats->pkts_shed_degraded += 1;
+          NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kSaShedPe,
+                                         BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                                         kUnitStrongArm, desc->out_port));
+        } else {
+          core_.stats->gov_shed_pe += 1;
+          NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kSaShedGov,
+                                         BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                                         kUnitStrongArm, desc->out_port));
+        }
+        ReleaseBuffer(core_, desc->buffer_addr);
+      }
+      did_work = true;
+    } else if (core_.governor != nullptr && core_.governor->ShedSaLocal() &&
+               core_.sa_local_queue != nullptr && !core_.sa_local_queue->empty()) {
+      co_await sa.Compute(hw.sa_dequeue_cycles);
+      co_await sa.Read(mem.scratch(), 4);
+      co_await sa.Read(mem.sram(), 4);
+      auto desc = core_.sa_local_queue->Pop();
+      if (desc) {
+        core_.stats->gov_shed_sa += 1;
+        NPR_OBS_HOOK(core_.obs, Record(SpanPoint::kSaShedGov,
+                                       BufferMetaFor(core_, desc->buffer_addr).packet_id,
+                                       kUnitStrongArm, desc->out_port));
         ReleaseBuffer(core_, desc->buffer_addr);
       }
       did_work = true;

@@ -207,6 +207,24 @@ struct FaultPlan {
     return p;
   }
 
+  // Overload chaos: ambient wire and engine faults at rates that *compose*
+  // with adversarial offered load rather than dominate it. Meant to run
+  // alongside a hostile TrafficGen mode and an OverloadGovernor: the frame
+  // faults keep MAC accounting honest while the governor is dropping, and
+  // the context churn stresses the ladder's pressure sampling.
+  static FaultPlan OverloadChaos(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.frame_crc_p = 0.005;
+    p.frame_corrupt_p = 0.005;
+    p.rx_stall_p = 0.002;
+    p.mem_latency_spike_p = 5e-5;
+    p.token_drop_p = 0.002;
+    p.context_crash_mean_ps = 5 * kPsPerMs;
+    p.context_restart_ps = 50 * kPsPerUs;
+    return p;
+  }
+
   // Cluster chaos: the three multi-chassis fault classes at rates a 4-node
   // cluster with reconvergence survives. Apply to a ClusterRouter (which
   // derives per-node seeds via DeriveNodeSeed); meaningless on a standalone

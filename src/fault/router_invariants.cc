@@ -8,6 +8,7 @@
 #include "src/core/pentium_host.h"
 #include "src/core/router.h"
 #include "src/core/strongarm_bridge.h"
+#include "src/net/mac_port.h"
 #include "src/obs/observer.h"
 
 namespace npr {
@@ -68,7 +69,7 @@ void CheckConservation(Router& router, InvariantReport* report) {
   report->sinks = stats.forwarded + stats.dropped_invalid + stats.dropped_by_vrp +
                   stats.dropped_queue_full + stats.lost_overwritten + stats.sa_lapped +
                   stats.sa_absorbed + stats.pe_absorbed + stats.pkts_shed_degraded +
-                  corrupt_drops;
+                  stats.gov_shed_pe + stats.gov_shed_sa + corrupt_drops;
   report->in_flight = queued + router.bridge().staging().size() +
                       router.pentium_host().scheduler().backlog() +
                       static_cast<uint64_t>(router.output_stage().active_streams()) +
@@ -81,6 +82,45 @@ void CheckConservation(Router& router, InvariantReport* report) {
                    report->sources, report->sinks, report->in_flight,
                    static_cast<int64_t>(report->sources) -
                        static_cast<int64_t>(report->sinks + report->in_flight)));
+  }
+}
+
+// MAC RX accounting: every frame a port was offered must be attributed to a
+// named outcome — CRC drop, tail drop, one of the governor's ladder stages,
+// or acceptance. A mismatch means somebody dropped (or invented) a frame
+// without a counter: a silent drop, which the overload work explicitly
+// forbids. The per-port governor counters must also reconcile with the
+// router-wide gov_* stats the governor itself increments (the verdict
+// contract is 1:1: governor accounts, port attributes).
+void CheckMacAccounting(Router& router, InvariantReport* report) {
+  uint64_t red_sum = 0;
+  uint64_t police_sum = 0;
+  uint64_t quench_sum = 0;
+  for (int p = 0; p < router.num_ports(); ++p) {
+    const MacPort& port = router.port(p);
+    const uint64_t attributed = port.rx_crc_dropped() + port.rx_dropped() +
+                                port.gov_red_dropped() + port.gov_policed() +
+                                port.gov_quenched() + port.rx_frames();
+    if (port.rx_offered() != attributed) {
+      Violate(report,
+              Format("port %d MAC accounting: offered %" PRIu64 " != attributed %" PRIu64
+                     " (silent drop of %" PRId64 ")",
+                     p, port.rx_offered(), attributed,
+                     static_cast<int64_t>(port.rx_offered()) -
+                         static_cast<int64_t>(attributed)));
+    }
+    red_sum += port.gov_red_dropped();
+    police_sum += port.gov_policed();
+    quench_sum += port.gov_quenched();
+  }
+  const RouterStats& stats = router.stats();
+  if (red_sum != stats.gov_red_dropped || police_sum != stats.gov_policed ||
+      quench_sum != stats.gov_quenched) {
+    Violate(report,
+            Format("governor attribution: per-port sums red %" PRIu64 "/police %" PRIu64
+                   "/quench %" PRIu64 " != router stats %" PRIu64 "/%" PRIu64 "/%" PRIu64,
+                   red_sum, police_sum, quench_sum, stats.gov_red_dropped,
+                   stats.gov_policed, stats.gov_quenched));
   }
 }
 
@@ -183,6 +223,7 @@ std::string InvariantReport::ToString() const {
 InvariantReport RouterInvariants::CheckAll(Router& router) {
   InvariantReport report;
   CheckConservation(router, &report);
+  CheckMacAccounting(router, &report);
   CheckTokenLiveness(router, &report);
   CheckQueues(router, &report);
   CheckVrpBudget(router, &report);

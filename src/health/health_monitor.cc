@@ -1,5 +1,6 @@
 #include "src/health/health_monitor.h"
 
+#include "src/core/overload.h"
 #include "src/fault/fault_injector.h"
 #include "src/obs/observer.h"
 
@@ -35,6 +36,8 @@ const char* RecoveryKindName(RecoveryEvent::Kind kind) {
       return "node-failover";
     case RecoveryEvent::Kind::kNodeReadmit:
       return "node-readmit";
+    case RecoveryEvent::Kind::kOverload:
+      return "overload";
   }
   return "unknown";
 }
@@ -60,6 +63,7 @@ void HealthMonitor::Tick() {
   CheckContexts();
   CheckPentium();
   CheckBridge();
+  CheckOverload();
   router_.engine().ScheduleIn(cfg_.scan_interval_ps, [this] { Tick(); });
 }
 
@@ -160,8 +164,11 @@ void HealthMonitor::CheckPentium() {
 void HealthMonitor::CheckBridge() {
   const SimTime now = router_.engine().now();
   StrongArmBridge& bridge = router_.bridge();
+  // Governor sheds count as bridge work: a bridge that spends the whole
+  // scan interval shedding under overload is making progress, not stalled.
   const uint64_t work = bridge.bridged_to_pentium() + bridge.returned_from_pentium() +
-                        bridge.local_processed() + router_.stats().pkts_shed_degraded;
+                        bridge.local_processed() + router_.stats().pkts_shed_degraded +
+                        router_.stats().gov_shed_pe + router_.stats().gov_shed_sa;
   const bool pending =
       !router_.sa_local_queue().empty() || !router_.sa_pentium_queue().empty();
   if (work != bridge_last_work_ || !pending) {
@@ -173,6 +180,28 @@ void HealthMonitor::CheckBridge() {
     router_.stats().watchdog_fired += 1;
     router_.chip().strongarm().Wake();
     bridge_progress_at_ = now;  // rearm; fires again if the wake did not help
+  }
+}
+
+void HealthMonitor::CheckOverload() {
+  // Overload is a reported, recovered condition like any other fault class:
+  // the episode opens when the governor's ladder leaves stage 0 (fault_at is
+  // when pressure first crossed the enter threshold, so MTTD covers the
+  // dwell) and closes when it returns.
+  const OverloadGovernor* gov = router_.governor();
+  if (gov == nullptr) {
+    return;
+  }
+  const SimTime now = router_.engine().now();
+  if (gov->overloaded() && !overload_open_) {
+    overload_open_ = true;
+    router_.stats().watchdog_fired += 1;
+    overload_event_index_ = events_.size();
+    events_.push_back({RecoveryEvent::Kind::kOverload, gov->overload_since_ps(), now, 0});
+  } else if (!gov->overloaded() && overload_open_) {
+    overload_open_ = false;
+    events_[overload_event_index_].recovered_at = now;
+    RecordRecoverySpan(router_, RecoveryEvent::Kind::kOverload);
   }
 }
 
@@ -235,7 +264,9 @@ void HealthMonitor::ApplyQuarantine(uint32_t program_id) {
         return;
       }
       lift->second.throttled = false;
-      router_.istore().SetThrottled(program_id, false);
+      if (router_.istore().Get(program_id) != nullptr) {
+        router_.istore().SetThrottled(program_id, false);
+      }
     });
   }
 }

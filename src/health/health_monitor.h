@@ -68,6 +68,8 @@ struct RecoveryEvent {
     kLinkFailover,    // internal link lost, traffic rerouted or shed
     kNodeFailover,    // whole node lost, prefixes withdrawn cluster-wide
     kNodeReadmit,     // warm-restarted node resynced and re-admitted
+    // Overload governor (src/core/overload.h):
+    kOverload,        // ladder left stage 0 ... later returned to it
   };
   Kind kind = Kind::kTokenRegen;
   SimTime fault_at = 0;      // when the fault actually happened
@@ -106,6 +108,7 @@ class HealthMonitor : public HealthHooks {
   void CheckContexts();
   void CheckPentium();
   void CheckBridge();
+  void CheckOverload();
   void ApplyQuarantine(uint32_t program_id);
 
   struct QuarantineState {
@@ -126,6 +129,9 @@ class HealthMonitor : public HealthHooks {
 
   uint64_t bridge_last_work_ = 0;
   SimTime bridge_progress_at_ = 0;
+
+  bool overload_open_ = false;
+  size_t overload_event_index_ = 0;
 
   std::map<uint32_t, QuarantineState> quarantine_;
   std::vector<RecoveryEvent> events_;

@@ -24,6 +24,7 @@ void MacPort::InjectFromWire(Packet packet) {
   const SimTime done = start + WireTime(packet.size());
   rx_wire_busy_until_ = done;
   engine_.Schedule(done, [this, p = std::move(packet)]() mutable {
+    ++rx_offered_;
     if (fault_ != nullptr) {
       size_t keep = 0;
       switch (fault_->OnFrameRx(p.bytes(), &keep)) {
@@ -38,7 +39,49 @@ void MacPort::InjectFromWire(Packet packet) {
           break;
       }
     }
+    // Governor verdict before the frame consumes port memory (stage-1 RED
+    // and friends shed here, ahead of any input-context work).
+    RxVerdict verdict = RxVerdict::kAccept;
+    if (governor_ != nullptr) {
+      verdict = governor_->AdmitFrame(id_, p, rx_mps_.size());
+    }
+    switch (verdict) {
+      case RxVerdict::kDropRed:
+        ++gov_red_dropped_;
+        NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovRed, p.id(),
+                                     static_cast<uint8_t>(kUnitMacBase + id_), id_));
+        return;
+      case RxVerdict::kDropPolice:
+        ++gov_policed_;
+        NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovPolice, p.id(),
+                                     static_cast<uint8_t>(kUnitMacBase + id_), id_));
+        return;
+      case RxVerdict::kDropQuench:
+        ++gov_quenched_;
+        NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovQuench, p.id(),
+                                     static_cast<uint8_t>(kUnitMacBase + id_), id_));
+        return;
+      case RxVerdict::kAccept:
+      case RxVerdict::kAcceptPriority:
+        break;
+    }
     auto mps = SegmentIntoMps(p, id_);
+    if (verdict == RxVerdict::kAcceptPriority) {
+      // Control carve-out: exempt from tail drop, spliced ahead of every
+      // queued data frame. The head of the deque may hold continuation MPs
+      // of a frame whose SOP was already claimed — never split that
+      // assembly; insert before the first queued SOP instead.
+      ++rx_frames_;
+      ++rx_priority_frames_;
+      NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacRxFrame, p.id(),
+                                   static_cast<uint8_t>(kUnitMacBase + id_), id_));
+      auto at = rx_mps_.begin();
+      while (at != rx_mps_.end() && !at->tag.sop) {
+        ++at;
+      }
+      rx_mps_.insert(at, mps.begin(), mps.end());
+      return;
+    }
     if (rx_mps_.size() + mps.size() > rx_buffer_mps_) {
       ++rx_dropped_;
       return;

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "src/net/packet.h"
+#include "src/net/rx_governor.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/stats.h"
 
@@ -76,13 +77,29 @@ class MacPort {
   // Observability: stamps frame arrival/departure spans.
   void set_tracer(Observer* tracer) { tracer_ = tracer; }
 
+  // Overload governance: every received frame is offered to the governor
+  // before it consumes port memory. Control frames (kAcceptPriority) are
+  // exempt from tail drop and spliced ahead of queued data frames — never
+  // mid-frame, so partially claimed assemblies stay intact.
+  void set_governor(RxGovernorHooks* governor) { governor_ = governor; }
+
   // --- statistics ---
+  // MAC RX accounting (RouterInvariants): every offered frame must land in
+  // exactly one of the sinks below —
+  //   rx_offered == rx_crc_dropped + rx_dropped + gov_red_dropped
+  //               + gov_policed + gov_quenched + rx_frames.
+  uint64_t rx_offered() const { return rx_offered_; }
   uint64_t rx_frames() const { return rx_frames_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
   uint64_t rx_crc_dropped() const { return rx_crc_dropped_; }
+  uint64_t gov_red_dropped() const { return gov_red_dropped_; }
+  uint64_t gov_policed() const { return gov_policed_; }
+  uint64_t gov_quenched() const { return gov_quenched_; }
+  uint64_t rx_priority_frames() const { return rx_priority_frames_; }
   uint64_t rx_mps_claimed() const { return rx_mps_claimed_; }
   uint64_t tx_frames() const { return tx_frames_; }
   size_t rx_backlog_mps() const { return rx_mps_.size(); }
+  size_t rx_buffer_capacity_mps() const { return rx_buffer_mps_; }
 
  private:
   SimTime WireTime(size_t frame_bytes) const;
@@ -102,10 +119,16 @@ class MacPort {
   std::function<void(Packet&&)> sink_;
   FaultInjector* fault_ = nullptr;
   Observer* tracer_ = nullptr;
+  RxGovernorHooks* governor_ = nullptr;
 
+  uint64_t rx_offered_ = 0;
   uint64_t rx_frames_ = 0;
   uint64_t rx_dropped_ = 0;
   uint64_t rx_crc_dropped_ = 0;
+  uint64_t gov_red_dropped_ = 0;
+  uint64_t gov_policed_ = 0;
+  uint64_t gov_quenched_ = 0;
+  uint64_t rx_priority_frames_ = 0;
   uint64_t rx_mps_claimed_ = 0;
   uint64_t tx_frames_ = 0;
 };

@@ -1,0 +1,50 @@
+// Abstract MAC-RX admission hooks (overload governor).
+//
+// The receiving MAC must be able to shed load *before* a frame consumes
+// port memory or an input context — receive-livelock mitigation starts at
+// the earliest possible point — and must be able to recognize control
+// traffic and enqueue it ahead of data. The OverloadGovernor lives in
+// src/core (it needs router-wide state), but npr_net cannot depend on
+// npr_core (which links against it), so the MacPort consults this minimal
+// interface instead; Router::SetGovernor wires the concrete governor onto
+// every port. A null pointer (the default) admits everything — the
+// zero-overhead configuration, bit-identical to a build without the
+// subsystem.
+
+#ifndef SRC_NET_RX_GOVERNOR_H_
+#define SRC_NET_RX_GOVERNOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace npr {
+
+class Packet;
+
+// What the governor decided about one fully received frame. Each drop
+// verdict names the degradation-ladder stage responsible, so every shed
+// packet lands in a distinct counter (silent drops violate
+// RouterInvariants' MAC accounting).
+enum class RxVerdict : uint8_t {
+  kAccept = 0,      // admit normally (tail-drop rules still apply)
+  kAcceptPriority,  // control frame: enqueue ahead of data, never shed
+  kDropRed,         // stage 1: RED-style probabilistic early drop
+  kDropPolice,      // stage 2: heavy-hitter per-flow policing
+  kDropQuench,      // stage 4: hard shed with source-quench accounting
+};
+
+class RxGovernorHooks {
+ public:
+  virtual ~RxGovernorHooks() = default;
+
+  // Consulted once per frame that survived wire-level faults, before it is
+  // segmented into MPs. `rx_backlog_mps` is the port's current receive
+  // backlog (the RED congestion signal). Implementations must only inspect
+  // the packet and account — never mutate port state inline.
+  virtual RxVerdict AdmitFrame(uint8_t port, const Packet& packet,
+                               size_t rx_backlog_mps) = 0;
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_RX_GOVERNOR_H_

@@ -21,7 +21,18 @@ TrafficGen::TrafficGen(EventQueue& engine, MacPort& port, TrafficSpec spec, uint
       rng_(seed),
       flow_popularity_(static_cast<size_t>(std::max(1, spec.num_flows)), spec.zipf_skew) {
   assert(spec_.rate_pps > 0);
-  gap_ps_ = static_cast<SimTime>(static_cast<double>(kPsPerSec) / spec_.rate_pps);
+  // Flood-style adversarial modes offer flood_factor times the nominal
+  // rate; the min-size flood additionally pins the frame size, so "attack"
+  // is a mode flag on the conforming spec rather than a separate spec.
+  double rate = spec_.rate_pps;
+  if (spec_.adversarial == TrafficSpec::Adversarial::kMinSizeFlood ||
+      spec_.adversarial == TrafficSpec::Adversarial::kOnOffBurst) {
+    rate *= std::max(spec_.flood_factor, 1.0);
+  }
+  if (spec_.adversarial == TrafficSpec::Adversarial::kMinSizeFlood) {
+    spec_.frame_bytes = 64;
+  }
+  gap_ps_ = static_cast<SimTime>(static_cast<double>(kPsPerSec) / rate);
 
   // Pre-build the flow 4-tuples so per-flow state is stable across packets.
   if (spec_.pattern == TrafficSpec::DstPattern::kFlows) {
@@ -52,7 +63,26 @@ void TrafficGen::EmitOne() {
   if (engine_.now() >= until_) {
     return;
   }
-  port_.InjectFromWire(NextPacket());
+  if (spec_.adversarial == TrafficSpec::Adversarial::kOnOffBurst) {
+    // Square wave: emit only during the on-window; inside an off-window,
+    // sleep to the start of the next period (still deterministic — the
+    // phase is a pure function of sim time).
+    const SimTime period = spec_.burst_on_ps + spec_.burst_off_ps;
+    const SimTime phase = engine_.now() % period;
+    if (phase >= spec_.burst_on_ps) {
+      engine_.ScheduleRaw(engine_.now() + (period - phase),
+                          [](void* g) { static_cast<TrafficGen*>(g)->EmitOne(); }, this);
+      return;
+    }
+  }
+  Packet packet = NextPacket();
+  // Fold the frame into the fingerprint before injection (the port may
+  // mutate or drop it); id first so reordered identical payloads differ.
+  fp_ = (fp_ ^ packet.id()) * 1099511628211ULL;
+  for (uint8_t b : packet.bytes()) {
+    fp_ = (fp_ ^ b) * 1099511628211ULL;
+  }
+  port_.InjectFromWire(std::move(packet));
   ++generated_;
   const SimTime gap = spec_.poisson
                           ? static_cast<SimTime>(rng_.Exponential(static_cast<double>(gap_ps_)))
@@ -63,6 +93,52 @@ void TrafficGen::EmitOne() {
 
 Packet TrafficGen::NextPacket() {
   PacketSpec ps;
+  switch (spec_.adversarial) {
+    case TrafficSpec::Adversarial::kMinSizeFlood:
+    case TrafficSpec::Adversarial::kOnOffBurst: {
+      // Flood: everything at one destination port (spread over dst_spread
+      // low octets so the route cache still resolves), from a small set of
+      // rotating sources — exactly the shape heavy-hitter policing keys on.
+      const int nsrc = std::max(1, spec_.flood_sources);
+      ps.dst_ip = DstIpForPort(
+          spec_.single_dst_port,
+          static_cast<uint16_t>(1 + rng_.Uniform(static_cast<uint64_t>(spec_.dst_spread))));
+      ps.src_ip = SrcIpForPort(port_.id(),
+                               static_cast<uint16_t>(1 + generated_ % static_cast<uint64_t>(nsrc)));
+      ps.protocol = spec_.protocol;
+      return Finish(ps);
+    }
+    case TrafficSpec::Adversarial::kElephantFlows: {
+      // elephant_share of frames come from elephant_count sources; the rest
+      // is the conforming background the governor must keep alive.
+      const uint16_t low =
+          rng_.Chance(spec_.elephant_share)
+              ? static_cast<uint16_t>(
+                    1 + rng_.Uniform(static_cast<uint64_t>(std::max(1, spec_.elephant_count))))
+              : static_cast<uint16_t>(10 + rng_.Uniform(240));
+      const uint8_t dst =
+          static_cast<uint8_t>(rng_.Uniform(static_cast<uint64_t>(spec_.num_dst_ports)));
+      ps.src_ip = SrcIpForPort(port_.id(), low);
+      ps.dst_ip = DstIpForPort(
+          dst, static_cast<uint16_t>(1 + rng_.Uniform(static_cast<uint64_t>(spec_.dst_spread))));
+      ps.protocol = spec_.protocol;
+      return Finish(ps);
+    }
+    case TrafficSpec::Adversarial::kFlowChurn: {
+      // A fresh 4-tuple every packet: no locality for the route cache or
+      // any per-flow service to latch onto.
+      ps.src_ip = SrcIpForPort(port_.id(), static_cast<uint16_t>(1 + generated_ % 250));
+      ps.dst_ip = DstIpForPort(
+          static_cast<uint8_t>(rng_.Uniform(static_cast<uint64_t>(spec_.num_dst_ports))),
+          static_cast<uint16_t>(1 + generated_ % static_cast<uint64_t>(std::max(1, spec_.churn_spread))));
+      ps.src_port = static_cast<uint16_t>(1024 + generated_ % 60000);
+      ps.dst_port = spec_.dst_port;
+      ps.protocol = kIpProtoTcp;
+      return Finish(ps, /*keep_ps_ports=*/true);
+    }
+    case TrafficSpec::Adversarial::kNone:
+      break;
+  }
   switch (spec_.pattern) {
     case TrafficSpec::DstPattern::kUniformPorts: {
       const uint8_t dst =
@@ -88,11 +164,17 @@ Packet TrafficGen::NextPacket() {
       break;
     }
   }
+  return Finish(ps, /*keep_ps_ports=*/spec_.pattern == TrafficSpec::DstPattern::kFlows);
+}
+
+// Common tail: ethernet addressing, transport ports, attack fractions,
+// frame build, and the globally unique 1-based id.
+Packet TrafficGen::Finish(PacketSpec ps, bool keep_ps_ports) {
   ps.eth_src = PortMac(port_.id());
   ps.eth_dst = PortMac(0xfe);
   ps.ttl = spec_.ttl;
   ps.frame_bytes = spec_.frame_bytes;
-  if (spec_.pattern != TrafficSpec::DstPattern::kFlows) {
+  if (!keep_ps_ports) {
     ps.src_port = spec_.src_port;
     ps.dst_port = spec_.dst_port;
   }

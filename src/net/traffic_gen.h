@@ -55,6 +55,36 @@ struct TrafficSpec {
   double syn_fraction = 0.0;
   // Fraction of packets carrying IP options (exceptional path, §3.2).
   double exceptional_fraction = 0.0;
+
+  // --- adversarial modes (overload-governor workloads) ---
+  // An adversarial mode overrides the destination pattern above and (for
+  // the flood modes) multiplies the offered rate by flood_factor, so the
+  // same spec describes both the conforming baseline and the attack.
+  enum class Adversarial {
+    kNone,
+    // Min-size line-rate flood: 64-byte frames at flood_factor * rate_pps,
+    // all aimed at single_dst_port, from flood_sources rotating sources —
+    // the receive-livelock workload.
+    kMinSizeFlood,
+    // A handful of elephant flows taking elephant_share of the offered
+    // frames, starving the remaining (conforming) sources — the
+    // heavy-hitter policing workload.
+    kElephantFlows,
+    // Square-wave on/off bursts at flood_factor * rate_pps: burst_on_ps of
+    // line rate, burst_off_ps of silence — the hysteresis/flap workload.
+    kOnOffBurst,
+    // Every packet a fresh 4-tuple: no flow locality, cold route cache,
+    // maximal per-flow table churn.
+    kFlowChurn,
+  };
+  Adversarial adversarial = Adversarial::kNone;
+  double flood_factor = 4.0;
+  int flood_sources = 2;
+  int elephant_count = 2;
+  double elephant_share = 0.9;
+  SimTime burst_on_ps = 200 * kPsPerUs;
+  SimTime burst_off_ps = 300 * kPsPerUs;
+  int churn_spread = 1024;
 };
 
 class TrafficGen {
@@ -68,9 +98,15 @@ class TrafficGen {
 
   uint64_t generated() const { return generated_; }
 
+  // FNV-1a over every emitted frame's id and bytes, in emission order. Two
+  // generators with the same (spec, seed) produce the same fingerprint —
+  // the determinism contract adversarial replay relies on.
+  uint64_t fingerprint() const { return fp_; }
+
  private:
   void EmitOne();
   Packet NextPacket();
+  Packet Finish(PacketSpec ps, bool keep_ps_ports = false);
 
   EventQueue& engine_;
   MacPort& port_;
@@ -81,6 +117,7 @@ class TrafficGen {
   SimTime until_ = 0;
   SimTime gap_ps_ = 0;
   uint64_t generated_ = 0;
+  uint64_t fp_ = 1469598103934665603ULL;  // FNV-1a offset basis
 };
 
 }  // namespace npr

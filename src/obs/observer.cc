@@ -131,6 +131,12 @@ void Observer::UpdateTrack(SpanPoint point, uint32_t packet_id, uint64_t now) {
     case SpanPoint::kRecovery:
     case SpanPoint::kDropNoBuffer:
     case SpanPoint::kInClassified:
+    // Governor MAC-RX drops happen before ingress accounting (the chain was
+    // never opened); ladder transitions carry no packet at all.
+    case SpanPoint::kDropGovRed:
+    case SpanPoint::kDropGovPolice:
+    case SpanPoint::kDropGovQuench:
+    case SpanPoint::kGovStage:
     // Lap records carry the successor's id (the lapped packet's id is gone
     // with the overwritten buffer); erasing here would break a live chain.
     case SpanPoint::kOutLostLap:

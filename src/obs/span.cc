@@ -35,6 +35,11 @@ const char* SpanPointName(SpanPoint p) {
     case SpanPoint::kPeReturned: return "pe.returned";
     case SpanPoint::kFault: return "fault";
     case SpanPoint::kRecovery: return "recovery";
+    case SpanPoint::kDropGovRed: return "drop.gov_red";
+    case SpanPoint::kDropGovPolice: return "drop.gov_police";
+    case SpanPoint::kDropGovQuench: return "drop.gov_quench";
+    case SpanPoint::kSaShedGov: return "sa.shed_gov";
+    case SpanPoint::kGovStage: return "gov.stage";
     case SpanPoint::kCount: break;
   }
   return "?";

@@ -64,6 +64,13 @@ enum class SpanPoint : uint8_t {
   kFault,            // a FaultInjector hook fired (arg = FaultKind)
   kRecovery,         // the HealthMonitor repaired something (arg = RecoveryEvent kind)
 
+  // --- overload governor (appended; numbering above is stable) ---
+  kDropGovRed,       // stage 1: RED early drop at MAC RX (pre-ingress)
+  kDropGovPolice,    // stage 2: heavy-hitter policing at MAC RX (pre-ingress)
+  kDropGovQuench,    // stage 4: hard shed at MAC RX (pre-ingress)
+  kSaShedGov,        // stage 3: bridge shed host-bound work under overload
+  kGovStage,         // governor ladder transition (arg = new stage)
+
   kCount
 };
 
@@ -88,6 +95,10 @@ inline constexpr bool IsTerminal(SpanPoint p) {
     case SpanPoint::kSaLapped:
     case SpanPoint::kSaShedPe:
     case SpanPoint::kPeAbsorbed:
+    case SpanPoint::kDropGovRed:
+    case SpanPoint::kDropGovPolice:
+    case SpanPoint::kDropGovQuench:
+    case SpanPoint::kSaShedGov:
       return true;
     default:
       return false;
@@ -105,6 +116,7 @@ inline constexpr uint8_t kUnitQueue = 0xC0;     // packet-queue subsystem
 inline constexpr uint8_t kUnitStrongArm = 0xF0;
 inline constexpr uint8_t kUnitPentium = 0xF1;
 inline constexpr uint8_t kUnitHealth = 0xF2;
+inline constexpr uint8_t kUnitGovernor = 0xF3;
 inline constexpr uint8_t kUnitNone = 0xFF;
 
 inline constexpr uint8_t ContextUnit(uint8_t me_id, uint8_t ctx_index) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/log.h"
+
 namespace npr {
 
 IStoreLayout::IStoreLayout(const HwConfig& hw)
@@ -50,11 +52,15 @@ const VrpProgram* IStoreLayout::Get(uint32_t id) const {
   return it == entries_.end() ? nullptr : &it->second.program;
 }
 
-void IStoreLayout::SetThrottled(uint32_t id, bool throttled) {
+bool IStoreLayout::SetThrottled(uint32_t id, bool throttled) {
   auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    it->second.throttled = throttled;
+  if (it == entries_.end()) {
+    NPR_ERROR("istore: throttle(%s) on unknown handle %u ignored",
+              throttled ? "on" : "off", id);
+    return false;
   }
+  it->second.throttled = throttled;
+  return true;
 }
 
 bool IStoreLayout::IsThrottled(uint32_t id) const {

