@@ -27,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "src/cluster/cluster_control.h"
 #include "src/core/overload.h"
+#include "src/core/upgrade.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/router_invariants.h"
 #include "src/forwarders/native.h"
@@ -381,6 +382,102 @@ ClusterFloodPoint RunClusterFlood() {
   return point;
 }
 
+// --- experiment 5: hitless in-service upgrade ---
+
+// A stateful MicroEngine forwarder whose queue choice depends on a counter
+// in flow state; two copies stay in lockstep iff their state agrees, which
+// is what the shadow/soak comparisons and the bit-identity rows exercise.
+// (bench/upgrade is the full acceptance bench; these rows are the
+// robustness-suite summary ci/upgrade_smoke.sh cross-checks.)
+VrpProgram UpgradeParityQueue(int32_t counter_offset, uint32_t state_bytes,
+                              const char* name) {
+  VrpProgram p;
+  p.name = name;
+  p.flow_state_bytes = state_bytes;
+  p.code = {
+      {VrpOp::kLdSram, 0, 0, counter_offset}, {VrpOp::kAddI, 0, 0, 1},
+      {VrpOp::kStSram, 0, 0, counter_offset}, {VrpOp::kMovI, 1, 0, 0},
+      {VrpOp::kAndI, 0, 0, 1},                {VrpOp::kBeq, 0, 1, 2},
+      {VrpOp::kSetQueue, 0, 0, 1},            {VrpOp::kSend, 0, 0, 0},
+  };
+  return p;
+}
+
+struct UpgradePoint {
+  uint64_t forwarded = 0;
+  std::vector<uint64_t> decisions;
+  UpgradePhase phase = UpgradePhase::kIdle;
+  size_t rollbacks = 0;
+  bool invariants_ok = false;
+};
+
+// kind: 0 = control (no upgrade), 1 = hitless layout migration,
+// 2 = byzantine image that goes bad in soak.
+UpgradePoint RunUpgrade(int kind) {
+  Router router{RouterConfig{}};
+  bench::AddDefaultRoutes(router);
+  router.WarmRouteCache(32);
+  VrpProgram v1 = UpgradeParityQueue(0, 4, "v1");
+  InstallRequest req;
+  req.key = FlowKey::All();
+  req.where = Where::kMicroEngine;
+  req.program = &v1;
+  const uint32_t fid = router.Install(req).fid;
+  const uint32_t handle = router.flow_table().Get(fid)->me_program_id;
+  router.Start();
+  UpgradeOrchestrator upgrade(router);
+  upgrade.RecordDecisions(handle);
+
+  TrafficSpec spec;
+  spec.rate_pps = 200'000;
+  spec.dst_spread = 16;
+  TrafficGen gen(router.engine(), router.port(0), spec, 0x46a11ULL);
+  gen.Start(static_cast<SimTime>(6.0 * kPsPerMs));
+  router.RunForMs(0.5);
+
+  if (kind == 1) {
+    // v2 keeps the counter in a wider record at a new offset; the layout
+    // migrator carries the live value across, so parity never skips.
+    VrpProgram v2 = UpgradeParityQueue(4, 8, "v2");
+    upgrade.Begin(fid, v2, VrpImageChecksum(v2),
+                  [](std::span<const uint8_t> old_state, std::span<uint8_t> new_state) {
+                    if (old_state.size() < 4 || new_state.size() < 8) {
+                      return false;
+                    }
+                    std::copy_n(old_state.begin(), 4, new_state.begin() + 4);
+                    return true;
+                  });
+  } else if (kind == 2) {
+    // Conforms until the counter passes the live value + 60 — past shadow
+    // validation, inside the soak window — then silently drops.
+    const int32_t k = static_cast<int32_t>(router.chip().memory().sram_store().ReadU32(
+                          router.flow_table().Get(fid)->state_addr)) +
+                      60;
+    VrpProgram bad;
+    bad.name = "byz";
+    bad.flow_state_bytes = 4;
+    bad.code = {
+        {VrpOp::kLdSram, 0, 0, 0}, {VrpOp::kAddI, 0, 0, 1},
+        {VrpOp::kStSram, 0, 0, 0}, {VrpOp::kMovI, 1, 0, k},
+        {VrpOp::kBlt, 0, 1, 2},    {VrpOp::kDrop, 0, 0, 0},
+        {VrpOp::kMovI, 1, 0, 0},   {VrpOp::kAndI, 0, 0, 1},
+        {VrpOp::kBeq, 0, 1, 2},    {VrpOp::kSetQueue, 0, 0, 1},
+        {VrpOp::kSend, 0, 0, 0},
+    };
+    upgrade.Begin(fid, bad, VrpImageChecksum(bad));
+  }
+  router.RunForMs(6.0);
+  bench::RecordEvents(router.engine().events_run());
+
+  UpgradePoint p;
+  p.forwarded = router.stats().forwarded;
+  p.decisions = upgrade.decisions();
+  p.phase = upgrade.phase();
+  p.rollbacks = upgrade.rollbacks().size();
+  p.invariants_ok = RouterInvariants::CheckAll(router).ok();
+  return p;
+}
+
 }  // namespace
 }  // namespace npr
 
@@ -497,6 +594,41 @@ int main() {
   Note("every node's governor is pressured (~3 line-rate ingress streams against");
   Note("~2.3 streams of path-A capacity), yet hellos and health probes ride the");
   Note("carve-out: overload never masquerades as node death.");
+
+  Title("experiment 5 — hitless in-service upgrade (stateful forwarder, live traffic)");
+  const UpgradePoint up_control = RunUpgrade(0);
+  const UpgradePoint up_hitless = RunUpgrade(1);
+  const UpgradePoint up_byz = RunUpgrade(2);
+  const uint64_t up_lost = up_control.forwarded - up_hitless.forwarded;
+  const bool hitless_identical = up_hitless.phase == UpgradePhase::kPromoted &&
+                                 up_hitless.decisions == up_control.decisions;
+  // Post-rollback bit-identity: the byzantine run must diverge, then realign
+  // with the control stream for good once the retained image is back.
+  size_t last_diff = 0;
+  bool any_diff = false;
+  const size_t n = std::min(up_control.decisions.size(), up_byz.decisions.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (up_control.decisions[i] != up_byz.decisions[i]) {
+      last_diff = i;
+      any_diff = true;
+    }
+  }
+  const bool rollback_identical =
+      up_byz.phase == UpgradePhase::kRolledBack && up_byz.rollbacks == 1 && any_diff &&
+      up_control.decisions.size() == up_byz.decisions.size() && last_diff + 100 < n;
+  RowHeader();
+  Row("upgrade: conforming packets lost (in-service)", 0.0, static_cast<double>(up_lost),
+      "pkts");
+  Row("upgrade: hitless run bit-identical to control", 1.0,
+      hitless_identical ? 1.0 : 0.0, "bool");
+  Row("upgrade: byzantine image rolled back bit-identically", 1.0,
+      rollback_identical && up_byz.invariants_ok ? 1.0 : 0.0, "bool");
+  Note("shadow validation, atomic cutover through a state-layout migration, and");
+  Note("soak-guarded promotion: the upgraded run forwards every conforming packet");
+  Note("with the same per-packet decisions as a never-upgraded run, and a bad");
+  Note("image rolls back to a bit-identical stream (bench/upgrade has the full");
+  Note("MTTD/MTTR and 8-node rolling-upgrade acceptance rows).");
+
   bench::EmitJson("robustness");
   return 0;
 }

@@ -7,10 +7,11 @@
 # them never mixes instrumented and plain objects.
 #
 # `thread` exists for the sharded cluster engine (src/sim/shard_group.h):
-# with no extra ctest args it runs the ParallelCluster* and Overload*
-# suites — the tests that actually exercise cross-thread synchronization
-# (the overload suite floods an 8-node sharded cluster with per-node
-# governors) — so a TSan sweep stays minutes, not hours. Pass explicit
+# with no extra ctest args it runs the ParallelCluster*, Overload*, and
+# Upgrade* suites — the tests that actually exercise cross-thread
+# synchronization (the overload suite floods an 8-node sharded cluster with
+# per-node governors; the upgrade suite rolls a hitless upgrade across one
+# node by node) — so a TSan sweep stays minutes, not hours. Pass explicit
 # ctest args to widen it.
 set -euo pipefail
 
@@ -29,8 +30,8 @@ build_dir="$repo_root/build-$san"
 
 cmake -B "$build_dir" -S "$repo_root" -DNPR_SANITIZE="$san"
 if [ "$san" = thread ] && [ "$#" -eq 0 ]; then
-  cmake --build "$build_dir" -j "$(nproc)" --target parallel_cluster_test --target overload_test
-  ctest --test-dir "$build_dir" --output-on-failure -R 'ParallelCluster|Overload'
+  cmake --build "$build_dir" -j "$(nproc)" --target parallel_cluster_test --target overload_test --target upgrade_test
+  ctest --test-dir "$build_dir" --output-on-failure -R 'ParallelCluster|Overload|Upgrade'
 else
   cmake --build "$build_dir" -j "$(nproc)"
   ctest --test-dir "$build_dir" --output-on-failure "$@"

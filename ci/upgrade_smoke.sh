@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Upgrade smoke test: a Release build must perform a hitless in-service
+# upgrade — zero conforming loss, bit-identical decisions — and roll back a
+# byzantine image within budget.
+#
+#   ci/upgrade_smoke.sh [build-dir]     (default: build-perf)
+#
+# Runs bench/upgrade under a fixed seed matrix. The bench itself exits
+# non-zero if the hitless run loses or reorders a single conforming packet,
+# if the byzantine image is not rolled back to a bit-identical stream, or
+# if the 8-node rolling upgrade ends version-inconsistent or raises a
+# node-death suspicion. This script additionally holds the rollback
+# MTTD/MTTR rows in BENCH_upgrade.json to their budgets and requires the
+# zero-conforming-loss and delivery-ratio rows to be exact.
+#
+# It also cross-checks the hitless-upgrade summary rows that bench/robustness
+# emits as its experiment 5 (see ci/chaos_smoke.sh for the rest of that
+# bench's budgets).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-perf}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" --target upgrade --target robustness
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+cd "$out_dir"
+
+# Fixed seed matrix, default seed last so the JSON checked below comes from
+# the canonical run. Every seed must exit 0 (the bench fails itself on a
+# lost conforming packet, a surviving byzantine image, or an inconsistent
+# cluster).
+for seed in 0x5eed1 0x5eed2 0xfa017; do
+  echo "--- upgrade seed $seed ---"
+  "$build_dir/bench/upgrade" "$seed"
+done
+
+echo "--- robustness (experiment 5 summary rows) ---"
+"$build_dir/bench/robustness"
+
+python3 - "$out_dir" <<'EOF'
+import json
+import sys
+
+out_dir = sys.argv[1]
+failures = []
+
+# Rollback budgets in microseconds: MTTD is bounded by the soak evidence
+# bar (soak_min_packets at the bench traffic rate) plus one probe period;
+# MTTR adds the revert, which runs in the same scheduled event.
+BUDGETS_US = {
+    "upgrade: rollback MTTD": 400.0,
+    "upgrade: rollback MTTR": 500.0,
+}
+# Hitless contract rows that must be exact.
+EXACT_ROWS = {
+    "upgrade: conforming packets lost (hitless)": 0.0,
+    "upgrade: decision-stream divergences (hitless)": 0.0,
+    "upgrade: shadow divergence rate": 0.0,
+    "upgrade: post-rollback stream bit-identical": 1.0,
+    "upgrade: rolling nodes promoted (lossy channel)": 8.0,
+    "upgrade: rolling delivery ratio vs no-upgrade run": 1.0,
+    "upgrade: rolling version-consistent under full chaos": 1.0,
+    "upgrade: suspects raised during rolling upgrades": 0.0,
+}
+
+with open(f"{out_dir}/BENCH_upgrade.json") as f:
+    upgrade = json.load(f)
+rows = {row["label"]: row for row in upgrade["rows"]}
+
+for label, budget in BUDGETS_US.items():
+    row = rows.get(label)
+    if row is None:
+        failures.append(f"row {label!r} missing")
+    elif row["measured"] <= 0:
+        failures.append(f"{label}: no rollback measured")
+    elif row["measured"] > budget:
+        failures.append(
+            f"{label}: {row['measured']:.1f} us over budget {budget:.1f} us")
+
+for label, want in EXACT_ROWS.items():
+    row = rows.get(label)
+    if row is None:
+        failures.append(f"row {label!r} missing")
+    elif row["measured"] != want:
+        failures.append(f"{label}: {row['measured']} != {want}")
+
+# Experiment 5 summary rows in the robustness suite must agree.
+SUMMARY_ROWS = {
+    "upgrade: conforming packets lost (in-service)": 0.0,
+    "upgrade: hitless run bit-identical to control": 1.0,
+    "upgrade: byzantine image rolled back bit-identically": 1.0,
+}
+with open(f"{out_dir}/BENCH_robustness.json") as f:
+    robustness = json.load(f)
+rrows = {row["label"]: row for row in robustness["rows"]}
+for label, want in SUMMARY_ROWS.items():
+    row = rrows.get(label)
+    if row is None:
+        failures.append(f"robustness row {label!r} missing")
+    elif row["measured"] != want:
+        failures.append(f"robustness {label}: {row['measured']} != {want}")
+
+if failures:
+    print("upgrade smoke FAILED:")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+mttr = rows["upgrade: rollback MTTR"]["measured"]
+print("upgrade smoke OK: zero conforming loss, bit-identical hitless and "
+      f"post-rollback streams, rollback MTTR {mttr:.1f} us within budget, "
+      "8/8 rolling promotion with zero suspicions")
+EOF

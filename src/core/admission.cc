@@ -94,6 +94,82 @@ void AdmissionControl::ReleaseMicroEngine(uint32_t handle) {
   me_committed_.erase(it);
 }
 
+AdmissionResult AdmissionControl::CheckReplaceMicroEngine(uint32_t handle,
+                                                          const VrpProgram& next) const {
+  auto it = me_committed_.find(handle);
+  if (it == me_committed_.end()) {
+    return AdmissionResult::Deny("replace: unknown MicroEngine handle " +
+                                 std::to_string(handle));
+  }
+  const VrpCost old_cost = it->second.first;
+  const bool general = it->second.second;
+
+  VerifyResult verify = VerifyProgram(next);
+  if (!verify.ok) {
+    return AdmissionResult::Deny("verification failed: " + verify.error);
+  }
+  const uint32_t slots_needed = verify.instructions + (general ? 0 : 1);
+  if (slots_needed > istore_.free_slots()) {
+    return AdmissionResult::Deny("ISTORE full: double buffer needs " +
+                                 std::to_string(slots_needed) + " slots, " +
+                                 std::to_string(istore_.free_slots()) + " free");
+  }
+
+  // Budget with the old image swapped out for the new one. For per-flow
+  // handles the parallel-max must be recomputed without this handle.
+  VrpCost total;
+  if (general) {
+    VrpCost generals = sum_generals_;
+    generals.cycles = generals.cycles - old_cost.cycles + verify.worst_case.cycles;
+    generals.sram_reads = generals.sram_reads - old_cost.sram_reads + verify.worst_case.sram_reads;
+    generals.sram_writes =
+        generals.sram_writes - old_cost.sram_writes + verify.worst_case.sram_writes;
+    generals.hashes = generals.hashes - old_cost.hashes + verify.worst_case.hashes;
+    total = Sum(generals, max_per_flow_cost());
+  } else {
+    VrpCost max_pf = verify.worst_case;
+    for (const auto& [h, entry] : me_committed_) {
+      if (entry.second || h == handle) {
+        continue;
+      }
+      max_pf.cycles = std::max(max_pf.cycles, entry.first.cycles);
+      max_pf.sram_reads = std::max(max_pf.sram_reads, entry.first.sram_reads);
+      max_pf.sram_writes = std::max(max_pf.sram_writes, entry.first.sram_writes);
+      max_pf.hashes = std::max(max_pf.hashes, entry.first.hashes);
+    }
+    total = Sum(sum_generals_, max_pf);
+  }
+  if (!config_.budget.Admits(total)) {
+    return AdmissionResult::Deny("VRP budget exceeded after replace: need {cycles=" +
+                                 std::to_string(total.cycles) + " sram=" +
+                                 std::to_string(total.sram_transfers()) + " hashes=" +
+                                 std::to_string(total.hashes) + "} budget " +
+                                 config_.budget.ToString());
+  }
+  return AdmissionResult::Allow(verify.worst_case);
+}
+
+void AdmissionControl::ReplaceMicroEngine(uint32_t handle, const VrpCost& cost) {
+  auto it = me_committed_.find(handle);
+  if (it == me_committed_.end()) {
+    return;
+  }
+  if (it->second.second) {
+    sum_generals_.cycles = sum_generals_.cycles - it->second.first.cycles + cost.cycles;
+    sum_generals_.sram_reads =
+        sum_generals_.sram_reads - it->second.first.sram_reads + cost.sram_reads;
+    sum_generals_.sram_writes =
+        sum_generals_.sram_writes - it->second.first.sram_writes + cost.sram_writes;
+    sum_generals_.hashes = sum_generals_.hashes - it->second.first.hashes + cost.hashes;
+  }
+  it->second.first = cost;
+}
+
+VrpCost AdmissionControl::CommittedCost(uint32_t handle) const {
+  auto it = me_committed_.find(handle);
+  return it == me_committed_.end() ? VrpCost{} : it->second.first;
+}
+
 AdmissionResult AdmissionControl::CheckStrongArm(const NativeForwarder& forwarder,
                                                  double expected_pps) const {
   const double capacity = kIxpClock.FrequencyHz();

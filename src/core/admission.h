@@ -52,6 +52,17 @@ class AdmissionControl {
   void CommitMicroEngine(uint32_t handle, const VrpCost& cost, bool general);
   void ReleaseMicroEngine(uint32_t handle);
 
+  // In-service replacement (hitless upgrade): admits `next` as the future
+  // image of an already-committed handle, i.e. with the old image's cost
+  // excluded from the budget sum it must fit. ISTORE space is checked for
+  // the double-buffer interval, when both images hold slots.
+  AdmissionResult CheckReplaceMicroEngine(uint32_t handle, const VrpProgram& next) const;
+  // Re-points the handle's commitment at `cost` (cutover and rollback both
+  // go through here — it is its own inverse given the old cost).
+  void ReplaceMicroEngine(uint32_t handle, const VrpCost& cost);
+  // The committed worst case for a handle (zeroes for unknown handles).
+  VrpCost CommittedCost(uint32_t handle) const;
+
   // --- StrongARM level ---
   AdmissionResult CheckStrongArm(const NativeForwarder& forwarder, double expected_pps) const;
   void CommitStrongArm(uint32_t fid, double cycle_rate);

@@ -34,6 +34,11 @@ const FlowMeta* FlowTable::Get(uint32_t fid) const {
   return it == by_fid_.end() ? nullptr : &it->second;
 }
 
+FlowMeta* FlowTable::GetMutable(uint32_t fid) {
+  auto it = by_fid_.find(fid);
+  return it == by_fid_.end() ? nullptr : &it->second;
+}
+
 const FlowMeta* FlowTable::LookupTuple(const FlowKey& key) const {
   auto it = by_key_.find(key);
   return it == by_key_.end() ? nullptr : &by_fid_.at(it->second);
@@ -46,6 +51,15 @@ const FlowMeta* FlowTable::FindByProgram(uint32_t me_program_id) const {
     }
   }
   return nullptr;
+}
+
+std::vector<const FlowMeta*> FlowTable::All() const {
+  std::vector<const FlowMeta*> out;
+  out.reserve(by_fid_.size());
+  for (const auto& [fid, meta] : by_fid_) {
+    out.push_back(&meta);
+  }
+  return out;
 }
 
 std::vector<const FlowMeta*> FlowTable::Generals(Where where) const {

@@ -64,11 +64,17 @@ class FlowTable {
   bool Remove(uint32_t fid);
 
   const FlowMeta* Get(uint32_t fid) const;
+  // Mutable access for in-place rebinding (the upgrade orchestrator's
+  // cutover flips state_addr/state_bytes without touching the key maps).
+  FlowMeta* GetMutable(uint32_t fid);
   // Exact 4-tuple match (per-flow forwarders). Nullptr if none.
   const FlowMeta* LookupTuple(const FlowKey& key) const;
   // ALL-keyed forwarders that run on `where` (general SA/PE forwarders; ME
   // generals live in the ISTORE chain instead).
   std::vector<const FlowMeta*> Generals(Where where) const;
+  // Every installed flow, in fid order (the memory-bounds ledger walks the
+  // state reservations).
+  std::vector<const FlowMeta*> All() const;
 
   // Resolves a MicroEngine ISTORE handle back to its flow (quarantine
   // eviction goes through the fid-keyed control interface). Nullptr if no

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/core/strongarm_bridge.h"
+#include "src/core/upgrade.h"
 #include "src/fault/fault_injector.h"
 #include "src/net/traffic_gen.h"
 #include "src/obs/observer.h"
@@ -228,10 +229,19 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
       !core_.istore->IsThrottled(outcome.flow->me_program_id)) {
     const VrpProgram* program = core_.istore->Get(outcome.flow->me_program_id);
     if (program != nullptr) {
+      // Upgrade shadow hooks: snapshot the pristine MP, then hand the
+      // post-run view and verdict to the orchestrator's comparator.
+      // Functional only — no cycles, no Rng.
+      if (core_.upgrade != nullptr) {
+        core_.upgrade->BeginPacket(outcome.flow->me_program_id, mp_bytes);
+      }
       auto run = core_.vrp->Run(*program, mp_bytes, outcome.flow->state_addr, &cfg.budget);
       if (core_.fault != nullptr && run.action != VrpAction::kTrap &&
           core_.fault->ShouldTrapVrp()) {
         run.action = VrpAction::kTrap;
+      }
+      if (core_.upgrade != nullptr) {
+        core_.upgrade->EndPacket(outcome.flow->me_program_id, mp_bytes, run);
       }
       vrp_cost->cycles += run.metered.cycles;
       vrp_cost->sram_reads += run.metered.sram_reads;
@@ -265,10 +275,16 @@ InputStage::Disposition InputStage::ClassifyFirstMp(std::span<uint8_t> mp_bytes,
     }
   }
   for (const auto& general : core_.istore->GeneralChain()) {
+    if (core_.upgrade != nullptr) {
+      core_.upgrade->BeginPacket(general.id, mp_bytes);
+    }
     auto run = core_.vrp->Run(*general.program, mp_bytes, general.state_addr, &cfg.budget);
     if (core_.fault != nullptr && run.action != VrpAction::kTrap &&
         core_.fault->ShouldTrapVrp()) {
       run.action = VrpAction::kTrap;
+    }
+    if (core_.upgrade != nullptr) {
+      core_.upgrade->EndPacket(general.id, mp_bytes, run);
     }
     vrp_cost->cycles += run.metered.cycles;
     vrp_cost->sram_reads += run.metered.sram_reads;

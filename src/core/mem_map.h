@@ -1,10 +1,20 @@
-// Simple bump allocators for laying out simulated SRAM and Scratch.
+// Allocators for laying out simulated SRAM and Scratch.
+//
+// The fixed infrastructure (queues, readiness words) is laid out once at
+// construction and never freed, but flow-state regions come and go with
+// install/remove and with in-service upgrades, so the arena keeps an
+// address-ordered free list: Free() coalesces with neighbors and Alloc()
+// reuses a freed block before extending the bump frontier. `outstanding()`
+// is the exact number of live bytes, which RouterInvariants reconciles
+// against the flow table's reservations (a remove that leaks its `.state`
+// binding is a caught violation, not a slow death by arena exhaustion).
 
 #ifndef SRC_CORE_MEM_MAP_H_
 #define SRC_CORE_MEM_MAP_H_
 
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
 namespace npr {
 
@@ -14,21 +24,79 @@ class Arena {
 
   // Allocates `bytes` aligned to `align`; asserts on exhaustion (layout is
   // static and sized at construction — running out is a configuration bug).
+  // Sizes are tracked rounded up to `align`, which leaves the bump-frontier
+  // address sequence identical to a free-list-less arena (the frontier is
+  // re-aligned on every allocation either way).
   uint32_t Alloc(uint32_t bytes, uint32_t align = 4) {
-    next_ = (next_ + align - 1) / align * align;
+    const uint32_t rounded = RoundUp(bytes, align);
+    // Address-ordered first fit over freed blocks (deterministic: the scan
+    // order is a pure function of the alloc/free history).
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].bytes >= rounded && free_[i].addr % align == 0) {
+        const uint32_t addr = free_[i].addr;
+        free_[i].addr += rounded;
+        free_[i].bytes -= rounded;
+        if (free_[i].bytes == 0) {
+          free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        outstanding_ += rounded;
+        return addr;
+      }
+    }
+    next_ = RoundUp(next_, align);
     const uint32_t addr = next_;
-    next_ += bytes;
+    next_ += rounded;
     assert(next_ <= base_ + size_ && "arena exhausted");
+    outstanding_ += rounded;
     return addr;
+  }
+
+  // Returns a block obtained from Alloc(bytes, align). Coalesces with
+  // adjacent free blocks so repeated install/remove cycles reuse one block
+  // instead of fragmenting.
+  void Free(uint32_t addr, uint32_t bytes, uint32_t align = 4) {
+    const uint32_t rounded = RoundUp(bytes, align);
+    if (rounded == 0) {
+      return;
+    }
+    assert(outstanding_ >= rounded && "arena: freeing more than allocated");
+    outstanding_ -= rounded;
+    // Insert in address order, then merge with both neighbors.
+    size_t i = 0;
+    while (i < free_.size() && free_[i].addr < addr) {
+      ++i;
+    }
+    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(i), Block{addr, rounded});
+    if (i + 1 < free_.size() && free_[i].addr + free_[i].bytes == free_[i + 1].addr) {
+      free_[i].bytes += free_[i + 1].bytes;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    }
+    if (i > 0 && free_[i - 1].addr + free_[i - 1].bytes == free_[i].addr) {
+      free_[i - 1].bytes += free_[i].bytes;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
   }
 
   uint32_t remaining() const { return base_ + size_ - next_; }
   uint32_t used() const { return next_ - base_; }
+  // Live bytes: allocated minus freed (freed-then-reused counts once).
+  uint32_t outstanding() const { return outstanding_; }
+
+  static uint32_t RoundUp(uint32_t v, uint32_t align) {
+    return (v + align - 1) / align * align;
+  }
 
  private:
+  struct Block {
+    uint32_t addr;
+    uint32_t bytes;
+  };
+
   const uint32_t base_;
   const uint32_t size_;
   uint32_t next_;
+  uint32_t outstanding_ = 0;
+  std::vector<Block> free_;
 };
 
 }  // namespace npr

@@ -115,6 +115,11 @@ Router::Router(RouterConfig config, EventQueue* shared_engine)
     input_->token_ring().set_fault_injector(fault_.get());
     output_->token_ring().set_fault_injector(fault_.get());
   }
+
+  // Everything allocated so far is fixed infrastructure (queues, readiness
+  // words); anything above this watermark is flow state and must reconcile
+  // against the flow table (RouterInvariants memory-bounds ledger).
+  sram_infra_bytes_ = sram_arena_.outstanding();
 }
 
 void Router::SetObserver(Observer* obs) {
@@ -199,7 +204,18 @@ InstallOutcome Router::Install(const InstallRequest& request) {
   switch (request.where) {
     case Where::kMicroEngine: {
       if (request.program == nullptr) {
+        outcome.reject = InstallReject::kBadRequest;
         outcome.error = "ME install requires a VRP program";
+        return outcome;
+      }
+      if (request.image_checksum != 0 &&
+          VrpImageChecksum(*request.program) != request.image_checksum) {
+        // The image was damaged between the sender and here (e.g. in
+        // transit on the control channel): refuse before any resource is
+        // touched, instead of discovering it at the first runtime trap.
+        outcome.reject = InstallReject::kChecksumMismatch;
+        outcome.error = "image checksum mismatch";
+        stats_.upgrade_checksum_rejects += 1;
         return outcome;
       }
       if (state_bytes == 0) {
@@ -208,6 +224,7 @@ InstallOutcome Router::Install(const InstallRequest& request) {
       const bool general = request.key.all;
       AdmissionResult admit = admission_.CheckMicroEngine(*request.program, general);
       if (!admit.admitted) {
+        outcome.reject = InstallReject::kAdmission;
         outcome.error = admit.reason;
         return outcome;
       }
@@ -220,6 +237,10 @@ InstallOutcome Router::Install(const InstallRequest& request) {
       auto handle = general ? istore_.InstallGeneral(*request.program, meta.state_addr)
                             : istore_.InstallPerFlow(*request.program);
       if (!handle) {
+        if (state_bytes > 0) {
+          sram_arena_.Free(meta.state_addr, state_bytes);
+        }
+        outcome.reject = InstallReject::kIstoreFull;
         outcome.error = "ISTORE allocation failed";
         return outcome;
       }
@@ -230,11 +251,13 @@ InstallOutcome Router::Install(const InstallRequest& request) {
     case Where::kStrongArm: {
       NativeForwarder* fw = sa_forwarders_.Get(request.native_index);
       if (fw == nullptr) {
+        outcome.reject = InstallReject::kBadRequest;
         outcome.error = "unknown StrongARM jump-table index";
         return outcome;
       }
       AdmissionResult admit = admission_.CheckStrongArm(*fw, request.expected_pps);
       if (!admit.admitted) {
+        outcome.reject = InstallReject::kAdmission;
         outcome.error = admit.reason;
         return outcome;
       }
@@ -252,6 +275,7 @@ InstallOutcome Router::Install(const InstallRequest& request) {
     case Where::kPentium: {
       NativeForwarder* fw = pe_forwarders_.Get(request.native_index);
       if (fw == nullptr) {
+        outcome.reject = InstallReject::kBadRequest;
         outcome.error = "unknown Pentium jump-table index";
         return outcome;
       }
@@ -260,6 +284,7 @@ InstallOutcome Router::Install(const InstallRequest& request) {
                              : static_cast<double>(fw->cycles_per_packet());
       AdmissionResult admit = admission_.CheckPentium(request.expected_pps, cpp);
       if (!admit.admitted) {
+        outcome.reject = InstallReject::kAdmission;
         outcome.error = admit.reason;
         return outcome;
       }
@@ -320,6 +345,12 @@ bool Router::Remove(uint32_t fid) {
       admission_.ReleasePentium(fid);
       pentium_->scheduler().RemoveFlow(fid);
       break;
+  }
+  // Release the flow-state binding along with the forwarder: install
+  // allocated it, so remove must return it, or repeated install/remove
+  // cycles bleed the arena dry (and the memory-bounds ledger catches it).
+  if (meta->state_bytes > 0) {
+    sram_arena_.Free(meta->state_addr, meta->state_bytes);
   }
   return flow_table_.Remove(fid);
 }

@@ -24,6 +24,7 @@ namespace npr {
 
 class FaultInjector;
 class Observer;
+class UpgradeOrchestrator;
 
 // A request through the §4.5 interface:
 //   fid = install(key, fwdr, size, where)
@@ -41,10 +42,24 @@ struct InstallRequest {
   // Pentium admission parameters (§4.6).
   double expected_pps = 0;
   double expected_cpp = 0;
+  // FNV-1a over the assembled image words (VrpImageChecksum), computed by
+  // the sender before the request crosses the control channel. 0 skips the
+  // check; any other value must match the program bytes that arrived.
+  uint64_t image_checksum = 0;
+};
+
+// Why an install was refused, machine-readably (error carries the prose).
+enum class InstallReject : uint8_t {
+  kNone,
+  kBadRequest,         // missing program / unknown jump-table index
+  kChecksumMismatch,   // image bytes do not match image_checksum
+  kAdmission,          // verifier or budget refusal
+  kIstoreFull,         // no extension slots left
 };
 
 struct InstallOutcome {
   bool ok = false;
+  InstallReject reject = InstallReject::kNone;
   std::string error;
   uint32_t fid = 0;
 };
@@ -97,7 +112,13 @@ class Router {
   RouteCache& route_cache() { return route_cache_; }
   FlowTable& flow_table() { return flow_table_; }
   IStoreLayout& istore() { return istore_; }
+  VrpInterpreter& vrp() { return vrp_; }
   AdmissionControl& admission() { return admission_; }
+  // The SRAM allocator (flow-state regions live here) and the bytes the
+  // fixed infrastructure claimed at construction. RouterInvariants
+  // reconciles outstanding() - sram_infra_bytes() against the flow table.
+  Arena& sram_arena() { return sram_arena_; }
+  uint32_t sram_infra_bytes() const { return sram_infra_bytes_; }
   ForwarderRegistry& sa_forwarders() { return sa_forwarders_; }
   ForwarderRegistry& pe_forwarders() { return pe_forwarders_; }
   MacPort& port(int i) { return *ports_[static_cast<size_t>(i)]; }
@@ -133,6 +154,13 @@ class Router {
   void SetGovernor(OverloadGovernor* governor);
   OverloadGovernor* governor() { return core_.governor; }
 
+  // Attaches (or detaches, with nullptr) the in-service upgrade
+  // orchestrator: the input stage hands it every VRP run on the upgraded
+  // handle for shadow comparison. The orchestrator must outlive the
+  // attachment; normally set by UpgradeOrchestrator's own constructor.
+  void SetUpgrade(UpgradeOrchestrator* upgrade) { core_.upgrade = upgrade; }
+  UpgradeOrchestrator* upgrade() { return core_.upgrade; }
+
  private:
   RouterConfig config_;
   std::unique_ptr<EventQueue> owned_engine_;  // null when the engine is shared
@@ -143,6 +171,7 @@ class Router {
 
   Arena sram_arena_;
   Arena scratch_arena_;
+  uint32_t sram_infra_bytes_ = 0;  // arena watermark at end of construction
   CircularBufferAllocator buffers_;
   std::unique_ptr<StackBufferPool> stack_pool_;
 

@@ -29,6 +29,7 @@ class PentiumHost;
 class FaultInjector;
 class Observer;
 class OverloadGovernor;
+class UpgradeOrchestrator;
 
 struct RouterCore {
   // Returns the packet's sidecar metadata regardless of allocator flavor,
@@ -85,6 +86,11 @@ struct RouterCore {
   // the bridge polls it for host-bound shedding policy (the MacPorts hold
   // their own RxGovernorHooks pointer to the same object).
   OverloadGovernor* governor = nullptr;
+
+  // Non-null when an UpgradeOrchestrator is attached (Router::SetUpgrade);
+  // the input stage hands it pristine/post-run MP views around every VRP
+  // run so the shadow comparator sees exactly what the active image saw.
+  UpgradeOrchestrator* upgrade = nullptr;
 };
 
 // Sidecar metadata for a buffer under either allocator.

@@ -89,6 +89,14 @@ struct RouterStats {
   uint64_t gov_shed_sa = 0;       // stage 3: SA-local-bound shed at the bridge
   uint64_t gov_escalations = 0;   // ladder stage increases
 
+  // In-service upgrades (src/core/upgrade.h).
+  uint64_t upgrades_started = 0;
+  uint64_t upgrades_promoted = 0;
+  uint64_t upgrade_rollbacks = 0;        // soak failed; old image restored
+  uint64_t upgrade_aborts = 0;           // pre-commit abort (shadow/crash)
+  uint64_t upgrade_divergences = 0;      // shadow/soak comparator mismatches
+  uint64_t upgrade_checksum_rejects = 0; // corrupted images refused at install
+
   // Cluster control plane (src/cluster + src/control): reconvergence work
   // charged to this node.
   uint64_t spf_recomputes = 0;     // Dijkstra re-runs triggered by LSA change

@@ -1,0 +1,438 @@
+#include "src/core/upgrade.h"
+
+#include <algorithm>
+
+#include "src/core/router.h"
+#include "src/fault/fault_injector.h"
+#include "src/obs/observer.h"
+#include "src/sim/log.h"
+
+namespace npr {
+namespace {
+
+// §4.5: an ISTORE/SRAM access from the StrongARM costs ~40 cycles; the
+// atomic cutover window is the migrated state words plus the image flip.
+constexpr uint64_t kCyclesPerAccess = 40;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* UpgradePhaseName(UpgradePhase phase) {
+  switch (phase) {
+    case UpgradePhase::kIdle:
+      return "idle";
+    case UpgradePhase::kShadow:
+      return "shadow";
+    case UpgradePhase::kCutover:
+      return "cutover";
+    case UpgradePhase::kSoak:
+      return "soak";
+    case UpgradePhase::kPromoted:
+      return "promoted";
+    case UpgradePhase::kRolledBack:
+      return "rolled_back";
+    case UpgradePhase::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+UpgradeOrchestrator::UpgradeOrchestrator(Router& router, UpgradeConfig config)
+    : router_(router), cfg_(std::move(config)) {
+  router_.SetUpgrade(this);
+}
+
+UpgradeOrchestrator::~UpgradeOrchestrator() { router_.SetUpgrade(nullptr); }
+
+void UpgradeOrchestrator::Schedule(SimTime dt, void (UpgradeOrchestrator::*fn)()) {
+  const uint64_t epoch = epoch_;
+  router_.engine().ScheduleIn(dt, [this, epoch, fn] {
+    if (epoch == epoch_) {
+      (this->*fn)();
+    }
+  });
+}
+
+bool UpgradeOrchestrator::Begin(uint32_t fid, const VrpProgram& next, uint64_t image_checksum,
+                                StateMigrator migrate) {
+  last_error_.clear();
+  if (InFlight()) {
+    last_error_ = "upgrade already in flight";
+    return false;
+  }
+  FlowMeta* meta = router_.flow_table().GetMutable(fid);
+  if (meta == nullptr || meta->where != Where::kMicroEngine) {
+    last_error_ = "fid is not an installed MicroEngine forwarder";
+    return false;
+  }
+  if (image_checksum != 0 && VrpImageChecksum(next) != image_checksum) {
+    last_error_ = "image checksum mismatch";
+    router_.stats().upgrade_checksum_rejects += 1;
+    return false;
+  }
+  AdmissionResult admit = router_.admission().CheckReplaceMicroEngine(meta->me_program_id, next);
+  if (!admit.admitted) {
+    last_error_ = admit.reason;
+    return false;
+  }
+  const VrpProgram* active = router_.istore().Get(meta->me_program_id);
+  if (active == nullptr) {
+    last_error_ = "handle has no active image";
+    return false;
+  }
+
+  epoch_ += 1;
+  report_ = UpgradeReport{};
+  fid_ = fid;
+  handle_ = meta->me_program_id;
+  old_program_ = *active;
+  new_program_ = next;
+  old_cost_ = router_.admission().CommittedCost(handle_);
+  new_cost_ = admit.worst_case;
+  old_addr_ = meta->state_addr;
+  old_bytes_ = meta->state_bytes;
+  new_bytes_ = next.flow_state_bytes;
+  new_addr_ = new_bytes_ > 0 ? router_.sram_arena().Alloc(new_bytes_) : 0;
+  migrate_ = std::move(migrate);
+  first_fault_at_ = 0;
+  detected_at_ = 0;
+  rollback_pending_ = false;
+  have_pending_ = false;
+
+  // Snapshot migration: the shadow image needs a plausible state to run
+  // against; the authoritative migration happens again at cutover.
+  if (!MigrateState()) {
+    FreeNewRegion();
+    phase_ = UpgradePhase::kIdle;
+    last_error_ = "state migration vetoed the old layout";
+    return false;
+  }
+  if (!router_.istore().StageReplace(handle_, next, new_addr_)) {
+    FreeNewRegion();
+    phase_ = UpgradePhase::kIdle;
+    last_error_ = "ISTORE staging failed";
+    return false;
+  }
+  phase_ = UpgradePhase::kShadow;
+  report_.began_at = router_.engine().now();
+  router_.stats().upgrades_started += 1;
+  Schedule(cfg_.shadow_window_ps, &UpgradeOrchestrator::EvaluateShadow);
+  return true;
+}
+
+bool UpgradeOrchestrator::MigrateState() {
+  BackingStore& sram = router_.chip().memory().sram_store();
+  std::vector<uint8_t> old_state(old_bytes_);
+  if (old_bytes_ > 0) {
+    sram.Read(old_addr_, old_state);
+  }
+  std::vector<uint8_t> new_state(new_bytes_, 0);
+  if (migrate_) {
+    if (!migrate_(old_state, new_state)) {
+      return false;
+    }
+  } else {
+    const size_t n = std::min<size_t>(old_state.size(), new_state.size());
+    std::copy_n(old_state.begin(), n, new_state.begin());
+  }
+  if (new_bytes_ > 0) {
+    sram.Write(new_addr_, new_state);
+  }
+  report_.migrated_bytes = old_bytes_ + new_bytes_;
+  return true;
+}
+
+void UpgradeOrchestrator::FreeNewRegion() {
+  if (new_bytes_ > 0) {
+    router_.sram_arena().Free(new_addr_, new_bytes_);
+    new_addr_ = 0;
+    new_bytes_ = 0;
+  }
+}
+
+void UpgradeOrchestrator::FreeOldRegion() {
+  if (old_bytes_ > 0) {
+    router_.sram_arena().Free(old_addr_, old_bytes_);
+    old_addr_ = 0;
+    old_bytes_ = 0;
+  }
+}
+
+double UpgradeOrchestrator::ShadowDivergenceRate() const {
+  return report_.shadow_packets == 0
+             ? 0.0
+             : static_cast<double>(report_.shadow_divergences) /
+                   static_cast<double>(report_.shadow_packets);
+}
+
+double UpgradeOrchestrator::SoakDivergenceRate() const {
+  return report_.soak_packets == 0 ? 0.0
+                                   : static_cast<double>(report_.soak_divergences) /
+                                         static_cast<double>(report_.soak_packets);
+}
+
+void UpgradeOrchestrator::EvaluateShadow() {
+  if (phase_ != UpgradePhase::kShadow) {
+    return;
+  }
+  if (report_.shadow_packets < cfg_.shadow_min_packets) {
+    // Not enough evidence yet; extend the window.
+    Schedule(cfg_.probe_period_ps, &UpgradeOrchestrator::EvaluateShadow);
+    return;
+  }
+  if (ShadowDivergenceRate() > cfg_.shadow_abort_divergence) {
+    DoAbort("shadow divergence rate above threshold", /*record_episode=*/false);
+    return;
+  }
+  phase_ = UpgradePhase::kCutover;
+  cutover_scheduled_at_ = router_.engine().now();
+  Schedule(0, &UpgradeOrchestrator::CutoverStep);
+  Schedule(cfg_.step_deadline_ps, &UpgradeOrchestrator::CutoverWatchdog);
+}
+
+void UpgradeOrchestrator::CutoverStep() {
+  if (phase_ != UpgradePhase::kCutover) {
+    return;
+  }
+  FaultInjector* fault = router_.fault_injector();
+  if (fault != nullptr && fault->ShouldCrashUpgrade()) {
+    // The step event is lost mid-way: nothing was committed, nothing is
+    // touched. The watchdog notices the phase never advanced and aborts.
+    return;
+  }
+  DoCutover();
+}
+
+void UpgradeOrchestrator::CutoverWatchdog() {
+  if (phase_ != UpgradePhase::kCutover) {
+    return;
+  }
+  // The step never completed. The commit never happened, so the old image
+  // never stopped serving — abort is clean and lossless.
+  if (first_fault_at_ == 0) {
+    first_fault_at_ = cutover_scheduled_at_;
+  }
+  detected_at_ = router_.engine().now();
+  DoAbort("cutover step crashed; watchdog aborted the upgrade", /*record_episode=*/true);
+}
+
+void UpgradeOrchestrator::DoCutover() {
+  // The authoritative migration: live old state -> new layout, overwriting
+  // whatever the shadow runs accumulated in the staged region.
+  if (!MigrateState()) {
+    DoAbort("state migration vetoed at cutover", /*record_episode=*/false);
+    return;
+  }
+  router_.istore().CommitReplace(handle_);
+  FlowMeta* meta = router_.flow_table().GetMutable(fid_);
+  meta->state_addr = new_addr_;
+  meta->state_bytes = new_bytes_;
+  router_.admission().ReplaceMicroEngine(handle_, new_cost_);
+
+  const uint64_t state_words = (Arena::RoundUp(old_bytes_, 4) + Arena::RoundUp(new_bytes_, 4)) / 4;
+  report_.cutover_pause_cycles = (state_words + 2) * kCyclesPerAccess;
+  report_.cutover_at = router_.engine().now();
+  phase_ = UpgradePhase::kSoak;
+  Schedule(cfg_.probe_period_ps, &UpgradeOrchestrator::SoakTick);
+  Schedule(cfg_.soak_window_ps, &UpgradeOrchestrator::EvaluateSoak);
+}
+
+void UpgradeOrchestrator::SoakTick() {
+  if (phase_ != UpgradePhase::kSoak) {
+    return;
+  }
+  if (cfg_.soak_probe && !cfg_.soak_probe()) {
+    if (first_fault_at_ == 0) {
+      first_fault_at_ = router_.engine().now();
+    }
+    detected_at_ = router_.engine().now();
+    DoRollback("external probe failed during soak");
+    return;
+  }
+  if (report_.soak_packets >= cfg_.soak_min_packets &&
+      SoakDivergenceRate() > cfg_.soak_rollback_divergence) {
+    detected_at_ = router_.engine().now();
+    DoRollback("soak divergence rate above threshold");
+    return;
+  }
+  Schedule(cfg_.probe_period_ps, &UpgradeOrchestrator::SoakTick);
+}
+
+void UpgradeOrchestrator::EvaluateSoak() {
+  if (phase_ != UpgradePhase::kSoak) {
+    return;
+  }
+  if (report_.soak_packets < cfg_.soak_min_packets) {
+    Schedule(cfg_.probe_period_ps, &UpgradeOrchestrator::EvaluateSoak);
+    return;
+  }
+  if (SoakDivergenceRate() > cfg_.soak_rollback_divergence) {
+    detected_at_ = router_.engine().now();
+    DoRollback("soak divergence rate above threshold");
+    return;
+  }
+  DoPromote();
+}
+
+void UpgradeOrchestrator::RollbackFromTrap() {
+  if (phase_ != UpgradePhase::kSoak) {
+    return;
+  }
+  DoRollback("new image trapped during soak");
+}
+
+void UpgradeOrchestrator::DoPromote() {
+  router_.istore().PromoteReplace(handle_);
+  FreeOldRegion();
+  phase_ = UpgradePhase::kPromoted;
+  report_.finished_at = router_.engine().now();
+  router_.stats().upgrades_promoted += 1;
+  NPR_INFO("upgrade: fid %u promoted (%llu shadow, %llu soak packets)", fid_,
+           static_cast<unsigned long long>(report_.shadow_packets),
+           static_cast<unsigned long long>(report_.soak_packets));
+}
+
+void UpgradeOrchestrator::DoRollback(const std::string& reason) {
+  const SimTime now = router_.engine().now();
+  router_.istore().RevertReplace(handle_);
+  FlowMeta* meta = router_.flow_table().GetMutable(fid_);
+  if (meta != nullptr) {
+    meta->state_addr = old_addr_;
+    meta->state_bytes = old_bytes_;
+  }
+  router_.admission().ReplaceMicroEngine(handle_, old_cost_);
+  FreeNewRegion();
+  phase_ = UpgradePhase::kRolledBack;
+  report_.finished_at = now;
+  report_.error = reason;
+
+  UpgradeRollbackRecord rec;
+  rec.fault_at = first_fault_at_ != 0 ? first_fault_at_ : now;
+  rec.detected_at = detected_at_ != 0 ? detected_at_ : now;
+  rec.recovered_at = now;
+  rec.reason = reason;
+  rollbacks_.push_back(std::move(rec));
+  router_.stats().upgrade_rollbacks += 1;
+  NPR_OBS_HOOK(router_.observer(), TriggerDump("upgrade_rollback", fid_));
+  NPR_WARN("upgrade: fid %u rolled back (%s)", fid_, reason.c_str());
+}
+
+void UpgradeOrchestrator::DoAbort(const std::string& reason, bool record_episode) {
+  const SimTime now = router_.engine().now();
+  router_.istore().CancelReplace(handle_);
+  FreeNewRegion();
+  phase_ = UpgradePhase::kAborted;
+  report_.finished_at = now;
+  report_.error = reason;
+  if (record_episode) {
+    UpgradeRollbackRecord rec;
+    rec.fault_at = first_fault_at_ != 0 ? first_fault_at_ : now;
+    rec.detected_at = detected_at_ != 0 ? detected_at_ : now;
+    rec.recovered_at = now;
+    rec.reason = reason;
+    rollbacks_.push_back(std::move(rec));
+  }
+  router_.stats().upgrade_aborts += 1;
+  NPR_WARN("upgrade: fid %u aborted (%s)", fid_, reason.c_str());
+}
+
+uint32_t UpgradeOrchestrator::held_state_bytes() const {
+  switch (phase_) {
+    case UpgradePhase::kShadow:
+    case UpgradePhase::kCutover:
+      // Staged region; the flow table still points at the old one.
+      return Arena::RoundUp(new_bytes_, 4);
+    case UpgradePhase::kSoak:
+      // Retained region; the flow table points at the new one.
+      return Arena::RoundUp(old_bytes_, 4);
+    default:
+      return 0;
+  }
+}
+
+void UpgradeOrchestrator::RecordDecisions(uint32_t handle) {
+  audit_armed_ = true;
+  audit_handle_ = handle;
+  decisions_.clear();
+}
+
+void UpgradeOrchestrator::BeginPacket(uint32_t handle, std::span<const uint8_t> mp) {
+  if (handle != handle_ || (phase_ != UpgradePhase::kShadow && phase_ != UpgradePhase::kSoak)) {
+    return;
+  }
+  pending_len_ = std::min<size_t>(mp.size(), pending_mp_.size());
+  std::copy_n(mp.begin(), pending_len_, pending_mp_.begin());
+  have_pending_ = true;
+}
+
+void UpgradeOrchestrator::EndPacket(uint32_t handle, std::span<const uint8_t> mp,
+                                    const VrpOutcome& active) {
+  const SimTime now = router_.engine().now();
+  if (handle == handle_ && have_pending_ &&
+      (phase_ == UpgradePhase::kShadow || phase_ == UpgradePhase::kSoak)) {
+    // The counterpart image runs on the pristine snapshot against its own
+    // state region: the staged (new) image under shadow, the retained (old)
+    // image under soak — which is what keeps the retained state current for
+    // a hitless rollback. Functional only: no cycles charged, no Rng.
+    const bool shadowing = phase_ == UpgradePhase::kShadow;
+    const VrpProgram& counterpart = shadowing ? new_program_ : old_program_;
+    const uint32_t counterpart_addr = shadowing ? new_addr_ : old_addr_;
+    std::array<uint8_t, 64> copy = pending_mp_;
+    VrpOutcome other = router_.vrp().Run(counterpart, std::span<uint8_t>(copy).first(pending_len_),
+                                         counterpart_addr, &router_.config().budget);
+    const bool diverged =
+        other.action != active.action || other.queue != active.queue ||
+        !std::equal(mp.begin(), mp.begin() + static_cast<std::ptrdiff_t>(pending_len_),
+                    copy.begin());
+    if (shadowing) {
+      report_.shadow_packets += 1;
+      if (diverged) {
+        report_.shadow_divergences += 1;
+        router_.stats().upgrade_divergences += 1;
+        if (first_fault_at_ == 0) {
+          first_fault_at_ = now;
+        }
+      }
+    } else {
+      report_.soak_packets += 1;
+      if (diverged) {
+        report_.soak_divergences += 1;
+        router_.stats().upgrade_divergences += 1;
+        if (first_fault_at_ == 0) {
+          first_fault_at_ = now;
+        }
+      }
+      if (active.action == VrpAction::kTrap && !rollback_pending_) {
+        // Never mutate the ISTORE from inside a classify call: the general
+        // chain the input stage iterates holds program pointers.
+        rollback_pending_ = true;
+        if (first_fault_at_ == 0) {
+          first_fault_at_ = now;
+        }
+        detected_at_ = now;
+        Schedule(0, &UpgradeOrchestrator::RollbackFromTrap);
+      }
+    }
+  }
+  have_pending_ = false;
+
+  if (audit_armed_ && handle == audit_handle_) {
+    uint64_t h = FnvMix(0xcbf29ce484222325ULL, decisions_.size());
+    h = FnvMix(h, static_cast<uint64_t>(active.action));
+    h = FnvMix(h, active.queue ? static_cast<uint64_t>(*active.queue) : ~0ULL);
+    for (uint8_t b : mp) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    decisions_.push_back(h);
+  }
+}
+
+}  // namespace npr

@@ -1,0 +1,257 @@
+// In-service forwarder upgrade orchestrator (hitless upgrade).
+//
+// Replaces a MicroEngine forwarder old -> new with zero packet loss for
+// conforming traffic, in four guarded phases:
+//
+//   shadow   — the candidate image runs in the interpreter against a
+//              pristine copy of every live MP the flow sees, updating a
+//              private migrated copy of the flow state. Verdict, queue
+//              choice, and resulting MP bytes are compared against the
+//              active image per packet; the divergence rate decides
+//              whether cutover is scheduled or the upgrade aborts with
+//              the wire untouched.
+//   cutover  — between two packets (per-MP classification is atomic in
+//              simulated time) the live flow state is migrated through the
+//              per-version layout map, the double-buffered ISTORE image
+//              flips, and the flow table re-points at the new state
+//              region. The old image and its state region are retained.
+//   soak     — the roles reverse: the old image shadows the new one and
+//              keeps the retained state current, so a rollback restores
+//              forwarding bit-identical to a never-upgraded run. Any trap
+//              of the new image, divergence above threshold, or a false
+//              external probe (callers wrap RouterInvariants) triggers
+//              rollback, recorded with fault/detect/recover timestamps.
+//   promote  — a clean soak drops the retained image and frees the old
+//              state region.
+//
+// A cutover step lost mid-way (FaultPlan::upgrade_crash_p) is caught by a
+// step-deadline watchdog and aborted cleanly: the commit never happened, so
+// the old image never stopped serving.
+//
+// The data-path hooks (BeginPacket/EndPacket, called by the input stage)
+// charge zero simulated cycles and draw no Rng, so a fault-free run with an
+// orchestrator attached is bit-identical to one without. All state
+// mutations (cutover, rollback, abort, promote) run from scheduled events,
+// never from inside a classify call.
+//
+// Like HealthMonitor, the orchestrator must be destroyed before the router
+// and must not outlive the last RunFor it scheduled work in.
+
+#ifndef SRC_CORE_UPGRADE_H_
+#define SRC_CORE_UPGRADE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/vrp/interpreter.h"
+#include "src/vrp/isa.h"
+
+namespace npr {
+
+class Router;
+
+// Rewrites a flow's old-layout state bytes into the new image's layout.
+// Called twice per upgrade: once on a snapshot before the shadow phase and
+// once on the live state at cutover. The spans bound both layouts, so a
+// migrator cannot read or write outside either version's declared `.state`
+// size. Returning false vetoes the upgrade. When absent, the identity
+// migration copies min(old, new) bytes and zero-fills the rest.
+using StateMigrator = std::function<bool(std::span<const uint8_t> old_state,
+                                         std::span<uint8_t> new_state)>;
+
+struct UpgradeConfig {
+  // --- shadow phase ---
+  SimTime shadow_window_ps = 200 * kPsPerUs;
+  // Cutover needs at least this much shadow evidence; below it the window
+  // extends by `probe_period_ps` at a time.
+  uint64_t shadow_min_packets = 32;
+  // Abort (wire untouched) when the shadow divergence rate exceeds this.
+  double shadow_abort_divergence = 0.25;
+
+  // --- cutover ---
+  // Watchdog deadline for the cutover step; a step lost to upgrade_crash_p
+  // is aborted cleanly when this expires.
+  SimTime step_deadline_ps = 500 * kPsPerUs;
+
+  // --- soak phase ---
+  SimTime soak_window_ps = 400 * kPsPerUs;
+  uint64_t soak_min_packets = 32;
+  // Roll back when the soak divergence rate (new image vs old shadow)
+  // exceeds this.
+  double soak_rollback_divergence = 0.05;
+  // Cadence for the external probe and the divergence-rate check.
+  SimTime probe_period_ps = 50 * kPsPerUs;
+  // External invariant probe polled during soak; false triggers rollback.
+  // Callers typically wrap RouterInvariants::CheckAll (the orchestrator
+  // cannot depend on it — core sits below the fault/health layers).
+  std::function<bool()> soak_probe;
+};
+
+enum class UpgradePhase : uint8_t {
+  kIdle,
+  kShadow,
+  kCutover,  // step scheduled; watchdog armed
+  kSoak,
+  kPromoted,
+  kRolledBack,
+  kAborted,
+};
+
+const char* UpgradePhaseName(UpgradePhase phase);
+
+// One rollback (or watchdog-abort) episode, with the same timestamp triple
+// RecoveryEvent uses; HealthMonitor folds these into its event stream as
+// RecoveryEvent::Kind::kUpgradeRollback.
+struct UpgradeRollbackRecord {
+  SimTime fault_at = 0;      // first divergence or trap of the new image
+  SimTime detected_at = 0;   // when the rollback decision was made
+  SimTime recovered_at = 0;  // when the old image and state were live again
+  std::string reason;
+};
+
+struct UpgradeReport {
+  SimTime began_at = 0;
+  SimTime cutover_at = 0;
+  SimTime finished_at = 0;  // promoted, rolled back, or aborted
+  uint64_t shadow_packets = 0;
+  uint64_t shadow_divergences = 0;
+  uint64_t soak_packets = 0;
+  uint64_t soak_divergences = 0;
+  // State bytes rewritten at cutover (old read + new written).
+  uint64_t migrated_bytes = 0;
+  // StrongARM cycles the atomic window costs: the state words moved plus
+  // the image pointer flip, at the §4.5 cost of 40 cycles per access. The
+  // double-buffered image itself was staged outside the window.
+  uint64_t cutover_pause_cycles = 0;
+  std::string error;  // why the upgrade ended early (rollback/abort reason)
+};
+
+class UpgradeOrchestrator {
+ public:
+  // Attaches to the router (Router::SetUpgrade). One upgrade in flight at a
+  // time; Begin after promote/rollback/abort starts a fresh episode.
+  explicit UpgradeOrchestrator(Router& router, UpgradeConfig config = UpgradeConfig{});
+  ~UpgradeOrchestrator();
+
+  UpgradeOrchestrator(const UpgradeOrchestrator&) = delete;
+  UpgradeOrchestrator& operator=(const UpgradeOrchestrator&) = delete;
+
+  // Starts upgrading flow `fid` (per-flow or general MicroEngine forwarder)
+  // to `next`. `image_checksum`, when nonzero, must match VrpImageChecksum
+  // of the bytes that arrived — a corrupted image is refused here, before
+  // any resource is touched. Returns false with last_error() set on
+  // rejection (checksum, admission, staging, or migration veto).
+  bool Begin(uint32_t fid, const VrpProgram& next, uint64_t image_checksum = 0,
+             StateMigrator migrate = nullptr);
+
+  // --- data-path hooks (input stage; zero simulated cost, no Rng) ---
+
+  // Snapshots the pristine MP before the active image runs, when `handle`
+  // is under shadow or soak.
+  void BeginPacket(uint32_t handle, std::span<const uint8_t> mp);
+  // Runs the counterpart image on the snapshot and compares verdict, queue
+  // choice, and MP bytes; during soak a trap of the active (new) image
+  // schedules rollback.
+  void EndPacket(uint32_t handle, std::span<const uint8_t> mp, const VrpOutcome& active);
+
+  // --- decision audit (bit-identity tests) ---
+
+  // Records a hash of every EndPacket decision for `handle` (action, queue,
+  // resulting MP bytes), indexed by the flow's packet sequence. Two runs
+  // whose suffixes match forwarded identically over those packets.
+  void RecordDecisions(uint32_t handle);
+  const std::vector<uint64_t>& decisions() const { return decisions_; }
+
+  // --- state ---
+
+  UpgradePhase phase() const { return phase_; }
+  // Swaps the window/threshold configuration between episodes (refused while
+  // one is in flight). The rolling coordinator downgrades aborted clusters
+  // through the same orchestrators with much shorter windows.
+  bool set_config(UpgradeConfig config) {
+    if (InFlight()) {
+      return false;
+    }
+    cfg_ = std::move(config);
+    return true;
+  }
+  const UpgradeConfig& config() const { return cfg_; }
+  // True while an episode holds resources (shadow through soak).
+  bool InFlight() const {
+    return phase_ == UpgradePhase::kShadow || phase_ == UpgradePhase::kCutover ||
+           phase_ == UpgradePhase::kSoak;
+  }
+  const UpgradeReport& report() const { return report_; }
+  const std::string& last_error() const { return last_error_; }
+  const std::vector<UpgradeRollbackRecord>& rollbacks() const { return rollbacks_; }
+  // SRAM bytes (align-rounded) the orchestrator holds beyond the flow
+  // table's reservations: the staged region before cutover, the retained
+  // region during soak. RouterInvariants' memory-bounds ledger adds this.
+  uint32_t held_state_bytes() const;
+
+ private:
+  void Schedule(SimTime dt, void (UpgradeOrchestrator::*fn)());
+  // Reads the current old-layout state and writes the migrated image into
+  // the new region. False when a user migrator vetoes.
+  bool MigrateState();
+  void FreeNewRegion();
+  void FreeOldRegion();
+  void EvaluateShadow();
+  void CutoverStep();
+  void CutoverWatchdog();
+  void SoakTick();
+  void EvaluateSoak();
+  void RollbackFromTrap();
+  void DoCutover();
+  void DoPromote();
+  void DoRollback(const std::string& reason);
+  void DoAbort(const std::string& reason, bool record_episode);
+  double ShadowDivergenceRate() const;
+  double SoakDivergenceRate() const;
+
+  Router& router_;
+  UpgradeConfig cfg_;
+
+  UpgradePhase phase_ = UpgradePhase::kIdle;
+  // Bumped per episode; scheduled events from a finished episode no-op.
+  uint64_t epoch_ = 0;
+  UpgradeReport report_;
+  std::string last_error_;
+  std::vector<UpgradeRollbackRecord> rollbacks_;
+
+  // Active episode.
+  uint32_t fid_ = 0;
+  uint32_t handle_ = 0;
+  VrpProgram old_program_;
+  VrpProgram new_program_;
+  VrpCost old_cost_;
+  VrpCost new_cost_;
+  uint32_t old_addr_ = 0;
+  uint32_t old_bytes_ = 0;
+  uint32_t new_addr_ = 0;
+  uint32_t new_bytes_ = 0;
+  StateMigrator migrate_;
+  SimTime first_fault_at_ = 0;
+  SimTime detected_at_ = 0;
+  bool rollback_pending_ = false;
+  SimTime cutover_scheduled_at_ = 0;
+
+  // Pristine pre-run MP snapshot for the packet in flight.
+  std::array<uint8_t, 64> pending_mp_{};
+  size_t pending_len_ = 0;
+  bool have_pending_ = false;
+
+  // Decision audit.
+  bool audit_armed_ = false;
+  uint32_t audit_handle_ = 0;
+  std::vector<uint64_t> decisions_;
+};
+
+}  // namespace npr
+
+#endif  // SRC_CORE_UPGRADE_H_

@@ -1,5 +1,7 @@
 #include "src/fault/fault_injector.h"
 
+#include "src/vrp/isa.h"
+
 namespace npr {
 namespace {
 
@@ -49,6 +51,10 @@ const char* FaultKindName(FaultKind kind) {
       return "fabric_frame_loss";
     case FaultKind::kNodeCrash:
       return "node_crash";
+    case FaultKind::kUpgradeCrash:
+      return "upgrade_crash";
+    case FaultKind::kImageCorrupt:
+      return "image_corrupt";
     case FaultKind::kCount:
       break;
   }
@@ -215,6 +221,25 @@ bool FaultInjector::ShouldTrapVrp() {
     return false;
   }
   Count(FaultKind::kVrpTrap);
+  return true;
+}
+
+bool FaultInjector::ShouldCrashUpgrade() {
+  if (!armed_ || plan_.upgrade_crash_p <= 0 || !rng_.Chance(plan_.upgrade_crash_p)) {
+    return false;
+  }
+  Count(FaultKind::kUpgradeCrash);
+  return true;
+}
+
+bool FaultInjector::MaybeCorruptImage(VrpProgram* program) {
+  if (!armed_ || plan_.image_corrupt_p <= 0 || program == nullptr || program->code.empty() ||
+      !rng_.Chance(plan_.image_corrupt_p)) {
+    return false;
+  }
+  VrpInstr& instr = program->code[rng_.Uniform(program->code.size())];
+  instr.imm ^= static_cast<int32_t>(1u << rng_.Uniform(32));
+  Count(FaultKind::kImageCorrupt);
   return true;
 }
 

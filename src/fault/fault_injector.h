@@ -26,6 +26,8 @@
 
 namespace npr {
 
+struct VrpProgram;
+
 enum class FaultKind : uint8_t {
   kMemLatencySpike,
   kMemBitFlip,
@@ -46,6 +48,8 @@ enum class FaultKind : uint8_t {
   kLinkDown,
   kFabricFrameLoss,
   kNodeCrash,
+  kUpgradeCrash,
+  kImageCorrupt,
   kCount,
 };
 
@@ -131,6 +135,19 @@ class FaultInjector {
 
   // True when this program run traps at runtime despite static admission.
   bool ShouldTrapVrp();
+
+  // --- in-service upgrade hooks ---
+
+  // Polled by the upgrade orchestrator when a cutover/promotion step event
+  // fires. True means the step is lost mid-way (the event does nothing);
+  // only the orchestrator's step-deadline watchdog can recover.
+  bool ShouldCrashUpgrade();
+
+  // Possibly flips one bit in the immediate of one instruction of a VRP
+  // image crossing the control channel (the sender's copy is intact — the
+  // corruption happens in transit). Returns true if a flip happened; the
+  // install-time checksum is what detects it.
+  bool MaybeCorruptImage(VrpProgram* program);
 
   // --- packet queue hook ---
 

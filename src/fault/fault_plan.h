@@ -85,6 +85,18 @@ struct FaultPlan {
   // is what the quarantine escalation exists to contain.
   double vrp_trap_p = 0.0;
 
+  // --- in-service upgrade (src/core/upgrade.h) ---
+  // Per-step probability that an upgrade orchestration step (cutover or
+  // promotion) is lost mid-way — the event simply never runs, as if the
+  // control processor died between the snapshot and the pointer flip. Only
+  // the orchestrator's own step-deadline watchdog can detect it and roll
+  // the upgrade back.
+  double upgrade_crash_p = 0.0;
+  // Per-transfer probability that a VRP image crossing the control channel
+  // picks up a single-bit flip in one instruction word. The install-time
+  // checksum (VrpImageChecksum) exists to catch exactly this.
+  double image_corrupt_p = 0.0;
+
   // --- cluster (multi-chassis) fault classes ---
   // These are polled by each node's cluster supervisor, not by single-chassis
   // hook sites, so a standalone Router carrying them injects nothing.
@@ -109,7 +121,8 @@ struct FaultPlan {
            context_crash_mean_ps > 0 || token_drop_p > 0 || token_lost_p > 0 ||
            desc_corrupt_p > 0 || restart_lost_p > 0 || pentium_hang_mean_ps > 0 ||
            ctrl_drop_p > 0 || ctrl_dup_p > 0 || ctrl_delay_p > 0 || vrp_trap_p > 0 ||
-           link_down_mean_ps > 0 || fabric_loss_p > 0 || node_crash_mean_ps > 0;
+           upgrade_crash_p > 0 || image_corrupt_p > 0 || link_down_mean_ps > 0 ||
+           fabric_loss_p > 0 || node_crash_mean_ps > 0;
   }
 
   // Per-node seed derivation for cluster runs. Node k's injector must see a
@@ -222,6 +235,25 @@ struct FaultPlan {
     p.token_drop_p = 0.002;
     p.context_crash_mean_ps = 5 * kPsPerMs;
     p.context_restart_ps = 50 * kPsPerUs;
+    return p;
+  }
+
+  // Upgrade chaos: every way an in-service upgrade can go wrong at once — a
+  // lossy/duplicating control channel carrying the new image, bit flips in
+  // the image in transit, and orchestration steps lost mid-cutover — over
+  // mild ambient fabric loss. Meant for rolling-upgrade experiments with an
+  // UpgradeOrchestrator attached: every failure either rejects at install
+  // (checksum), rolls back (step watchdog), or retries (channel), and the
+  // cluster must end version-consistent.
+  static FaultPlan UpgradeChaos(uint64_t seed = 0xfa017ULL) {
+    FaultPlan p;
+    p.seed = seed;
+    p.ctrl_drop_p = 0.15;
+    p.ctrl_dup_p = 0.05;
+    p.ctrl_delay_p = 0.1;
+    p.image_corrupt_p = 0.2;
+    p.upgrade_crash_p = 0.25;
+    p.fabric_loss_p = 0.001;
     return p;
   }
 

@@ -8,6 +8,7 @@
 #include "src/core/pentium_host.h"
 #include "src/core/router.h"
 #include "src/core/strongarm_bridge.h"
+#include "src/core/upgrade.h"
 #include "src/net/mac_port.h"
 #include "src/obs/observer.h"
 
@@ -199,6 +200,27 @@ void CheckMemoryBounds(Router& router, InvariantReport* report) {
       Violate(report, Format("memory bounds: %" PRIu64 " out-of-bounds %s accesses",
                              store->oob_errors(), store->name().c_str()));
     }
+  }
+
+  // Flow-state ledger: every SRAM byte the arena holds beyond the fixed
+  // infrastructure must be a flow table reservation or a region an
+  // in-flight upgrade holds (staged before cutover, retained during soak).
+  // A Remove that leaks its `.state` binding shows up here as a leak, not
+  // as a slow death by arena exhaustion.
+  uint64_t reserved = 0;
+  for (const FlowMeta* meta : router.flow_table().All()) {
+    reserved += Arena::RoundUp(meta->state_bytes, 4);
+  }
+  if (router.upgrade() != nullptr) {
+    reserved += router.upgrade()->held_state_bytes();
+  }
+  const uint64_t outstanding = router.sram_arena().outstanding() - router.sram_infra_bytes();
+  if (outstanding != reserved) {
+    Violate(report, Format("flow-state ledger: arena holds %" PRIu64
+                           " bytes beyond infrastructure, flow table + upgrade reserve %" PRIu64
+                           " (leak of %" PRId64 ")",
+                           outstanding, reserved,
+                           static_cast<int64_t>(outstanding) - static_cast<int64_t>(reserved)));
   }
 }
 

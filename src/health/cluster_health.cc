@@ -11,6 +11,7 @@ ClusterHealthMonitor::ClusterHealthMonitor(ClusterRouter& cluster,
   const int n = cluster_.num_nodes();
   probes_.resize(static_cast<size_t>(n));
   degraded_.assign(static_cast<size_t>(n), false);
+  maintenance_.assign(static_cast<size_t>(n), false);
   node_down_at_.assign(static_cast<size_t>(n), 0);
   node_up_at_.assign(static_cast<size_t>(n), 0);
   failover_event_.assign(static_cast<size_t>(n), 0);
@@ -63,7 +64,11 @@ void ClusterHealthMonitor::ResolveProbe(int node) {
   } else if (p.channel->failed(p.seq)) {
     p.seq = 0;
     probes_failed_ += 1;
-    if (!degraded_[static_cast<size_t>(node)]) {
+    if (maintenance_[static_cast<size_t>(node)]) {
+      // Planned maintenance: the failure is noted but never escalated — an
+      // upgrade mid-cutover must not read as a node death.
+      maintenance_absorbed_ += 1;
+    } else if (!degraded_[static_cast<size_t>(node)]) {
       MarkDegraded(node);
     }
   }

@@ -60,6 +60,15 @@ class ClusterHealthMonitor {
   bool node_degraded(int node) const {
     return degraded_[static_cast<size_t>(node)];
   }
+  // Planned-maintenance flag (the rolling-upgrade coordinator raises it
+  // around each node's shadow/cutover/soak). Probes keep flowing — the node
+  // is expected to stay responsive — but a probe failure is absorbed: the
+  // node is never marked degraded or escalated to SuspectNode while the
+  // flag is set, so an upgrade in progress cannot read as a node death.
+  void SetMaintenance(int node, bool on) {
+    maintenance_[static_cast<size_t>(node)] = on;
+  }
+  bool maintenance(int node) const { return maintenance_[static_cast<size_t>(node)]; }
   ControlChannel& probe_channel(int node) {
     return *probes_[static_cast<size_t>(node)].channel;
   }
@@ -75,6 +84,8 @@ class ClusterHealthMonitor {
   uint64_t probes_acked() const { return probes_acked_; }
   uint64_t probes_failed() const { return probes_failed_; }
   uint64_t suspects_raised() const { return suspects_raised_; }
+  // Probe failures absorbed because the node was under maintenance.
+  uint64_t maintenance_absorbed() const { return maintenance_absorbed_; }
 
  private:
   struct ProbeState {
@@ -96,6 +107,7 @@ class ClusterHealthMonitor {
 
   std::vector<ProbeState> probes_;
   std::vector<bool> degraded_;
+  std::vector<bool> maintenance_;
   std::vector<SimTime> node_down_at_;  // ground truth from the state hook
   std::vector<SimTime> node_up_at_;
   std::vector<size_t> failover_event_;  // open kNodeFailover index + 1; 0 = none
@@ -105,6 +117,7 @@ class ClusterHealthMonitor {
   uint64_t probes_acked_ = 0;
   uint64_t probes_failed_ = 0;
   uint64_t suspects_raised_ = 0;
+  uint64_t maintenance_absorbed_ = 0;
 };
 
 }  // namespace npr

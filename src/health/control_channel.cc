@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "src/core/upgrade.h"
 #include "src/fault/fault_injector.h"
 
 namespace npr {
@@ -24,6 +25,8 @@ const char* ControlChannel::OpName(Op op) {
       return "getdata";
     case Op::kSetData:
       return "setdata";
+    case Op::kUpgrade:
+      return "upgrade";
   }
   return "?";
 }
@@ -73,6 +76,18 @@ uint64_t ControlChannel::SetData(uint32_t fid, std::vector<uint8_t> data, Callba
   p.op = Op::kSetData;
   p.fid = fid;
   p.data = std::move(data);
+  p.done = std::move(done);
+  return Submit(std::move(p));
+}
+
+uint64_t ControlChannel::Upgrade(uint32_t fid, const VrpProgram& program, uint64_t checksum,
+                                 Callback done) {
+  Pending p;
+  p.op = Op::kUpgrade;
+  p.fid = fid;
+  p.program = program;
+  p.has_program = true;
+  p.checksum = checksum;
   p.done = std::move(done);
   return Submit(std::move(p));
 }
@@ -189,6 +204,25 @@ CtrlResult ControlChannel::Execute(const Pending& pending) {
       r.ok = router_.SetData(pending.fid,
                              std::span<const uint8_t>(pending.data.data(), pending.data.size()));
       break;
+    case Op::kUpgrade: {
+      UpgradeOrchestrator* up = router_.upgrade();
+      if (up == nullptr) {
+        r.error = "upgrade: no orchestrator attached";
+        break;
+      }
+      // The receiver's copy is what crossed the wire; corruption lands here,
+      // never on the sender's retained program.
+      VrpProgram image = pending.program;
+      if (FaultInjector* fault = router_.fault_injector(); fault != nullptr) {
+        fault->MaybeCorruptImage(&image);
+      }
+      r.ok = up->Begin(pending.fid, image, pending.checksum);
+      r.fid = pending.fid;
+      if (!r.ok) {
+        r.error = up->last_error();
+      }
+      break;
+    }
   }
   return r;
 }

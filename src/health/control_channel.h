@@ -69,6 +69,16 @@ class ControlChannel {
   uint64_t Remove(uint32_t fid, Callback done = nullptr);
   uint64_t GetData(uint32_t fid, Callback done = nullptr);
   uint64_t SetData(uint32_t fid, std::vector<uint8_t> data, Callback done = nullptr);
+  // Ships a replacement image for flow `fid` to the peer's upgrade
+  // orchestrator (src/core/upgrade.h), which shadows, cuts over, and soaks
+  // it; the ack reports whether the episode *started* (the orchestrator's
+  // own verdict arrives later through its phase/report). The image crosses
+  // the link as bytes: with a fault injector armed, image_corrupt_p may
+  // flip a bit in the receiver's copy — `checksum` (VrpImageChecksum of the
+  // sent program) then refuses it on arrival while the sender's copy stays
+  // pristine, so a resend under a fresh sequence number can succeed.
+  uint64_t Upgrade(uint32_t fid, const VrpProgram& program, uint64_t checksum,
+                   Callback done = nullptr);
 
   // Sender-side status for a sequence number.
   bool acked(uint64_t seq) const;
@@ -89,15 +99,16 @@ class ControlChannel {
   bool link_up() const { return link_up_; }
 
  private:
-  enum class Op : uint8_t { kInstall, kRemove, kGetData, kSetData };
+  enum class Op : uint8_t { kInstall, kRemove, kGetData, kSetData, kUpgrade };
 
   struct Pending {
     Op op = Op::kInstall;
     InstallRequest request;      // kInstall (program pointer fixed up below)
     VrpProgram program;          // owned copy of the install payload
     bool has_program = false;
-    uint32_t fid = 0;            // kRemove / kGetData / kSetData
+    uint32_t fid = 0;            // kRemove / kGetData / kSetData / kUpgrade
     std::vector<uint8_t> data;   // kSetData payload
+    uint64_t checksum = 0;       // kUpgrade image checksum
     Callback done;
     int attempt = 0;
     bool acked = false;

@@ -1,6 +1,7 @@
 #include "src/health/health_monitor.h"
 
 #include "src/core/overload.h"
+#include "src/core/upgrade.h"
 #include "src/fault/fault_injector.h"
 #include "src/obs/observer.h"
 
@@ -38,6 +39,8 @@ const char* RecoveryKindName(RecoveryEvent::Kind kind) {
       return "node-readmit";
     case RecoveryEvent::Kind::kOverload:
       return "overload";
+    case RecoveryEvent::Kind::kUpgradeRollback:
+      return "upgrade-rollback";
   }
   return "unknown";
 }
@@ -64,6 +67,7 @@ void HealthMonitor::Tick() {
   CheckPentium();
   CheckBridge();
   CheckOverload();
+  CheckUpgrade();
   router_.engine().ScheduleIn(cfg_.scan_interval_ps, [this] { Tick(); });
 }
 
@@ -202,6 +206,24 @@ void HealthMonitor::CheckOverload() {
     overload_open_ = false;
     events_[overload_event_index_].recovered_at = now;
     RecordRecoverySpan(router_, RecoveryEvent::Kind::kOverload);
+  }
+}
+
+void HealthMonitor::CheckUpgrade() {
+  // Upgrade rollbacks already carry the full fault/detect/recover triple;
+  // the monitor just folds each new episode into the uniform event stream
+  // so MTTD/MTTR reporting covers upgrades like every other fault class.
+  const UpgradeOrchestrator* up = router_.upgrade();
+  if (up == nullptr) {
+    return;
+  }
+  const auto& rollbacks = up->rollbacks();
+  for (; upgrade_rollback_index_ < rollbacks.size(); ++upgrade_rollback_index_) {
+    const UpgradeRollbackRecord& r = rollbacks[upgrade_rollback_index_];
+    router_.stats().watchdog_fired += 1;
+    events_.push_back(
+        {RecoveryEvent::Kind::kUpgradeRollback, r.fault_at, r.detected_at, r.recovered_at});
+    RecordRecoverySpan(router_, RecoveryEvent::Kind::kUpgradeRollback);
   }
 }
 

@@ -70,6 +70,8 @@ struct RecoveryEvent {
     kNodeReadmit,     // warm-restarted node resynced and re-admitted
     // Overload governor (src/core/overload.h):
     kOverload,        // ladder left stage 0 ... later returned to it
+    // Upgrade orchestrator (src/core/upgrade.h):
+    kUpgradeRollback,  // soaked upgrade reverted to the retained image
   };
   Kind kind = Kind::kTokenRegen;
   SimTime fault_at = 0;      // when the fault actually happened
@@ -109,6 +111,7 @@ class HealthMonitor : public HealthHooks {
   void CheckPentium();
   void CheckBridge();
   void CheckOverload();
+  void CheckUpgrade();
   void ApplyQuarantine(uint32_t program_id);
 
   struct QuarantineState {
@@ -132,6 +135,8 @@ class HealthMonitor : public HealthHooks {
 
   bool overload_open_ = false;
   size_t overload_event_index_ = 0;
+
+  size_t upgrade_rollback_index_ = 0;
 
   std::map<uint32_t, QuarantineState> quarantine_;
   std::vector<RecoveryEvent> events_;

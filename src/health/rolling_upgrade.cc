@@ -1,0 +1,258 @@
+#include "src/health/rolling_upgrade.h"
+
+#include "src/fault/fault_plan.h"
+#include "src/sim/log.h"
+
+namespace npr {
+
+RollingUpgradeCoordinator::RollingUpgradeCoordinator(ClusterRouter& cluster,
+                                                     ClusterHealthMonitor* health,
+                                                     RollingUpgradeConfig config)
+    : cluster_(cluster), health_(health), cfg_(std::move(config)) {
+  const int n = cluster_.num_nodes();
+  orchestrators_.reserve(static_cast<size_t>(n));
+  channels_.reserve(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    orchestrators_.push_back(
+        std::make_unique<UpgradeOrchestrator>(cluster_.node(k), cfg_.node));
+    ControlChannelConfig cc = cfg_.channel;
+    cc.seed = FaultPlan::DeriveNodeSeed(cfg_.channel_seed, k);
+    // Image channels are hub residents like the health probes: callbacks
+    // mutate coordinator state, so they must fire in the hub phase.
+    channels_.push_back(
+        std::make_unique<ControlChannel>(cluster_.node(k), cluster_.engine(), cc));
+  }
+}
+
+void RollingUpgradeCoordinator::SetMaintenance(int node, bool on) {
+  if (health_ != nullptr) {
+    health_->SetMaintenance(node, on);
+  }
+}
+
+bool RollingUpgradeCoordinator::Start(std::vector<uint32_t> fids, const VrpProgram& next,
+                                      uint64_t checksum) {
+  if (status_ == Status::kRunning || status_ == Status::kDowngrading) {
+    return false;
+  }
+  if (static_cast<int>(fids.size()) != cluster_.num_nodes()) {
+    return false;
+  }
+  // Capture every node's current image first: they are the downgrade
+  // targets if the rollout aborts, and they must be taken before any node
+  // cuts over.
+  std::vector<VrpProgram> old_images;
+  for (int k = 0; k < cluster_.num_nodes(); ++k) {
+    const FlowMeta* meta = cluster_.node(k).flow_table().Get(fids[static_cast<size_t>(k)]);
+    if (meta == nullptr || meta->where != Where::kMicroEngine) {
+      return false;
+    }
+    const VrpProgram* prog = cluster_.node(k).istore().Get(meta->me_program_id);
+    if (prog == nullptr) {
+      return false;
+    }
+    old_images.push_back(*prog);
+  }
+  fids_ = std::move(fids);
+  next_ = next;
+  checksum_ = checksum != 0 ? checksum : VrpImageChecksum(next);
+  old_images_ = std::move(old_images);
+  status_ = Status::kRunning;
+  error_.clear();
+  current_ = 0;
+  promoted_ = 0;
+  sends_ = 0;
+  resends_ = 0;
+  downgrade_queue_.clear();
+  SetMaintenance(current_, true);
+  ShipImage(current_);
+  if (!poll_scheduled_) {
+    poll_scheduled_ = true;
+    cluster_.engine().ScheduleIn(cfg_.poll_period_ps, [this] { PollTick(); });
+  }
+  return true;
+}
+
+void RollingUpgradeCoordinator::ShipImage(int node) {
+  sends_ += 1;
+  channels_[static_cast<size_t>(node)]->Upgrade(
+      fids_[static_cast<size_t>(node)], next_, checksum_,
+      [this, node](const CtrlResult& r) {
+        if (status_ != Status::kRunning || current_ != node || r.ok) {
+          return;  // stale rollout, or the episode started and polling owns it
+        }
+        // Refused on arrival (checksum of a corrupted copy, or the channel
+        // gave up). A fresh sequence number redraws the link faults.
+        if (sends_ < cfg_.max_sends) {
+          resends_ += 1;
+          NPR_WARN("rolling-upgrade: node %d refused image (%s), resend %d/%d", node,
+                   r.error.c_str(), sends_, cfg_.max_sends);
+          ShipImage(node);
+          return;
+        }
+        StartAbort("node " + std::to_string(node) + ": image refused after " +
+                   std::to_string(sends_) + " sends: " + r.error);
+      });
+}
+
+void RollingUpgradeCoordinator::PollTick() {
+  if (status_ == Status::kRunning && current_ >= 0) {
+    UpgradeOrchestrator& up = *orchestrators_[static_cast<size_t>(current_)];
+    switch (up.phase()) {
+      case UpgradePhase::kPromoted:
+        SetMaintenance(current_, false);
+        promoted_ += 1;
+        AdvanceOrFinish();
+        break;
+      case UpgradePhase::kRolledBack:
+      case UpgradePhase::kAborted:
+        StartAbort("node " + std::to_string(current_) + ": " +
+                   (up.report().error.empty() ? UpgradePhaseName(up.phase())
+                                              : up.report().error));
+        break;
+      default:
+        break;  // idle (image still in flight) or mid-episode: keep waiting
+    }
+  } else if (status_ == Status::kDowngrading && current_ >= 0) {
+    UpgradeOrchestrator& up = *orchestrators_[static_cast<size_t>(current_)];
+    if (!downgrade_began_) {
+      // The previous Begin was refused outright; retry or give up.
+      if (downgrade_attempts_ >= cfg_.max_downgrade_attempts) {
+        status_ = Status::kInconsistent;
+        error_ += "; node " + std::to_string(current_) + ": downgrade never started";
+        current_ = -1;
+      } else {
+        BeginDowngrade(current_);
+      }
+    } else {
+      switch (up.phase()) {
+        case UpgradePhase::kPromoted:
+          // Downgrade promoted == the old image is active again.
+          SetMaintenance(current_, false);
+          if (downgrade_queue_.empty()) {
+            status_ = Status::kAborted;
+            current_ = -1;
+          } else {
+            current_ = downgrade_queue_.back();
+            downgrade_queue_.pop_back();
+            downgrade_attempts_ = 0;
+            BeginDowngrade(current_);
+          }
+          break;
+        case UpgradePhase::kRolledBack:
+        case UpgradePhase::kAborted:
+          // An upgrade_crash fault can abort the downgrade's own cutover;
+          // the node is still on the new image, so try again.
+          if (downgrade_attempts_ >= cfg_.max_downgrade_attempts) {
+            status_ = Status::kInconsistent;
+            error_ += "; node " + std::to_string(current_) + ": downgrade failed after " +
+                      std::to_string(downgrade_attempts_) + " attempts";
+            SetMaintenance(current_, false);
+            current_ = -1;
+          } else {
+            BeginDowngrade(current_);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (status_ == Status::kRunning || status_ == Status::kDowngrading) {
+    cluster_.engine().ScheduleIn(cfg_.poll_period_ps, [this] { PollTick(); });
+  } else {
+    poll_scheduled_ = false;
+  }
+}
+
+void RollingUpgradeCoordinator::AdvanceOrFinish() {
+  current_ += 1;
+  sends_ = 0;
+  if (current_ >= cluster_.num_nodes()) {
+    status_ = Status::kDone;
+    current_ = -1;
+    NPR_INFO("rolling-upgrade: all %d nodes promoted", cluster_.num_nodes());
+    return;
+  }
+  SetMaintenance(current_, true);
+  ShipImage(current_);
+}
+
+void RollingUpgradeCoordinator::StartAbort(std::string reason) {
+  NPR_WARN("rolling-upgrade: abort: %s", reason.c_str());
+  error_ = std::move(reason);
+  if (current_ >= 0) {
+    SetMaintenance(current_, false);
+  }
+  // Promoted nodes are exactly 0..current_-1; downgrade newest-first so the
+  // queue pops in install order.
+  downgrade_queue_.clear();
+  for (int k = 0; k < current_; ++k) {
+    downgrade_queue_.push_back(k);
+  }
+  if (downgrade_queue_.empty()) {
+    status_ = Status::kAborted;
+    current_ = -1;
+    return;
+  }
+  status_ = Status::kDowngrading;
+  current_ = downgrade_queue_.back();
+  downgrade_queue_.pop_back();
+  downgrade_attempts_ = 0;
+  BeginDowngrade(current_);
+}
+
+void RollingUpgradeCoordinator::BeginDowngrade(int node) {
+  SetMaintenance(node, true);
+  downgrade_attempts_ += 1;
+  UpgradeOrchestrator& up = *orchestrators_[static_cast<size_t>(node)];
+  up.set_config(cfg_.downgrade);
+  // Direct call, not a wire transfer: the old image is a known-good local
+  // resident, and the abort path should not gamble on a lossy channel.
+  downgrade_began_ = up.Begin(fids_[static_cast<size_t>(node)],
+                              old_images_[static_cast<size_t>(node)]);
+  if (!downgrade_began_) {
+    NPR_WARN("rolling-upgrade: node %d downgrade refused: %s", node,
+             up.last_error().c_str());
+  }
+}
+
+const char* RollingUpgradeCoordinator::StatusName(Status status) {
+  switch (status) {
+    case Status::kIdle:
+      return "idle";
+    case Status::kRunning:
+      return "running";
+    case Status::kDowngrading:
+      return "downgrading";
+    case Status::kDone:
+      return "done";
+    case Status::kAborted:
+      return "aborted";
+    case Status::kInconsistent:
+      return "inconsistent";
+  }
+  return "?";
+}
+
+int RollingUpgradeCoordinator::NodesOnNewImage() const {
+  if (fids_.empty()) {
+    return 0;
+  }
+  const uint64_t want = VrpImageChecksum(next_);
+  int count = 0;
+  for (int k = 0; k < cluster_.num_nodes(); ++k) {
+    const FlowMeta* meta =
+        cluster_.node(k).flow_table().Get(fids_[static_cast<size_t>(k)]);
+    if (meta == nullptr) {
+      continue;
+    }
+    const VrpProgram* prog = cluster_.node(k).istore().Get(meta->me_program_id);
+    if (prog != nullptr && VrpImageChecksum(*prog) == want) {
+      count += 1;
+    }
+  }
+  return count;
+}
+
+}  // namespace npr

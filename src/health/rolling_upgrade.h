@@ -1,0 +1,148 @@
+// Cluster rolling upgrade: node-by-node hitless image replacement.
+//
+// Drives one UpgradeOrchestrator per node through the hardened control
+// channel, sequencing the cluster so at most one node is ever mid-upgrade:
+//
+//   for each node k:  maintenance(k) on -> ship image over the channel
+//                     (checksum-verified on arrival, bounded resends when a
+//                     corrupted copy is refused) -> poll the orchestrator
+//                     until the episode settles -> promoted: maintenance
+//                     off, next node.
+//
+// Maintenance makes federated health upgrade-aware: ClusterHealthMonitor
+// keeps probing the node but absorbs probe failures instead of raising a
+// SuspectNode, so a cutover can never read as a node death.
+//
+// Abort-on-first-rollback keeps the cluster version-consistent: the first
+// node whose episode ends in rollback (or watchdog abort) stops the
+// rollout, and every already-promoted node is downgraded back to the old
+// image through the same orchestrators — fast windows, direct calls (the
+// old image is a known-good resident, not a wire transfer). The run then
+// reports kAborted with every node on the old version; only a downgrade
+// that itself exhausts its retries leaves kInconsistent.
+//
+// The coordinator is a hub resident: its poll tick, channel callbacks, and
+// orchestrator phase reads all run on the cluster hub engine, where node
+// shards are parked (the ClusterHealthMonitor precedent).
+
+#ifndef SRC_HEALTH_ROLLING_UPGRADE_H_
+#define SRC_HEALTH_ROLLING_UPGRADE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_router.h"
+#include "src/core/upgrade.h"
+#include "src/health/cluster_health.h"
+#include "src/health/control_channel.h"
+
+namespace npr {
+
+struct RollingUpgradeConfig {
+  // Per-node orchestrator windows for the forward upgrade.
+  UpgradeConfig node;
+  // Windows for abort-path downgrades: much shorter — the old image is
+  // known good, so the shadow/soak evidence bars drop to zero.
+  UpgradeConfig downgrade = [] {
+    UpgradeConfig c;
+    c.shadow_window_ps = 20 * kPsPerUs;
+    c.shadow_min_packets = 0;
+    c.step_deadline_ps = 100 * kPsPerUs;
+    c.soak_window_ps = 20 * kPsPerUs;
+    c.soak_min_packets = 0;
+    c.probe_period_ps = 10 * kPsPerUs;
+    return c;
+  }();
+  // Control-channel template for image shipment; the seed is re-derived
+  // per node (FaultPlan::DeriveNodeSeed) so channels stay decorrelated.
+  ControlChannelConfig channel;
+  uint64_t channel_seed = 0x9011a5ULL;
+  // Coordinator poll cadence on the hub engine.
+  SimTime poll_period_ps = 50 * kPsPerUs;
+  // Image send attempts per node (fresh sequence number each, so a copy
+  // corrupted in transit gets an independent redraw) before aborting.
+  int max_sends = 4;
+  // Downgrade attempts per node before declaring the cluster inconsistent
+  // (an upgrade_crash fault can abort a downgrade's own cutover step).
+  int max_downgrade_attempts = 8;
+};
+
+class RollingUpgradeCoordinator {
+ public:
+  enum class Status : uint8_t {
+    kIdle,
+    kRunning,       // rolling forward
+    kDowngrading,   // first rollback seen; restoring promoted nodes
+    kDone,          // every node promoted
+    kAborted,       // rollout stopped; every node back on the old image
+    kInconsistent,  // a downgrade exhausted its retries (nodes disagree)
+  };
+
+  // `health` may be null (no federated monitor attached); maintenance
+  // flagging is skipped then. Construct before RunFor, destroy after.
+  RollingUpgradeCoordinator(ClusterRouter& cluster, ClusterHealthMonitor* health,
+                            RollingUpgradeConfig config = RollingUpgradeConfig{});
+
+  RollingUpgradeCoordinator(const RollingUpgradeCoordinator&) = delete;
+  RollingUpgradeCoordinator& operator=(const RollingUpgradeCoordinator&) = delete;
+
+  // Starts the rollout: upgrade flow fids[k] on node k to `next`. The
+  // current images are captured here as the downgrade targets. `checksum`
+  // of 0 is replaced by VrpImageChecksum(next). False if already running
+  // or a node/fid is missing.
+  bool Start(std::vector<uint32_t> fids, const VrpProgram& next, uint64_t checksum = 0);
+
+  Status status() const { return status_; }
+  const std::string& error() const { return error_; }
+  // Node currently mid-upgrade (or mid-downgrade); -1 when none.
+  int current_node() const { return current_; }
+  int nodes_promoted() const { return promoted_; }
+  uint64_t image_resends() const { return resends_; }
+
+  UpgradeOrchestrator& orchestrator(int node) {
+    return *orchestrators_[static_cast<size_t>(node)];
+  }
+  ControlChannel& channel(int node) { return *channels_[static_cast<size_t>(node)]; }
+
+  // Nodes whose active ISTORE image matches the new program (by checksum).
+  // A consistent cluster reports 0 (aborted) or num_nodes (done).
+  int NodesOnNewImage() const;
+
+  static const char* StatusName(Status status);
+
+ private:
+  void SetMaintenance(int node, bool on);
+  void ShipImage(int node);
+  void PollTick();
+  void AdvanceOrFinish();
+  void StartAbort(std::string reason);
+  void BeginDowngrade(int node);
+
+  ClusterRouter& cluster_;
+  ClusterHealthMonitor* health_;
+  RollingUpgradeConfig cfg_;
+
+  std::vector<std::unique_ptr<UpgradeOrchestrator>> orchestrators_;
+  std::vector<std::unique_ptr<ControlChannel>> channels_;
+
+  Status status_ = Status::kIdle;
+  std::string error_;
+  std::vector<uint32_t> fids_;
+  VrpProgram next_;
+  uint64_t checksum_ = 0;
+  std::vector<VrpProgram> old_images_;  // downgrade targets, captured at Start
+
+  int current_ = -1;
+  int promoted_ = 0;
+  int sends_ = 0;            // image shipments for the current node
+  uint64_t resends_ = 0;
+  std::vector<int> downgrade_queue_;  // promoted nodes awaiting downgrade
+  int downgrade_attempts_ = 0;
+  bool downgrade_began_ = false;  // current node's downgrade Begin succeeded
+  bool poll_scheduled_ = false;
+};
+
+}  // namespace npr
+
+#endif  // SRC_HEALTH_ROLLING_UPGRADE_H_

@@ -63,6 +63,27 @@ const char* Mnemonic(VrpOp op) {
 
 }  // namespace
 
+uint64_t EncodeVrpWord(const VrpInstr& instr) {
+  return (static_cast<uint64_t>(instr.op) << 48) | (static_cast<uint64_t>(instr.a) << 40) |
+         (static_cast<uint64_t>(instr.b) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(instr.imm));
+}
+
+uint64_t VrpImageChecksum(const VrpProgram& program) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const VrpInstr& instr : program.code) {
+    mix(EncodeVrpWord(instr));
+  }
+  mix(program.flow_state_bytes);
+  return h;
+}
+
 std::string Disassemble(const VrpProgram& program) {
   std::string out = "; " + program.name + " (.state " +
                     std::to_string(program.flow_state_bytes) + ")\n";

@@ -96,6 +96,18 @@ struct VrpProgram {
 // bench output).
 std::string Disassemble(const VrpProgram& program);
 
+// The assembled 64-bit image word for one instruction: op/a/b packed in the
+// high half, the immediate in the low half. This is the wire format an
+// install request carries across the control channel and the unit the
+// image checksum covers.
+uint64_t EncodeVrpWord(const VrpInstr& instr);
+
+// FNV-1a over the assembled words plus the declared .state size. Install
+// verifies a sender-supplied checksum against the bytes that actually
+// arrived, so an image corrupted in transit is rejected at install time
+// rather than discovered at its first runtime trap.
+uint64_t VrpImageChecksum(const VrpProgram& program);
+
 }  // namespace npr
 
 #endif  // SRC_VRP_ISA_H_

@@ -43,8 +43,98 @@ bool IStoreLayout::Remove(uint32_t id) {
     return false;
   }
   used_ -= it->second.slots;
+  // A remove mid-replacement drops both halves of the double buffer.
+  if (it->second.staged) {
+    used_ -= it->second.staged->slots;
+  }
+  if (it->second.retained) {
+    used_ -= it->second.retained->slots;
+  }
   entries_.erase(it);
   return true;
+}
+
+uint32_t IStoreLayout::SlotsFor(const Entry& entry, const VrpProgram& program) const {
+  // Same trailing-jump rule as the original install path.
+  return static_cast<uint32_t>(program.instructions()) + (entry.general ? 0 : 1);
+}
+
+bool IStoreLayout::StageReplace(uint32_t id, const VrpProgram& next, uint32_t next_state_addr) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    NPR_ERROR("istore: stage-replace on unknown handle %u", id);
+    return false;
+  }
+  Entry& entry = it->second;
+  if (entry.staged || entry.retained) {
+    NPR_ERROR("istore: handle %u already has a replacement in flight", id);
+    return false;
+  }
+  const uint32_t slots = SlotsFor(entry, next);
+  if (used_ + slots > capacity_) {
+    return false;
+  }
+  used_ += slots;
+  entry.staged = Image{next, slots, next_state_addr};
+  return true;
+}
+
+bool IStoreLayout::CancelReplace(uint32_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.staged) {
+    return false;
+  }
+  used_ -= it->second.staged->slots;
+  it->second.staged.reset();
+  return true;
+}
+
+bool IStoreLayout::CommitReplace(uint32_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.staged) {
+    return false;
+  }
+  Entry& entry = it->second;
+  entry.retained = Image{std::move(entry.program), entry.slots, entry.state_addr};
+  entry.program = std::move(entry.staged->program);
+  entry.slots = entry.staged->slots;
+  entry.state_addr = entry.staged->state_addr;
+  entry.staged.reset();
+  return true;
+}
+
+bool IStoreLayout::RevertReplace(uint32_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.retained) {
+    return false;
+  }
+  Entry& entry = it->second;
+  used_ -= entry.slots;  // the new image's slots go back to the pool
+  entry.program = std::move(entry.retained->program);
+  entry.slots = entry.retained->slots;
+  entry.state_addr = entry.retained->state_addr;
+  entry.retained.reset();
+  return true;
+}
+
+bool IStoreLayout::PromoteReplace(uint32_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.retained) {
+    return false;
+  }
+  used_ -= it->second.retained->slots;
+  it->second.retained.reset();
+  return true;
+}
+
+bool IStoreLayout::HasRetained(uint32_t id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.retained.has_value();
+}
+
+const VrpProgram* IStoreLayout::Staged(uint32_t id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.staged ? &it->second.staged->program : nullptr;
 }
 
 const VrpProgram* IStoreLayout::Get(uint32_t id) const {

@@ -55,6 +55,32 @@ class IStoreLayout {
   bool SetThrottled(uint32_t id, bool throttled);
   bool IsThrottled(uint32_t id) const;
 
+  // --- in-service replacement (hitless upgrade, src/core/upgrade.h) ---
+  //
+  // A staged image is the double-buffer half: its slots count against
+  // capacity while staged, but Get()/GeneralChain() keep returning the
+  // active image. CommitReplace swaps the two in one step — the handle, and
+  // therefore every classifier/flow-table reference, never changes — and
+  // retains the previous image so RevertReplace can swap back. Exactly one
+  // of {staged, retained} exists at a time per handle.
+
+  // Reserves slots for `next` beside the active image. Fails on unknown
+  // handles, exhausted capacity, or if a replacement is already in flight.
+  bool StageReplace(uint32_t id, const VrpProgram& next, uint32_t next_state_addr);
+  // Discards a staged (not yet committed) image and frees its slots.
+  bool CancelReplace(uint32_t id);
+  // The staged image becomes active; the old image is retained for revert.
+  bool CommitReplace(uint32_t id);
+  // Swaps the retained old image back in and frees the new one's slots.
+  bool RevertReplace(uint32_t id);
+  // Drops the retained old image after a successful soak, freeing its slots.
+  bool PromoteReplace(uint32_t id);
+  // True while a committed-but-not-yet-promoted replacement holds both
+  // halves (i.e. RevertReplace is still possible).
+  bool HasRetained(uint32_t id) const;
+  // The staged program (nullptr unless StageReplace is pending commit).
+  const VrpProgram* Staged(uint32_t id) const;
+
   // General forwarders in execution (fall-through) order.
   std::vector<GeneralEntry> GeneralChain() const;
 
@@ -69,6 +95,12 @@ class IStoreLayout {
   uint32_t free_slots() const { return capacity_ - used_; }
 
  private:
+  struct Image {
+    VrpProgram program;
+    uint32_t slots = 0;
+    uint32_t state_addr = 0;
+  };
+
   struct Entry {
     VrpProgram program;
     bool general;
@@ -76,7 +108,12 @@ class IStoreLayout {
     uint64_t install_seq;
     uint32_t state_addr;
     bool throttled = false;
+    // In-flight replacement: staged before commit, retained after.
+    std::optional<Image> staged;
+    std::optional<Image> retained;
   };
+
+  uint32_t SlotsFor(const Entry& entry, const VrpProgram& program) const;
 
   const uint32_t capacity_;       // slots available to extensions (650)
   const uint32_t total_slots_;    // full store (1024)
