@@ -18,6 +18,11 @@
 namespace npr {
 namespace bench {
 
+// Heap allocations performed by this process so far (bench/alloc_count.cc;
+// 0 when the counting interposers are compiled out — Debug or sanitized
+// builds). Published as the "allocs" field of BENCH_<name>.json.
+uint64_t AllocCount();
+
 // --- machine-readable results (BENCH_<name>.json) ---
 //
 // Row() records every paper-vs-measured row as it is printed; EmitJson()
@@ -55,6 +60,7 @@ struct JsonState {
   std::vector<LatencyRec> stage_latency;
   std::vector<EngineCyclesRec> engine_cycles;
   uint64_t events_run = 0;
+  uint64_t steady_allocs = 0;
   uint64_t seed = 0;
   bool has_run_info = false;
   std::string fault_plan;
@@ -102,7 +108,12 @@ inline double MeasureMpps(Router& router, double warm_ms = 2.0, double measure_m
   const uint64_t events_before = router.engine().events_run();
   router.RunForMs(warm_ms);
   router.StartMeasurement();
+  // Steady-state heap allocations: what the measurement window costs after
+  // construction and warmup are done. The pooled data path holds this near
+  // zero; "steady_allocs" in BENCH_*.json is the sum over all runs.
+  const uint64_t allocs_before = AllocCount();
   router.RunForMs(measure_ms);
+  State().steady_allocs += AllocCount() - allocs_before;
   RecordEvents(router.engine().events_run() - events_before);
   return router.ForwardingRateMpps();
 }
@@ -245,6 +256,9 @@ inline void EmitJson(const std::string& name) {
   std::fprintf(f, "  \"events_run\": %llu,\n", static_cast<unsigned long long>(st.events_run));
   std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
                wall > 0 ? static_cast<double>(st.events_run) / wall : 0.0);
+  std::fprintf(f, "  \"allocs\": %llu,\n", static_cast<unsigned long long>(AllocCount()));
+  std::fprintf(f, "  \"steady_allocs\": %llu,\n",
+               static_cast<unsigned long long>(st.steady_allocs));
   // Observability sections: present only when an attached Observer actually
   // collected samples, so reference output is unchanged otherwise.
   const auto emit_latency = [f](const char* key, const std::vector<LatencyRec>& recs) {

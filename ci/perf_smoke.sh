@@ -12,7 +12,10 @@
 #      including the sharded-engine rows (barrier overhead regression);
 #   3. bench/cluster_scale's sharded section: bit-identical across thread
 #      counts always, and — only on hosts with enough cores — the parallel
-#      speedup above a floor.
+#      speedup above a floor;
+#   4. heap allocations per run ("allocs", counted by bench/alloc_count.cc)
+#      within 10% of the committed baseline — the pooled data path made the
+#      steady state allocation-free, and this keeps it that way.
 #
 # The floors are ~1/3 of the development-box numbers (docs/perf.md) to
 # leave room for slower CI machines while still catching a regression to
@@ -44,13 +47,14 @@ if grep -q "^NPR_OBS:BOOL=OFF" "$build_dir/CMakeCache.txt"; then
   obs_enabled=0
 fi
 
-python3 - "$out_dir" "$obs_enabled" "$threads" <<'EOF'
+python3 - "$out_dir" "$obs_enabled" "$threads" "$repo_root" <<'EOF'
 import json
 import sys
 
 out_dir = sys.argv[1]
 obs_enabled = sys.argv[2] == "1"
 sharded_threads = int(sys.argv[3])
+repo_root = sys.argv[4]
 failures = []
 
 # --- Table 1: every row within +/-15% of the paper value ---
@@ -130,12 +134,47 @@ else:
           "(determinism still checked)")
 
 # End-to-end sanity: table1 drives the full router model; anything below
-# this means the core regression leaked into the real workload.
-TABLE1_EPS_FLOOR = 2.0e6
+# this means the core regression leaked into the real workload. The floor
+# reflects the pooled/burst-coalesced data path (~13M events/sec on the
+# development box); the old per-packet-allocating path lands under it.
+TABLE1_EPS_FLOOR = 4.0e6
 eps = table1["events_per_sec"]
 if eps < TABLE1_EPS_FLOOR:
     failures.append(
         f"table1_queueing events/sec {eps:.0f} below floor {TABLE1_EPS_FLOOR:.0f}")
+
+# --- allocation ceiling: "allocs" within 10% of the committed baseline ---
+# alloc_count.cc reports 0 when the interposers are compiled out (Debug or
+# sanitized builds); 0 on either side means "not counted", not "zero cost".
+ALLOC_REGRESSION_PCT = 10.0
+for bench_name in ("table1_queueing", "sim_core", "cluster_scale"):
+    try:
+        with open(f"{repo_root}/bench/baselines/BENCH_{bench_name}.json") as f:
+            base_allocs = json.load(f).get("allocs", 0)
+    except FileNotFoundError:
+        base_allocs = 0
+    with open(f"{out_dir}/BENCH_{bench_name}.json") as f:
+        cur_allocs = json.load(f).get("allocs", 0)
+    if base_allocs <= 0 or cur_allocs <= 0:
+        print(f"perf smoke: {bench_name} alloc ceiling skipped "
+              f"(baseline={base_allocs}, current={cur_allocs})")
+        continue
+    ceiling = base_allocs * (1.0 + ALLOC_REGRESSION_PCT / 100.0)
+    if cur_allocs > ceiling:
+        failures.append(
+            f"{bench_name} allocs {cur_allocs} exceed baseline {base_allocs} "
+            f"by more than {ALLOC_REGRESSION_PCT:.0f}% (ceiling {ceiling:.0f})")
+
+# Steady state must stay allocation-free: the measurement windows of the
+# whole Table 1 ladder together may not allocate more than this (pooled
+# frames, inline event nodes, in-place MP segmentation — nothing per
+# packet). Skipped when counting is compiled out.
+STEADY_ALLOCS_CEILING = 10_000
+steady = table1.get("steady_allocs", 0)
+if table1.get("allocs", 0) > 0 and steady > STEADY_ALLOCS_CEILING:
+    failures.append(
+        f"table1_queueing steady-state allocs {steady} exceed "
+        f"ceiling {STEADY_ALLOCS_CEILING}")
 
 if failures:
     print("perf smoke FAILED:")

@@ -30,8 +30,11 @@ build_dir="$repo_root/build-$san"
 
 cmake -B "$build_dir" -S "$repo_root" -DNPR_SANITIZE="$san"
 if [ "$san" = thread ] && [ "$#" -eq 0 ]; then
-  cmake --build "$build_dir" -j "$(nproc)" --target parallel_cluster_test --target overload_test --target upgrade_test
-  ctest --test-dir "$build_dir" --output-on-failure -R 'ParallelCluster|Overload|Upgrade'
+  # PacketPool/Packet/IssueBurst ride along: FrameBuf refcounts are the one
+  # atomic the packet path relies on (heap-backed frames cross shard
+  # threads), so the pool suites belong in every TSan (and ASan) sweep.
+  cmake --build "$build_dir" -j "$(nproc)" --target parallel_cluster_test --target overload_test --target upgrade_test --target net_test --target mem_test
+  ctest --test-dir "$build_dir" --output-on-failure -R 'ParallelCluster|Overload|Upgrade|PacketPool|Packet\.|MacPort|IssueBurst'
 else
   cmake --build "$build_dir" -j "$(nproc)"
   ctest --test-dir "$build_dir" --output-on-failure "$@"

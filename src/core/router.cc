@@ -85,6 +85,7 @@ Router::Router(RouterConfig config, EventQueue* shared_engine)
     core_.ports.push_back(port.get());
   }
   core_.stats = &stats_;
+  core_.pool = &packet_pool_;
 
   input_ = std::make_unique<InputStage>(core_, classifier_);
   output_ = std::make_unique<OutputStage>(core_);

@@ -123,6 +123,9 @@ class Router {
   ForwarderRegistry& pe_forwarders() { return pe_forwarders_; }
   MacPort& port(int i) { return *ports_[static_cast<size_t>(i)]; }
   int num_ports() const { return static_cast<int>(ports_.size()); }
+  // Router-owned pool backing bridge-side packet materialization; the
+  // per-port RX/TX pools live on the MacPorts (port(i).pool()).
+  PacketPool& packet_pool() { return packet_pool_; }
   StrongArmBridge& bridge() { return *bridge_; }
   PentiumHost& pentium_host() { return *pentium_; }
   InputStage& input_stage() { return *input_; }
@@ -185,6 +188,7 @@ class Router {
   AdmissionControl admission_;
 
   std::vector<std::unique_ptr<MacPort>> ports_;
+  PacketPool packet_pool_;
   std::unique_ptr<QueuePlan> queues_;
   std::unique_ptr<PacketQueue> sa_local_queue_;
   std::unique_ptr<PacketQueue> sa_pentium_queue_;

@@ -66,6 +66,11 @@ struct RouterCore {
   std::vector<MacPort*> ports;
   RouterStats* stats = nullptr;
 
+  // Router-owned frame-buffer pool for control-plane packet materialization
+  // (the StrongARM bridge pulling frames out of DRAM). Data-path RX/TX
+  // frames live in the per-MacPort pools instead.
+  PacketPool* pool = nullptr;
+
   StrongArmBridge* bridge = nullptr;
   PentiumHost* pentium = nullptr;
 

@@ -14,11 +14,16 @@ namespace {
 
 constexpr size_t kHostBuffers = 64;
 
-Packet MaterializePacket(MemorySystem& mem, const PacketDescriptor& desc) {
-  std::vector<uint8_t> bytes(desc.frame_bytes);
-  mem.dram_store().Read(desc.buffer_addr, bytes);
-  Packet p(std::move(bytes));
-  return p;
+// Pulls the frame out of DRAM into a pooled buffer (heap fallback when the
+// pool is absent or capped out) — no per-packet vector churn.
+Packet MaterializePacket(MemorySystem& mem, PacketPool* pool, const PacketDescriptor& desc) {
+  const uint32_t n = desc.frame_bytes;
+  FrameBuf* buf = pool != nullptr ? pool->TryAcquire(n) : nullptr;
+  if (buf == nullptr) {
+    buf = PacketPool::AcquireHeap(n);
+  }
+  mem.dram_store().Read(desc.buffer_addr, std::span<uint8_t>(buf->data(), n));
+  return Packet::Adopt(buf);
 }
 
 // True when the buffered frame is OSPF-lite (IP proto 89): the governor's
@@ -192,8 +197,7 @@ Task StrongArmBridge::SaLoop() {
           ++feed_roundtrips_;
         } else {
           co_await sa.Write(mem.sram(), 4);
-          sa.Post(mem.scratch(), 4);
-          sa.Post(mem.scratch(), 4);
+          sa.PostBurst(mem.scratch(), 2, 4);
           PacketQueue& q = core_.queues->QueueFor(0, hp.desc.out_port, 0);
           if (q.Push(hp.desc)) {
             core_.queues->MarkReady(q);
@@ -264,7 +268,8 @@ Task StrongArmBridge::SaLoop() {
         // directly, §3.6).
         co_await sa.Read(mem.dram(), 32);
         co_await sa.Read(mem.dram(), 32);
-        Packet packet = MaterializePacket(mem, *desc);
+        Packet packet = MaterializePacket(mem, core_.pool, *desc);
+        pooled_live_ += packet.pooled() ? 1 : 0;
 
         bool forward = true;
         uint8_t out_port = desc->out_port;
@@ -291,7 +296,9 @@ Task StrongArmBridge::SaLoop() {
           forward = false;
           if (auto echo = BuildEchoReply(packet)) {
             co_await sa.Compute(300);  // echo turnaround
+            pooled_live_ -= packet.pooled() ? 1 : 0;
             packet = std::move(*echo);
+            pooled_live_ += packet.pooled() ? 1 : 0;
             ip = Ipv4Header::Parse(packet.l3());
             auto back = core_.route_table->Lookup(ip->dst);
             for (int i = 0; i < back.memory_accesses; ++i) {
@@ -395,12 +402,10 @@ Task StrongArmBridge::SaLoop() {
           // Write the modified header back and enqueue toward the output
           // stage like any other packet.
           mem.dram_store().Write(desc->buffer_addr, packet.bytes());
-          sa.Post(mem.dram(), 32);
-          sa.Post(mem.dram(), 32);
+          sa.PostBurst(mem.dram(), 2, 32);
           co_await sa.Compute(hw.sa_enqueue_cycles);
           co_await sa.Write(mem.sram(), 4);
-          sa.Post(mem.scratch(), 4);
-          sa.Post(mem.scratch(), 4);
+          sa.PostBurst(mem.scratch(), 2, 4);
           PacketDescriptor out = *desc;
           out.out_port = out_port;
           out.exceptional = false;
@@ -453,8 +458,7 @@ Task StrongArmBridge::SaLoop() {
               }
               if (have_buf) {
                 mem.dram_store().Write(buf, reply->bytes());
-                sa.Post(mem.dram(), 32);
-                sa.Post(mem.dram(), 32);
+                sa.PostBurst(mem.dram(), 2, 32);
                 PacketDescriptor icmp_desc;
                 icmp_desc.buffer_addr = buf;
                 icmp_desc.frame_bytes = static_cast<uint16_t>(reply->size());
@@ -490,6 +494,9 @@ Task StrongArmBridge::SaLoop() {
         if (core_.config->sa_proportional_share) {
           local_pass_ += 1.0 / core_.config->sa_local_share;
         }
+        // `packet` dies at this scope's end; settle the pool ledger now
+        // (host code — no suspension between here and the destructor).
+        pooled_live_ -= packet.pooled() ? 1 : 0;
       } else if (desc) {
         // The circular buffer was lapped while the descriptor sat in the
         // exception queue; the packet content is gone. The span carries the

@@ -52,6 +52,11 @@ class StrongArmBridge {
   uint64_t local_processed() const { return local_processed_; }
   uint64_t feed_roundtrips() const { return feed_roundtrips_; }
 
+  // Pool-ledger hook (RouterInvariants): frames from the router pool the
+  // SA loop currently holds live across a suspension (0 or 1 — the loop
+  // materializes at most one packet at a time).
+  int pooled_live() const { return pooled_live_; }
+
  private:
   Task SaLoop();
   // One local packet: slow-path route resolution / full IP / SA flow
@@ -77,6 +82,7 @@ class StrongArmBridge {
   uint64_t returned_ = 0;
   uint64_t local_processed_ = 0;
   uint64_t feed_roundtrips_ = 0;
+  int pooled_live_ = 0;
 };
 
 // Wakes the StrongARM (no-op when polling and awake). Free function so the

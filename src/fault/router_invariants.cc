@@ -224,6 +224,35 @@ void CheckMemoryBounds(Router& router, InvariantReport* report) {
   }
 }
 
+// Frame-pool ledger: every pooled frame acquired anywhere must be traceable
+// to a live holder. Per port, outstanding buffers must equal the frames in
+// flight on that port's wires (plus a mid-reassembly partial); the router
+// pool's outstanding buffers must equal what the StrongARM loop holds
+// across its current suspension. Any excess is a leaked exit path.
+void CheckPoolLedger(Router& router, InvariantReport* report) {
+  for (int p = 0; p < router.num_ports(); ++p) {
+    const MacPort& port = router.port(p);
+    const uint64_t outstanding = port.pool().outstanding();
+    const uint64_t held = port.pooled_in_flight();
+    if (outstanding != held) {
+      Violate(report,
+              Format("port %d pool ledger: %" PRIu64 " buffer(s) outstanding, %" PRIu64
+                     " accounted in flight (leak of %" PRId64 ")",
+                     p, outstanding, held,
+                     static_cast<int64_t>(outstanding) - static_cast<int64_t>(held)));
+    }
+  }
+  const uint64_t bridge_held = static_cast<uint64_t>(router.bridge().pooled_live());
+  const uint64_t router_outstanding = router.packet_pool().outstanding();
+  if (router_outstanding != bridge_held) {
+    Violate(report,
+            Format("router pool ledger: %" PRIu64 " buffer(s) outstanding, bridge holds %" PRIu64
+                   " (leak of %" PRId64 ")",
+                   router_outstanding, bridge_held,
+                   static_cast<int64_t>(router_outstanding) - static_cast<int64_t>(bridge_held)));
+  }
+}
+
 }  // namespace
 
 std::string InvariantReport::ToString() const {
@@ -250,6 +279,7 @@ InvariantReport RouterInvariants::CheckAll(Router& router) {
   CheckQueues(router, &report);
   CheckVrpBudget(router, &report);
   CheckMemoryBounds(router, &report);
+  CheckPoolLedger(router, &report);
   if (!report.ok()) {
     // Freeze the flight recorder: the ring now holds the span records
     // closest to whatever broke the invariant.

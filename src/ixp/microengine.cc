@@ -85,6 +85,11 @@ void HwContext::Post(MemoryChannel& channel, uint32_t bytes) {
   channel.Issue(bytes, /*is_write=*/true, nullptr);
 }
 
+void HwContext::PostBurst(MemoryChannel& channel, uint32_t n, uint32_t bytes_each) {
+  mem_writes_ += n;
+  channel.IssueBurst(n, bytes_each, /*is_write=*/true, nullptr);
+}
+
 void HwContext::BlockAwaiter::await_suspend(std::coroutine_handle<> h) {
   HwContext* c = ctx;
   assert(c->state_ == State::kRunning);
@@ -109,6 +114,7 @@ MicroEngine::MicroEngine(EventQueue& engine, int id, int num_contexts,
   for (int i = 0; i < num_contexts; ++i) {
     contexts_.push_back(std::make_unique<HwContext>(*this, i));
   }
+  ready_ring_.assign(static_cast<size_t>(num_contexts), nullptr);
 }
 
 double MicroEngine::Utilization(SimTime window_start) const {
@@ -122,7 +128,9 @@ double MicroEngine::Utilization(SimTime window_start) const {
 
 void MicroEngine::EnqueueReady(HwContext* ctx) {
   assert(ctx->state_ == HwContext::State::kReady);
-  ready_.push_back(ctx);
+  assert(ready_count_ < ready_ring_.size());
+  ready_ring_[(ready_head_ + ready_count_) % ready_ring_.size()] = ctx;
+  ++ready_count_;
   if (running_ == nullptr) {
     Dispatch();
   }
@@ -158,25 +166,29 @@ void MicroEngine::OnComputeStart(HwContext* ctx, uint32_t cycles) {
 }
 
 void MicroEngine::Dispatch() {
-  if (running_ != nullptr || ready_.empty() || dispatch_scheduled_) {
+  if (running_ != nullptr || ready_count_ == 0 || dispatch_scheduled_) {
     return;
   }
   dispatch_scheduled_ = true;
   // The swap bubble: the pipeline restarts the incoming context a cycle
-  // after the outgoing one left.
-  engine_.ScheduleIn(kIxpClock.ToTime(ctx_switch_cycles_), [this] {
-    dispatch_scheduled_ = false;
-    if (running_ != nullptr || ready_.empty()) {
-      return;
-    }
-    HwContext* ctx = ready_.front();
-    ready_.pop_front();
-    assert(ctx->state_ == HwContext::State::kReady);
-    ctx->state_ = HwContext::State::kRunning;
-    ctx->ready_wait_ps_ += engine_.now() - ctx->ready_since_;
-    running_ = ctx;
-    ctx->ResumeNow();
-  });
+  // after the outgoing one left (fn-ptr + engine, the queue's cheapest
+  // event shape — this fires once per context swap).
+  engine_.ScheduleRaw(
+      engine_.now() + kIxpClock.ToTime(ctx_switch_cycles_),
+      [](void* self_raw) {
+        auto* self = static_cast<MicroEngine*>(self_raw);
+        self->dispatch_scheduled_ = false;
+        if (self->running_ != nullptr || self->ready_count_ == 0) {
+          return;
+        }
+        HwContext* ctx = self->PopReady();
+        assert(ctx->state_ == HwContext::State::kReady);
+        ctx->state_ = HwContext::State::kRunning;
+        ctx->ready_wait_ps_ += self->engine_.now() - ctx->ready_since_;
+        self->running_ = ctx;
+        ctx->ResumeNow();
+      },
+      this);
 }
 
 }  // namespace npr

@@ -14,7 +14,6 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -70,6 +69,11 @@ class HwContext {
   // (nor swap out). The issuing instruction itself must be charged by the
   // caller as part of a Compute() block.
   void Post(MemoryChannel& channel, uint32_t bytes);
+
+  // n posted writes of bytes_each issued back to back at this instant, via
+  // MemoryChannel::IssueBurst: per-access accounting identical to n Post
+  // calls, one channel transaction loop instead of n.
+  void PostBurst(MemoryChannel& channel, uint32_t n, uint32_t bytes_each);
 
   // Swaps out until an external waker calls MakeReady() (token grant, mutex
   // grant, FIFO valid signal, queue doorbell...).
@@ -185,12 +189,24 @@ class MicroEngine {
   void OnComputeStart(HwContext* ctx, uint32_t cycles);
   void Dispatch();
 
+  // The ready queue is a fixed ring: a context is enqueued at most once, so
+  // capacity == num_contexts and push/pop are two index updates (this is
+  // the engine's hottest path — every swap goes through it).
+  HwContext* PopReady() {
+    HwContext* ctx = ready_ring_[ready_head_];
+    ready_head_ = (ready_head_ + 1) % ready_ring_.size();
+    --ready_count_;
+    return ctx;
+  }
+
   EventQueue& engine_;
   const int id_;
   const uint32_t ctx_switch_cycles_;
   std::vector<std::unique_ptr<HwContext>> contexts_;
   HwContext* running_ = nullptr;
-  std::deque<HwContext*> ready_;
+  std::vector<HwContext*> ready_ring_;
+  size_t ready_head_ = 0;
+  size_t ready_count_ = 0;
   bool dispatch_scheduled_ = false;
   uint64_t busy_cycles_ = 0;
   CycleProfiler* profiler_ = nullptr;

@@ -63,6 +63,12 @@ class SoftCore {
     channel.Issue(bytes, /*is_write=*/true, nullptr);
   }
 
+  // n posted writes of bytes_each at this instant as one coalesced channel
+  // transaction loop (per-access accounting identical to n Post calls).
+  void PostBurst(MemoryChannel& channel, uint32_t n, uint32_t bytes_each) {
+    channel.IssueBurst(n, bytes_each, /*is_write=*/true, nullptr);
+  }
+
   // Sleeps until Wake() (interrupt-style blocking).
   struct BlockAwaiter {
     SoftCore* core;

@@ -49,8 +49,26 @@ class MemoryChannel {
   // does not wait on. Returns the completion time.
   SimTime Issue(uint32_t bytes, bool is_write, EventFn done);
 
+  // Coalesces `n` back-to-back accesses of `bytes_each` issued at this
+  // instant into one scheduled event: the per-access arithmetic (queue-wait
+  // samples, busy-timeline advance, fault spikes, byte and op counters) is
+  // identical to n sequential Issue calls, but only the final completion is
+  // scheduled. `done` (optional) runs when the last access completes.
+  // Returns that completion time.
+  SimTime IssueBurst(uint32_t n, uint32_t bytes_each, bool is_write, EventFn done);
+
+  // Issues an access as if at now + delay_ps, without an intermediate
+  // event: the queue wait is measured against the busy timeline at that
+  // future instant. Correct when every issuer of this channel defers by the
+  // same delay (the DMA engines' shared setup time), so call order equals
+  // virtual-time order. Fault spikes are drawn at call time.
+  SimTime IssueDeferred(SimTime delay_ps, uint32_t bytes, bool is_write, EventFn done);
+
   // Round-trip latency an access issued right now would see (queueing
-  // included), without actually issuing it.
+  // included), without actually issuing it. Computed from the same
+  // busy-timeline helper Issue uses, so Peek and a subsequent Issue at the
+  // same instant always agree (fault spikes excepted: they are drawn at
+  // Issue time and extend the returned completion, never shorten it).
   SimTime PeekLatency(uint32_t bytes, bool is_write) const;
 
   // Unloaded round-trip latency for an access of `bytes` bytes.
@@ -74,6 +92,10 @@ class MemoryChannel {
 
  private:
   SimTime Occupancy(uint32_t bytes) const;
+  // The single definition of "when does the bus grant an access issued at
+  // `at`": both Issue and PeekLatency go through here.
+  SimTime GrantWait(SimTime at) const { return busy_until_ > at ? busy_until_ - at : 0; }
+  SimTime IssueAt(SimTime virtual_now, uint32_t bytes, bool is_write, EventFn done);
 
   EventQueue& engine_;
   MemoryChannelConfig config_;

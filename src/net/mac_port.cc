@@ -16,6 +16,17 @@ SimTime MacPort::WireTime(size_t frame_bytes) const {
   return static_cast<SimTime>(bits / bits_per_sec_ * static_cast<double>(kPsPerSec));
 }
 
+uint64_t MacPort::pooled_in_flight() const {
+  uint64_t n = tx_reassembler_.pooled_partials();
+  for (const auto& p : rx_pending_) {
+    n += p.pooled() ? 1 : 0;
+  }
+  for (const auto& t : tx_pending_) {
+    n += t.packet.pooled() ? 1 : 0;
+  }
+  return n;
+}
+
 void MacPort::InjectFromWire(Packet packet) {
   SimTime start = std::max(engine_.now(), rx_wire_busy_until_);
   if (fault_ != nullptr) {
@@ -23,76 +34,87 @@ void MacPort::InjectFromWire(Packet packet) {
   }
   const SimTime done = start + WireTime(packet.size());
   rx_wire_busy_until_ = done;
-  engine_.Schedule(done, [this, p = std::move(packet)]() mutable {
-    ++rx_offered_;
-    if (fault_ != nullptr) {
-      size_t keep = 0;
-      switch (fault_->OnFrameRx(p.bytes(), &keep)) {
-        case FaultInjector::FrameFault::kCrcDrop:
-          ++rx_crc_dropped_;
-          return;
-        case FaultInjector::FrameFault::kTruncate:
-          p.Truncate(keep);
-          break;
-        case FaultInjector::FrameFault::kCorrupt:
-        case FaultInjector::FrameFault::kNone:
-          break;
-      }
-    }
-    // Governor verdict before the frame consumes port memory (stage-1 RED
-    // and friends shed here, ahead of any input-context work).
-    RxVerdict verdict = RxVerdict::kAccept;
-    if (governor_ != nullptr) {
-      verdict = governor_->AdmitFrame(id_, p, rx_mps_.size());
-    }
-    switch (verdict) {
-      case RxVerdict::kDropRed:
-        ++gov_red_dropped_;
-        NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovRed, p.id(),
-                                     static_cast<uint8_t>(kUnitMacBase + id_), id_));
+  rx_pending_.push_back(std::move(packet));
+  engine_.ScheduleRaw(
+      done, [](void* self) { static_cast<MacPort*>(self)->RxWireDone(); }, this);
+}
+
+void MacPort::RxWireDone() {
+  Packet p = std::move(rx_pending_.front());
+  rx_pending_.pop_front();
+  ++rx_offered_;
+  if (fault_ != nullptr) {
+    size_t keep = 0;
+    switch (fault_->OnFrameRx(p.bytes(), &keep)) {
+      case FaultInjector::FrameFault::kCrcDrop:
+        ++rx_crc_dropped_;
         return;
-      case RxVerdict::kDropPolice:
-        ++gov_policed_;
-        NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovPolice, p.id(),
-                                     static_cast<uint8_t>(kUnitMacBase + id_), id_));
-        return;
-      case RxVerdict::kDropQuench:
-        ++gov_quenched_;
-        NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovQuench, p.id(),
-                                     static_cast<uint8_t>(kUnitMacBase + id_), id_));
-        return;
-      case RxVerdict::kAccept:
-      case RxVerdict::kAcceptPriority:
+      case FaultInjector::FrameFault::kTruncate:
+        p.Truncate(keep);
+        break;
+      case FaultInjector::FrameFault::kCorrupt:
+      case FaultInjector::FrameFault::kNone:
         break;
     }
-    auto mps = SegmentIntoMps(p, id_);
-    if (verdict == RxVerdict::kAcceptPriority) {
-      // Control carve-out: exempt from tail drop, spliced ahead of every
-      // queued data frame. The head of the deque may hold continuation MPs
-      // of a frame whose SOP was already claimed — never split that
-      // assembly; insert before the first queued SOP instead.
-      ++rx_frames_;
-      ++rx_priority_frames_;
-      NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacRxFrame, p.id(),
+  }
+  // Governor verdict before the frame consumes port memory (stage-1 RED
+  // and friends shed here, ahead of any input-context work).
+  RxVerdict verdict = RxVerdict::kAccept;
+  if (governor_ != nullptr) {
+    verdict = governor_->AdmitFrame(id_, p, rx_mps_.size());
+  }
+  switch (verdict) {
+    case RxVerdict::kDropRed:
+      ++gov_red_dropped_;
+      NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovRed, p.id(),
                                    static_cast<uint8_t>(kUnitMacBase + id_), id_));
-      auto at = rx_mps_.begin();
-      while (at != rx_mps_.end() && !at->tag.sop) {
-        ++at;
-      }
-      rx_mps_.insert(at, mps.begin(), mps.end());
       return;
-    }
-    if (rx_mps_.size() + mps.size() > rx_buffer_mps_) {
-      ++rx_dropped_;
+    case RxVerdict::kDropPolice:
+      ++gov_policed_;
+      NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovPolice, p.id(),
+                                   static_cast<uint8_t>(kUnitMacBase + id_), id_));
       return;
-    }
+    case RxVerdict::kDropQuench:
+      ++gov_quenched_;
+      NPR_OBS_HOOK(tracer_, Record(SpanPoint::kDropGovQuench, p.id(),
+                                   static_cast<uint8_t>(kUnitMacBase + id_), id_));
+      return;
+    case RxVerdict::kAccept:
+    case RxVerdict::kAcceptPriority:
+      break;
+  }
+  MpCursor cursor(p, id_);
+  if (verdict == RxVerdict::kAcceptPriority) {
+    // Control carve-out: exempt from tail drop, spliced ahead of every
+    // queued data frame. The head of the deque may hold continuation MPs
+    // of a frame whose SOP was already claimed — never split that
+    // assembly; insert before the first queued SOP instead.
     ++rx_frames_;
+    ++rx_priority_frames_;
     NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacRxFrame, p.id(),
                                  static_cast<uint8_t>(kUnitMacBase + id_), id_));
-    for (auto& mp : mps) {
-      rx_mps_.push_back(mp);
+    size_t at = 0;
+    while (at < rx_mps_.size() && !rx_mps_[at].tag.sop) {
+      ++at;
     }
-  });
+    Mp mp;
+    while (cursor.CopyNext(mp)) {
+      rx_mps_.insert(rx_mps_.begin() + static_cast<ptrdiff_t>(at), mp);
+      ++at;
+    }
+    return;
+  }
+  if (rx_mps_.size() + cursor.mp_count() > rx_buffer_mps_) {
+    ++rx_dropped_;
+    return;
+  }
+  ++rx_frames_;
+  NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacRxFrame, p.id(),
+                               static_cast<uint8_t>(kUnitMacBase + id_), id_));
+  while (!cursor.done()) {
+    rx_mps_.emplace_back();
+    cursor.CopyNext(rx_mps_.back());
+  }
 }
 
 std::optional<Mp> MacPort::RxClaim() {
@@ -116,14 +138,23 @@ void MacPort::TxAccept(const Mp& mp) {
   const SimTime done = start + WireTime(packet->size());
   tx_wire_busy_until_ = done;
   ++tx_frames_;
-  engine_.Schedule(done, [this, frame_mps, p = std::move(*packet)]() mutable {
-    tx_backlog_mps_ -= std::min(frame_mps, tx_backlog_mps_);
-    NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacTxFrame, p.id(),
-                                 static_cast<uint8_t>(kUnitMacBase + id_), id_));
-    if (sink_) {
-      sink_(std::move(p));
-    }
-  });
+  tx_pending_.push_back(TxPending{std::move(*packet), frame_mps});
+  engine_.ScheduleRaw(
+      done, [](void* self) { static_cast<MacPort*>(self)->TxWireDone(); }, this);
+}
+
+void MacPort::TxWireDone() {
+  TxPending t = std::move(tx_pending_.front());
+  tx_pending_.pop_front();
+  tx_backlog_mps_ -= std::min(t.frame_mps, tx_backlog_mps_);
+  NPR_OBS_HOOK(tracer_, Record(SpanPoint::kMacTxFrame, t.packet.id(),
+                               static_cast<uint8_t>(kUnitMacBase + id_), id_));
+  if (sink_) {
+    // Pooled buffers never leave the port: hand the sink a heap-backed
+    // copy so it may keep the frame arbitrarily long (or on another shard).
+    t.packet.MakeOwned();
+    sink_(std::move(t.packet));
+  }
 }
 
 }  // namespace npr

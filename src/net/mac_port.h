@@ -5,6 +5,12 @@
 // splits frames into tagged 64-byte MPs, and buffers them in port memory
 // until the input contexts DMA them into the receive FIFO. The transmit
 // side reassembles MPs back into frames and paces them onto the wire.
+//
+// Each port owns a PacketPool: the traffic generator builds RX frames in
+// the pool, the TX reassembler assembles frames in the pool, and every
+// pooled frame is released inside the port — frames handed to the sink are
+// first copied to a one-off heap buffer (Packet::MakeOwned), so pooled
+// buffers never outlive the port or cross shard threads.
 
 #ifndef SRC_NET_MAC_PORT_H_
 #define SRC_NET_MAC_PORT_H_
@@ -15,6 +21,7 @@
 #include <optional>
 
 #include "src/net/packet.h"
+#include "src/net/packet_pool.h"
 #include "src/net/rx_governor.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/stats.h"
@@ -42,6 +49,11 @@ class MacPort {
   // The engine this port's wire events run on — the owning node's shard in
   // a sharded cluster (deferred fabric delivery schedules injections here).
   EventQueue& engine() { return engine_; }
+
+  // The port's frame-buffer pool. TrafficGen acquires RX frames here; the
+  // TX reassembler assembles into it.
+  PacketPool& pool() { return pool_; }
+  const PacketPool& pool() const { return pool_; }
 
   // --- receive side (wire -> router) ---
 
@@ -88,6 +100,8 @@ class MacPort {
   // exactly one of the sinks below —
   //   rx_offered == rx_crc_dropped + rx_dropped + gov_red_dropped
   //               + gov_policed + gov_quenched + rx_frames.
+  // (rx_pool_exhausted frames were never offered: the generator could not
+  // acquire a buffer, so no frame reached the wire.)
   uint64_t rx_offered() const { return rx_offered_; }
   uint64_t rx_frames() const { return rx_frames_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
@@ -101,8 +115,24 @@ class MacPort {
   size_t rx_backlog_mps() const { return rx_mps_.size(); }
   size_t rx_buffer_capacity_mps() const { return rx_buffer_mps_; }
 
+  // Frames the source could not build because the pool was capped out.
+  uint64_t rx_pool_exhausted() const { return rx_pool_exhausted_; }
+  void CountRxPoolExhausted() { ++rx_pool_exhausted_; }
+
+  // Pool-ledger hook (RouterInvariants): pooled frames currently held by
+  // this port — in flight on the RX or TX wire, or mid-reassembly. At any
+  // event boundary pool().outstanding() must equal this.
+  uint64_t pooled_in_flight() const;
+
  private:
+  struct TxPending {
+    Packet packet;
+    size_t frame_mps;
+  };
+
   SimTime WireTime(size_t frame_bytes) const;
+  void RxWireDone();
+  void TxWireDone();
 
   EventQueue& engine_;
   const uint8_t id_;
@@ -115,7 +145,13 @@ class MacPort {
   SimTime rx_wire_busy_until_ = 0;
   SimTime tx_wire_busy_until_ = 0;
   std::deque<Mp> rx_mps_;
-  MpReassembler tx_reassembler_;
+  PacketPool pool_;
+  // Frames in flight on each wire, in completion order: wire busy times are
+  // monotonic, so completions are FIFO and the events carry no payload —
+  // a raw callback pops the head (no per-frame heap-boxed closure).
+  std::deque<Packet> rx_pending_;
+  std::deque<TxPending> tx_pending_;
+  MpReassembler tx_reassembler_{&pool_};
   std::function<void(Packet&&)> sink_;
   FaultInjector* fault_ = nullptr;
   Observer* tracer_ = nullptr;
@@ -131,6 +167,7 @@ class MacPort {
   uint64_t rx_priority_frames_ = 0;
   uint64_t rx_mps_claimed_ = 0;
   uint64_t tx_frames_ = 0;
+  uint64_t rx_pool_exhausted_ = 0;
 };
 
 }  // namespace npr

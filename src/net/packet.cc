@@ -8,6 +8,24 @@
 
 namespace npr {
 
+Packet::Packet(std::vector<uint8_t> frame) {
+  if (frame.empty()) {
+    return;
+  }
+  buf_ = PacketPool::AcquireHeap(static_cast<uint32_t>(frame.size()));
+  std::memcpy(buf_->data(), frame.data(), frame.size());
+}
+
+void Packet::MakeOwned() {
+  if (buf_ == nullptr || buf_->pool == nullptr) {
+    return;
+  }
+  FrameBuf* owned = PacketPool::AcquireHeap(buf_->len);
+  std::memcpy(owned->data(), buf_->data(), buf_->len);
+  buf_->Unref();
+  buf_ = owned;
+}
+
 std::span<uint8_t> Packet::l4() {
   auto ip = l3();
   auto header = Ipv4Header::Parse(ip);
@@ -17,10 +35,7 @@ std::span<uint8_t> Packet::l4() {
   return ip.subspan(header->header_bytes());
 }
 
-Packet BuildPacket(const PacketSpec& spec) {
-  const size_t frame_bytes = std::clamp<size_t>(spec.frame_bytes, kEthMinFrame, kEthMaxFrame);
-  std::vector<uint8_t> frame(frame_bytes, 0);
-
+void BuildFrameInto(const PacketSpec& spec, std::span<uint8_t> frame) {
   EthernetHeader eth;
   eth.dst = spec.eth_dst;
   eth.src = spec.eth_src;
@@ -38,7 +53,7 @@ Packet BuildPacket(const PacketSpec& spec) {
   while (ip.options.size() % 4 != 0) {
     ip.options.push_back(0);  // EOL padding
   }
-  ip.total_length = static_cast<uint16_t>(frame_bytes - kEthHeaderBytes);
+  ip.total_length = static_cast<uint16_t>(frame.size() - kEthHeaderBytes);
 
   const size_t l3_off = kEthHeaderBytes;
   const size_t l4_off = l3_off + kIpv4MinHeaderBytes + ip.options.size();
@@ -71,27 +86,68 @@ Packet BuildPacket(const PacketSpec& spec) {
   }
 
   ip.Write(std::span<uint8_t>(frame.data() + l3_off, frame.size() - l3_off));
-  return Packet(std::move(frame));
+}
+
+Packet BuildPacket(const PacketSpec& spec) {
+  FrameBuf* buf = PacketPool::AcquireHeap(static_cast<uint32_t>(ClampedFrameBytes(spec)));
+  std::memset(buf->data(), 0, buf->len);
+  BuildFrameInto(spec, std::span<uint8_t>(buf->data(), buf->len));
+  return Packet::Adopt(buf);
+}
+
+std::span<const uint8_t> MpCursor::Next(MpTag& tag) {
+  const size_t off = i_ * 64;
+  const size_t len = std::min<size_t>(64, bytes_.size() - off);
+  tag.port = port_;
+  tag.sop = i_ == 0;
+  tag.eop = i_ == n_ - 1;
+  tag.bytes = static_cast<uint16_t>(len);
+  tag.packet_id = packet_id_;
+  ++i_;
+  return bytes_.subspan(off, len);
+}
+
+bool MpCursor::CopyNext(Mp& out) {
+  if (done()) {
+    return false;
+  }
+  const auto span = Next(out.tag);
+  std::memcpy(out.data.data(), span.data(), span.size());
+  if (span.size() < out.data.size()) {
+    std::memset(out.data.data() + span.size(), 0, out.data.size() - span.size());
+  }
+  return true;
 }
 
 std::vector<Mp> SegmentIntoMps(const Packet& packet, uint8_t port) {
-  std::vector<Mp> mps;
-  const auto bytes = packet.bytes();
-  const size_t n = packet.mp_count();
-  mps.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    Mp mp;
-    const size_t off = i * 64;
-    const size_t len = std::min<size_t>(64, bytes.size() - off);
-    std::memcpy(mp.data.data(), bytes.data() + off, len);
-    mp.tag.port = port;
-    mp.tag.sop = i == 0;
-    mp.tag.eop = i == n - 1;
-    mp.tag.bytes = static_cast<uint16_t>(len);
-    mp.tag.packet_id = packet.id();
-    mps.push_back(mp);
+  std::vector<Mp> mps(packet.mp_count());
+  MpCursor cursor(packet, port);
+  for (Mp& mp : mps) {
+    cursor.CopyNext(mp);
   }
   return mps;
+}
+
+MpReassembler::~MpReassembler() {
+  if (partial_ != nullptr) {
+    partial_->Unref();
+  }
+}
+
+void MpReassembler::EnsureRoom(uint32_t need) {
+  if (partial_ != nullptr && need <= partial_->capacity) {
+    return;
+  }
+  // Grow: pooled jumbo first, heap as the backstop. Start MTU-sized.
+  FrameBuf* grown = pool_ != nullptr ? pool_->TryAcquire(need) : nullptr;
+  if (grown == nullptr) {
+    grown = PacketPool::AcquireHeap(need < kEthMaxFrame ? kEthMaxFrame : need);
+  }
+  if (partial_ != nullptr) {
+    std::memcpy(grown->data(), partial_->data(), offset_);
+    partial_->Unref();
+  }
+  partial_ = grown;
 }
 
 std::optional<Packet> MpReassembler::Accept(const Mp& mp) {
@@ -99,20 +155,28 @@ std::optional<Packet> MpReassembler::Accept(const Mp& mp) {
     if (in_packet_) {
       ++protocol_errors_;  // previous packet never finished
     }
-    partial_.clear();
+    if (partial_ != nullptr) {
+      partial_->Unref();
+      partial_ = nullptr;
+    }
+    offset_ = 0;
     in_packet_ = true;
     first_tag_ = mp.tag;
+    EnsureRoom(kEthMaxFrame);
   } else if (!in_packet_) {
     ++protocol_errors_;
     return std::nullopt;
   }
-  partial_.insert(partial_.end(), mp.data.begin(), mp.data.begin() + mp.tag.bytes);
+  EnsureRoom(offset_ + mp.tag.bytes);
+  std::memcpy(partial_->data() + offset_, mp.data.data(), mp.tag.bytes);
+  offset_ += mp.tag.bytes;
   if (!mp.tag.eop) {
     return std::nullopt;
   }
   in_packet_ = false;
-  Packet packet(std::move(partial_));
-  partial_ = {};
+  partial_->len = offset_;
+  Packet packet = Packet::Adopt(partial_);
+  partial_ = nullptr;
   packet.set_id(first_tag_.packet_id);
   return packet;
 }

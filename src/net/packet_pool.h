@@ -1,0 +1,104 @@
+// Pooled, refcounted frame buffers for the packet data path.
+//
+// A FrameBuf is a header + trailing byte storage, carved from slab-allocated
+// arenas and recycled through intrusive per-size-class free lists, so the
+// steady-state data path performs no heap allocation per packet. Packet
+// (src/net/packet.h) is a refcounted view over one FrameBuf; the last view
+// to go away returns the buffer to its pool (or frees it, for one-off
+// heap-backed buffers used by tests and control paths).
+//
+// Pools are single-threaded by design: each MacPort owns one, and pooled
+// frames never leave the port (MacPort::TxAccept converts to a heap-backed
+// buffer before handing frames to the sink). The refcount itself is atomic
+// so heap-backed buffers may cross shard threads in the parallel cluster.
+
+#ifndef SRC_NET_PACKET_POOL_H_
+#define SRC_NET_PACKET_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace npr {
+
+class PacketPool;
+
+// Header preceding the frame bytes. Allocated as
+//   ::operator new(sizeof(FrameBuf) + capacity)
+// with the payload starting immediately after the header.
+struct FrameBuf {
+  PacketPool* pool = nullptr;   // null: one-off heap buffer
+  FrameBuf* next_free = nullptr;
+  std::atomic<uint32_t> refcount{0};
+  uint32_t capacity = 0;  // payload bytes available
+  uint32_t len = 0;       // payload bytes in use (the frame length)
+  uint8_t size_class = 0;
+
+  uint8_t* data() { return reinterpret_cast<uint8_t*>(this + 1); }
+  const uint8_t* data() const { return reinterpret_cast<const uint8_t*>(this + 1); }
+
+  void Ref() { refcount.fetch_add(1, std::memory_order_relaxed); }
+  // Returns the buffer to its pool (or the heap) when the last ref drops.
+  void Unref();
+};
+
+// Slab-classed arena of FrameBufs. Three size classes cover the MAC's
+// world: minimum frames (64 B), full MTU frames (1518 B), and jumbo room
+// for reassembly overflow. Acquire picks the smallest class that fits and
+// grows the backing arena a slab at a time; Release pushes onto that
+// class's intrusive free list.
+class PacketPool {
+ public:
+  static constexpr uint32_t kClassBytes[3] = {64, 1518, 9216};
+  static constexpr int kNumClasses = 3;
+  static constexpr int kSlabFrames = 64;  // buffers added per slab grow
+
+  PacketPool() = default;
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Returns a buffer with refcount 1, len = bytes, from the smallest class
+  // that fits (contents NOT zeroed), or nullptr when bytes exceeds the
+  // jumbo class or a configured cap is exhausted.
+  FrameBuf* TryAcquire(uint32_t bytes);
+
+  // One-off heap-backed buffer (pool == nullptr), refcount 1. Used for the
+  // Packet(std::vector) compatibility path and MakeOwned copies that leave
+  // the pool's thread. Any size.
+  static FrameBuf* AcquireHeap(uint32_t bytes);
+
+  // Called by FrameBuf::Unref; not for direct use.
+  void Release(FrameBuf* buf);
+
+  // Caps the total buffers per size class (0 = unlimited, the default).
+  // Exhaustion tests set a small cap so TryAcquire can fail gracefully.
+  void set_max_frames_per_class(uint32_t n) { max_frames_per_class_ = n; }
+
+  // --- ledger ---
+  uint64_t acquires() const { return acquires_; }
+  uint64_t releases() const { return releases_; }
+  uint64_t outstanding() const { return acquires_ - releases_; }
+  uint64_t high_water() const { return high_water_; }
+  uint64_t exhausted() const { return exhausted_; }
+  uint64_t slabs_allocated() const { return slabs_.size(); }
+
+ private:
+  FrameBuf* free_head_[kNumClasses] = {nullptr, nullptr, nullptr};
+  uint32_t frames_in_class_[kNumClasses] = {0, 0, 0};
+  uint32_t max_frames_per_class_ = 0;
+  std::vector<void*> slabs_;
+
+  uint64_t acquires_ = 0;
+  uint64_t releases_ = 0;
+  uint64_t high_water_ = 0;
+  uint64_t exhausted_ = 0;
+
+  bool GrowClass(int cls);
+};
+
+}  // namespace npr
+
+#endif  // SRC_NET_PACKET_POOL_H_

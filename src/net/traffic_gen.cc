@@ -1,6 +1,7 @@
 #include "src/net/traffic_gen.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "src/net/tcp.h"
 
@@ -76,14 +77,18 @@ void TrafficGen::EmitOne() {
     }
   }
   Packet packet = NextPacket();
-  // Fold the frame into the fingerprint before injection (the port may
-  // mutate or drop it); id first so reordered identical payloads differ.
-  fp_ = (fp_ ^ packet.id()) * 1099511628211ULL;
-  for (uint8_t b : packet.bytes()) {
-    fp_ = (fp_ ^ b) * 1099511628211ULL;
+  if (packet.size() > 0) {
+    // Fold the frame into the fingerprint before injection (the port may
+    // mutate or drop it); id first so reordered identical payloads differ.
+    fp_ = (fp_ ^ packet.id()) * 1099511628211ULL;
+    for (uint8_t b : packet.bytes()) {
+      fp_ = (fp_ ^ b) * 1099511628211ULL;
+    }
+    port_.InjectFromWire(std::move(packet));
+    ++generated_;
   }
-  port_.InjectFromWire(std::move(packet));
-  ++generated_;
+  // else: the port's pool was capped out (exhaustion tests) — the frame was
+  // never built or offered; keep pacing.
   const SimTime gap = spec_.poisson
                           ? static_cast<SimTime>(rng_.Exponential(static_cast<double>(gap_ps_)))
                           : gap_ps_;
@@ -188,7 +193,18 @@ Packet TrafficGen::Finish(PacketSpec ps, bool keep_ps_ports) {
     ps.ip_options = {0x07, 0x04, 0x04, 0x00};
   }
 
-  Packet packet = BuildPacket(ps);
+  // Build the frame in place in the port's pool (no per-packet heap
+  // allocation). A null acquire means the pool is capped out: report the
+  // empty packet so EmitOne can attribute the loss to rx_pool_exhausted.
+  const uint32_t frame_bytes = static_cast<uint32_t>(ClampedFrameBytes(ps));
+  FrameBuf* buf = port_.pool().TryAcquire(frame_bytes);
+  if (buf == nullptr) {
+    port_.CountRxPoolExhausted();
+    return Packet();
+  }
+  std::memset(buf->data(), 0, frame_bytes);
+  BuildFrameInto(ps, std::span<uint8_t>(buf->data(), frame_bytes));
+  Packet packet = Packet::Adopt(buf);
   // 1-based like the synthetic input path: id 0 means "no packet" to the
   // observability layer's in-flight tracker.
   packet.set_id(static_cast<uint32_t>(port_.id()) << 24 |

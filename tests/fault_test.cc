@@ -9,6 +9,7 @@
 #include "src/core/router.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/router_invariants.h"
+#include "src/health/health_monitor.h"
 #include "src/net/traffic_gen.h"
 
 namespace npr {
@@ -165,6 +166,56 @@ TEST(FaultInjection, ChaosSameSeedIsBitIdentical) {
   EXPECT_EQ(a, b);
   EXPECT_GT(a.forwarded, 1000u);
   EXPECT_TRUE(a.invariants_ok) << a.report;
+}
+
+TEST(FaultInjection, PoolLedgerBalancesUnderChaosPlans) {
+  // Frame faults drop, truncate, and corrupt pooled frames on every path;
+  // crashes tear contexts down mid-packet. Whatever happens, every acquired
+  // frame buffer must be back in its pool (or held by an accounted holder)
+  // at the end — RouterInvariants::CheckAll includes the pool ledger, but
+  // assert it explicitly here so a ledger regression names itself.
+  const struct {
+    const char* name;
+    FaultPlan plan;
+  } plans[] = {
+      {"chaos", FaultPlan::Chaos(29)},
+      {"recovery_chaos", FaultPlan::RecoveryChaos(31)},
+      {"overload_chaos", FaultPlan::OverloadChaos(37)},
+  };
+  for (const auto& p : plans) {
+    SCOPED_TRACE(p.name);
+    RouterConfig cfg;
+    cfg.fault_plan = p.plan;
+    Router router(std::move(cfg));
+    for (int port = 0; port < router.num_ports(); ++port) {
+      router.AddRoute("10." + std::to_string(port) + ".0.0/16", static_cast<uint8_t>(port));
+    }
+    router.WarmRouteCache(32);
+    router.Start();
+    // The recovery/overload plans inject faults (lost tokens, wedged
+    // contexts) that stay broken without the health monitor, and this test
+    // is about the pool ledger *through* recovery, not about bare survival.
+    HealthMonitor health(router);
+    std::vector<std::unique_ptr<TrafficGen>> gens;
+    for (int port = 0; port < 4; ++port) {
+      TrafficSpec spec;
+      spec.rate_pps = 130'000;
+      spec.exceptional_fraction = 0.02;  // exercise the StrongARM detour too
+      spec.dst_spread = 16;
+      gens.push_back(std::make_unique<TrafficGen>(router.engine(), router.port(port), spec,
+                                                  static_cast<uint64_t>(900 + port)));
+      gens.back()->Start(6 * kPsPerMs);
+    }
+    router.RunForMs(10.0);
+    for (int port = 0; port < router.num_ports(); ++port) {
+      const MacPort& mac = router.port(port);
+      EXPECT_EQ(mac.pool().outstanding(), mac.pooled_in_flight()) << "port " << port;
+    }
+    EXPECT_EQ(router.packet_pool().outstanding(),
+              static_cast<uint64_t>(router.bridge().pooled_live()));
+    const InvariantReport report = RouterInvariants::CheckAll(router);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
 }
 
 TEST(FaultInjection, EveryShippedFaultPlanIsDeterministicAndLive) {

@@ -120,6 +120,60 @@ TEST_F(MemorySystemTest, QueueWaitRecordedUnderContention) {
   EXPECT_GT(mem_.sram().queue_wait().max(), 0u);
 }
 
+TEST_F(MemorySystemTest, PeekLatencyAgreesWithIssueUnderBacklog) {
+  // Regression: PeekLatency and Issue once computed the bus occupancy
+  // independently and could disagree under a backlog. Both now go through
+  // the same busy-timeline helper, so a fault-free Peek at any instant must
+  // predict the very completion time the next Issue returns.
+  MemoryChannel& ch = mem_.sram();
+  for (int i = 0; i < 7; ++i) {
+    ch.Issue(32, /*is_write=*/i % 2 == 0, nullptr);
+  }
+  for (uint32_t bytes : {4u, 8u, 32u, 64u}) {
+    const SimTime peek = ch.PeekLatency(bytes, /*is_write=*/false);
+    const SimTime done = ch.Issue(bytes, /*is_write=*/false, nullptr);
+    EXPECT_EQ(done - engine_.now(), peek) << bytes << " bytes";
+  }
+}
+
+TEST_F(MemorySystemTest, IssueBurstMatchesSequentialIssues) {
+  // IssueBurst(n, b) must be arithmetically identical to n Issue(b) calls:
+  // same final completion time, same op/byte counters, same queue-wait
+  // samples — only the number of scheduled events differs.
+  MemoryChannelConfig cfg;
+  cfg.name = "burst";
+  cfg.width_bytes = 4;
+  cfg.bus_cycle_ps = 10000;
+  cfg.write_latency_ps = 50000;
+  MemoryChannel seq(engine_, cfg);
+  MemoryChannel burst(engine_, cfg);
+  seq.Issue(16, true, nullptr);  // pre-existing backlog on both
+  burst.Issue(16, true, nullptr);
+
+  SimTime seq_done = 0;
+  for (int i = 0; i < 4; ++i) {
+    seq_done = seq.Issue(8, true, nullptr);
+  }
+  const SimTime burst_done = burst.IssueBurst(4, 8, true, nullptr);
+  EXPECT_EQ(burst_done, seq_done);
+  EXPECT_EQ(burst.writes(), seq.writes());
+  EXPECT_EQ(burst.bytes_moved(), seq.bytes_moved());
+  EXPECT_EQ(burst.queue_wait().count(), seq.queue_wait().count());
+  EXPECT_EQ(burst.queue_wait().max(), seq.queue_wait().max());
+  EXPECT_DOUBLE_EQ(burst.queue_wait().mean(), seq.queue_wait().mean());
+  engine_.RunAll();
+  EXPECT_EQ(burst.Utilization(0), seq.Utilization(0));
+}
+
+TEST_F(MemorySystemTest, IssueBurstCompletionFiresOnce) {
+  int fires = 0;
+  const SimTime done = mem_.dram().IssueBurst(3, 64, false, [&] { ++fires; });
+  engine_.RunAll();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(engine_.now(), done);
+  EXPECT_EQ(mem_.dram().reads(), 3u);
+}
+
 // --- BackingStore ---
 
 TEST(BackingStore, ReadWriteRoundTrip) {

@@ -404,5 +404,148 @@ TEST(TrafficGen, FlowPatternReusesTuples) {
   EXPECT_GE(tuples.size(), 2u);
 }
 
+// --- packet pool ---
+
+TEST(PacketPool, AcquireReleaseRecycles) {
+  PacketPool pool;
+  FrameBuf* a = pool.TryAcquire(64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->len, 64u);
+  EXPECT_EQ(a->pool, &pool);
+  EXPECT_EQ(a->refcount.load(), 1u);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  a->Unref();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  // The freed buffer heads the class free list: the next acquire reuses it
+  // instead of growing the arena.
+  FrameBuf* b = pool.TryAcquire(60);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(b->len, 60u);
+  EXPECT_EQ(pool.slabs_allocated(), 1u);
+  b->Unref();
+}
+
+TEST(PacketPool, PicksSmallestFittingClassAndRejectsOversize) {
+  PacketPool pool;
+  FrameBuf* small = pool.TryAcquire(64);
+  FrameBuf* mtu = pool.TryAcquire(65);
+  FrameBuf* jumbo = pool.TryAcquire(PacketPool::kClassBytes[1] + 1);
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(mtu, nullptr);
+  ASSERT_NE(jumbo, nullptr);
+  EXPECT_EQ(small->capacity, PacketPool::kClassBytes[0]);
+  EXPECT_EQ(mtu->capacity, PacketPool::kClassBytes[1]);
+  EXPECT_EQ(jumbo->capacity, PacketPool::kClassBytes[2]);
+  EXPECT_EQ(pool.TryAcquire(PacketPool::kClassBytes[2] + 1), nullptr);
+  EXPECT_EQ(pool.exhausted(), 1u);
+  small->Unref();
+  mtu->Unref();
+  jumbo->Unref();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.high_water(), 3u);
+}
+
+TEST(PacketPool, CapExhaustionFailsGracefullyAndRecovers) {
+  PacketPool pool;
+  pool.set_max_frames_per_class(2);
+  FrameBuf* a = pool.TryAcquire(64);
+  FrameBuf* b = pool.TryAcquire(64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.TryAcquire(64), nullptr);
+  EXPECT_EQ(pool.exhausted(), 1u);
+  a->Unref();
+  // Releasing one buffer makes the class serviceable again.
+  FrameBuf* c = pool.TryAcquire(64);
+  EXPECT_NE(c, nullptr);
+  b->Unref();
+  c->Unref();
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PacketPool, HeapBuffersBypassTheLedger) {
+  PacketPool pool;
+  FrameBuf* h = PacketPool::AcquireHeap(2000);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->pool, nullptr);
+  EXPECT_EQ(h->len, 2000u);
+  EXPECT_EQ(pool.acquires(), 0u);
+  h->Unref();  // frees, no pool involved
+}
+
+TEST(Packet, CopiesShareTheFrameBufAndMakeOwnedDetaches) {
+  PacketPool pool;
+  FrameBuf* buf = pool.TryAcquire(100);
+  ASSERT_NE(buf, nullptr);
+  for (uint32_t i = 0; i < 100; ++i) {
+    buf->data()[i] = static_cast<uint8_t>(i);
+  }
+  Packet p = Packet::Adopt(buf);
+  EXPECT_TRUE(p.pooled());
+  {
+    Packet copy = p;  // shares the buffer: still one pool acquire
+    EXPECT_EQ(pool.outstanding(), 1u);
+    EXPECT_EQ(copy.bytes().data(), p.bytes().data());
+  }
+  EXPECT_EQ(pool.outstanding(), 1u);
+  // MakeOwned copies to a one-off heap buffer and returns the pooled one.
+  p.MakeOwned();
+  EXPECT_FALSE(p.pooled());
+  EXPECT_EQ(pool.outstanding(), 0u);
+  ASSERT_EQ(p.size(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.bytes()[i], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(MacPort, PoolExhaustionBecomesGracefulRxLoss) {
+  // Cap the port pool so the generator cannot always build a frame: the
+  // failures must be counted as rx_pool_exhausted (never offered to the
+  // wire), the port must keep forwarding what it can, and the pool ledger
+  // must balance once the port drains.
+  EventQueue engine;
+  MacPort port(engine, 0, 100e6, 1 << 20);
+  // One frame per class: any frame still serializing on the wire starves
+  // the next acquire. Offered above line rate, exhaustion is guaranteed.
+  port.pool().set_max_frames_per_class(1);
+  TrafficSpec spec;
+  spec.rate_pps = 300'000;
+  TrafficGen gen(engine, port, spec, 11);
+  gen.Start(5 * kPsPerMs);
+  engine.RunUntil(6 * kPsPerMs);
+  uint64_t claimed = 0;
+  while (port.RxClaim()) {
+    ++claimed;
+  }
+  EXPECT_GT(port.rx_pool_exhausted(), 0u);
+  EXPECT_GT(port.rx_frames(), 0u);
+  // Conservation: every offered frame landed somewhere.
+  EXPECT_EQ(port.rx_offered(), port.rx_frames() + port.rx_dropped());
+  EXPECT_EQ(port.pool().outstanding(), port.pooled_in_flight());
+}
+
+TEST(MacPort, SinkFramesOutliveThePool) {
+  // TxAccept hands frames to the sink as heap-backed copies, so a sink may
+  // hold them past the port's lifetime; the pooled originals are returned.
+  EventQueue engine;
+  std::vector<Packet> kept;
+  {
+    MacPort port(engine, 1, 1e9, 1 << 20);
+    port.SetSink([&](Packet&& p) { kept.push_back(std::move(p)); });
+    PacketSpec spec;
+    spec.frame_bytes = 200;
+    Packet frame = BuildPacket(spec);
+    frame.set_id(42);
+    for (const Mp& mp : SegmentIntoMps(frame, 1)) {
+      port.TxAccept(mp);
+    }
+    engine.RunAll();
+    EXPECT_EQ(port.pool().outstanding(), port.pooled_in_flight());
+  }
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_FALSE(kept[0].pooled());
+  EXPECT_EQ(kept[0].size(), 200u);
+}
+
 }  // namespace
 }  // namespace npr
